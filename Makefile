@@ -1,0 +1,44 @@
+# Convenience targets for the reproduction. Everything is pure-stdlib Go;
+# no external dependencies.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz report examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over every fuzz target (regression corpora always run
+# under plain `make test`).
+fuzz:
+	$(GO) test ./internal/mpi -fuzz=FuzzParseWire -fuzztime=10s
+	$(GO) test ./internal/mpi -fuzz=FuzzUnmarshalFloat64 -fuzztime=10s
+	$(GO) test ./internal/cluster -fuzz=FuzzParseScript -fuzztime=10s
+	$(GO) test ./internal/modules/distsort -fuzz=FuzzEquiDepthBoundaries -fuzztime=10s
+
+# Regenerate every table and figure of the paper.
+report:
+	$(GO) run ./cmd/evalreport -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sortpipeline
+	$(GO) run ./examples/wordcount
+	$(GO) run ./examples/clustering
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/asteroids
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,676 @@
+// Benchmark harness: one benchmark per table and figure of the paper plus
+// one per module claim and per ablation called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Shape expectations (who wins, by what factor) are asserted by the unit
+// tests; the benchmarks measure the real costs behind those claims and
+// attach domain metrics via ReportMetric (miss rates, imbalance, wire
+// bytes).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"math/rand"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/curriculum"
+	"repro/internal/data"
+	"repro/internal/kdtree"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/modules/comm"
+	"repro/internal/modules/distmatrix"
+	"repro/internal/modules/distsort"
+	"repro/internal/modules/hashjoin"
+	"repro/internal/modules/kmeans"
+	"repro/internal/modules/latencyhiding"
+	"repro/internal/modules/rangequery"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+	"repro/internal/quadtree"
+	"repro/internal/quiz"
+	"repro/internal/rtree"
+	"repro/internal/warmup"
+)
+
+// ---- Tables ----
+
+// BenchmarkTable1_Curriculum regenerates and validates the Table I
+// learning-outcome matrix.
+func BenchmarkTable1_Curriculum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := curriculum.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if curriculum.RenderTableI() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2_PrimitiveUsage runs every prescribed module activity
+// and verifies the invoked MPI primitives against Table II.
+func BenchmarkTable2_PrimitiveUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		checks, err := core.VerifyTableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mc := range checks {
+			if !mc.OK() {
+				b.Fatalf("module %d: %+v", mc.Module, mc)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3_Demographics regenerates the cohort table.
+func BenchmarkTable3_Demographics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if curriculum.CohortSize() != 10 || curriculum.RenderTableIII() == "" {
+			b.Fatal("table III broken")
+		}
+	}
+}
+
+// BenchmarkTable4_QuizStats recomputes the Table IV statistics from the
+// reconstructed Figure 2 dataset with the paper's formulas.
+func BenchmarkTable4_QuizStats(b *testing.B) {
+	var st quiz.TableIV
+	for i := 0; i < b.N; i++ {
+		st = quiz.Reconstructed.Stats()
+		if st.Pairs != 42 {
+			b.Fatalf("pairs %d", st.Pairs)
+		}
+	}
+	b.ReportMetric(st.MeanRelIncrease*100, "relincr%")
+	b.ReportMetric(st.MeanRelDecrease*100, "reldecr%")
+}
+
+// ---- Figures ----
+
+// BenchmarkFigure1_SpeedupCurves evaluates the modeled speedup curves of
+// the memory-bound and compute-bound quiz-question programs.
+func BenchmarkFigure1_SpeedupCurves(b *testing.B) {
+	m := perfmodel.DefaultMachine()
+	ranks := []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	p1 := perfmodel.MemoryBoundKernel("program1", 1e11, 0.1)
+	p2 := perfmodel.ComputeBoundKernel("program2", 1e12, 100)
+	var s1, s2 map[int]float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		s1, err = m.ScalingCurve(p1, ranks, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err = m.ScalingCurve(p2, ranks, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s1[20], "memS(20)")
+	b.ReportMetric(s2[20], "cpuS(20)")
+}
+
+// BenchmarkFigure2_Rendering regenerates the per-student score figure.
+func BenchmarkFigure2_Rendering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if quiz.RenderFigure2(quiz.Reconstructed) == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// ---- Module 1: MPI communication ----
+
+func BenchmarkModule1_PingPong(b *testing.B) {
+	for _, size := range []int{8, 1024, 65536} {
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			err := mpi.Run(2, func(c *mpi.Comm) error {
+				res, err := comm.PingPong(c, b.N, size)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					b.ReportMetric(float64(res.AvgRTT.Nanoseconds()), "rtt-ns")
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkModule1_RandomComm(b *testing.B) {
+	for _, variant := range []string{"known-sources", "any-source"} {
+		b.Run(variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(4, func(c *mpi.Comm) error {
+					if variant == "known-sources" {
+						_, err := comm.RandomKnownSources(c, 50, 7)
+						return err
+					}
+					_, err := comm.RandomAnySource(c, 50, 7)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Module 2: distance matrix ----
+
+// BenchmarkModule2_Kernels compares the row-wise and tiled kernels on the
+// module's 90-dimensional data: the locality claim, measured for real.
+func BenchmarkModule2_Kernels(b *testing.B) {
+	pts := data.UniformPoints(1500, distmatrix.DefaultDim, 0, 1, 42)
+	b.Run("row-wise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			distmatrix.RowWise(pts, 0, 128)
+		}
+	})
+	for _, tile := range []int{8, 32, 64, 256} {
+		b.Run(fmt.Sprintf("tiled=%d", tile), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				distmatrix.Tiled(pts, 0, 128, tile)
+			}
+		})
+	}
+}
+
+// BenchmarkModule2_CacheSim replays both access streams through the cache
+// simulator (the module's perf-tool substitute) and reports miss rates.
+func BenchmarkModule2_CacheSim(b *testing.B) {
+	cache, err := perfmodel.NewCache(256*1024, 64, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep distmatrix.CacheReport
+	for i := 0; i < b.N; i++ {
+		rep, err = distmatrix.SimulateCache(cache, 2000, distmatrix.DefaultDim, 32, distmatrix.DefaultTile)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.RowWiseMissRate*100, "rowmiss%")
+	b.ReportMetric(rep.TiledMissRate*100, "tilemiss%")
+}
+
+// BenchmarkModule2_Distributed runs the full scatter/compute/reduce
+// pipeline at several rank counts.
+func BenchmarkModule2_Distributed(b *testing.B) {
+	pts := data.UniformPoints(512, distmatrix.DefaultDim, 0, 1, 42)
+	for _, np := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("np=%d", np), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(np, func(c *mpi.Comm) error {
+					_, err := distmatrix.Distributed(c, pts, distmatrix.DefaultTile)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Module 3: distribution sort ----
+
+// BenchmarkModule3_Sort covers the module's three activities plus the
+// sampled-splitter ablation, reporting the load imbalance of each.
+func BenchmarkModule3_Sort(b *testing.B) {
+	const n = 200_000
+	cases := []struct {
+		name     string
+		keys     []float64
+		splitter distsort.Splitter
+	}{
+		{"uniform/equal-width", data.UniformKeys(n, 0, 1000, 11), distsort.EqualWidth},
+		{"exponential/equal-width", data.ExponentialKeys(n, 1, 12), distsort.EqualWidth},
+		{"exponential/histogram", data.ExponentialKeys(n, 1, 12), distsort.Histogram},
+		{"exponential/sampled", data.ExponentialKeys(n, 1, 12), distsort.Sampled},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var imb float64
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(4, func(c *mpi.Comm) error {
+					var local []float64
+					for j := c.Rank(); j < len(tc.keys); j += 4 {
+						local = append(local, tc.keys[j])
+					}
+					_, res, err := distsort.Sort(c, local, tc.splitter)
+					if c.Rank() == 0 {
+						imb = res.Imbalance
+					}
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(imb, "imbalance")
+		})
+	}
+	b.Run("sequential-baseline", func(b *testing.B) {
+		keys := data.UniformKeys(n, 0, 1000, 11)
+		for i := 0; i < b.N; i++ {
+			distsort.SequentialSort(keys)
+		}
+	})
+}
+
+// ---- Module 4: range queries ----
+
+// BenchmarkModule4_Query compares the four search structures (brute
+// force, R-tree, and the cited kd-tree/quadtree alternatives): the
+// efficiency-vs-scalability claim's efficiency half.
+func BenchmarkModule4_Query(b *testing.B) {
+	pts := data.UniformPoints(50_000, 2, 0, 100, 5)
+	queries := data.UniformRects(500, 2, 0, 100, 4, 6)
+	for _, m := range []rangequery.Method{rangequery.BruteForce, rangequery.RTree, rangequery.KDTree, rangequery.QuadTree} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rangequery.Sequential(pts, queries, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModule4_IndexBuild isolates index-construction cost.
+func BenchmarkModule4_IndexBuild(b *testing.B) {
+	pts := data.UniformPoints(50_000, 2, 0, 100, 5)
+	b.Run("r-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rtree.Bulk(pts, rtree.DefaultMaxEntries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kd-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kdtree.Build(pts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("quadtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quadtree.Bulk(pts, quadtree.DefaultCapacity); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkModule4_PlacementModel evaluates the activity-3 study: the
+// indexed search on 1 vs 2 modeled nodes.
+func BenchmarkModule4_PlacementModel(b *testing.B) {
+	m := perfmodel.DefaultMachine()
+	_, indexed := rangequery.Kernels(100_000, 10_000, 2, 0.95)
+	var one, two time.Duration
+	for i := 0; i < b.N; i++ {
+		var err error
+		one, two, err = rangequery.NodePlacementStudy(m, indexed, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(one)/float64(two), "2node-gain")
+}
+
+// ---- Module 5: k-means ----
+
+// BenchmarkModule5_KMeans sweeps k for both communication options,
+// reporting wire bytes per iteration — the communication-volume claim.
+func BenchmarkModule5_KMeans(b *testing.B) {
+	pts, _ := data.GaussianMixture(8192, 2, 8, 2.0, 100, 6)
+	for _, opt := range []kmeans.CommOption{kmeans.WeightedMeans, kmeans.ExplicitAssignments} {
+		for _, k := range []int{2, 16, 64} {
+			b.Run(fmt.Sprintf("%v/k=%d", opt, k), func(b *testing.B) {
+				var wirePerIter float64
+				for i := 0; i < b.N; i++ {
+					err := mpi.Run(4, func(c *mpi.Comm) error {
+						res, _, _, err := kmeans.Distributed(c, pts, kmeans.Config{
+							K: k, MaxIter: 8, Seed: 1, Tol: -1, Option: opt,
+						})
+						if err != nil {
+							return err
+						}
+						if c.Rank() == 0 {
+							wirePerIter = float64(c.Stats().TotalWire) / float64(res.Iterations)
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(wirePerIter, "wireB/iter")
+			})
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md) ----
+
+// BenchmarkAblation_AllreduceAlgorithms compares the binomial-tree and
+// ring allreduce algorithms across payload sizes.
+func BenchmarkAblation_AllreduceAlgorithms(b *testing.B) {
+	for _, n := range []int{64, 4096, 262144} {
+		buf := make([]float64, n)
+		b.Run(fmt.Sprintf("tree/n=%d", n), func(b *testing.B) {
+			err := mpi.Run(4, func(c *mpi.Comm) error {
+				for i := 0; i < b.N; i++ {
+					if _, err := mpi.Allreduce(c, buf, mpi.OpSum); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.Run(fmt.Sprintf("ring/n=%d", n), func(b *testing.B) {
+			err := mpi.Run(4, func(c *mpi.Comm) error {
+				for i := 0; i < b.N; i++ {
+					if _, err := mpi.AllreduceRing(c, buf, mpi.OpSum); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_EagerVsRendezvous measures the protocol cutover cost.
+func BenchmarkAblation_EagerVsRendezvous(b *testing.B) {
+	payload := make([]byte, 16*1024)
+	run := func(b *testing.B, opts ...mpi.Option) {
+		err := mpi.Run(2, func(c *mpi.Comm) error {
+			for i := 0; i < b.N; i++ {
+				if c.Rank() == 0 {
+					if err := c.SendBytes(payload, 1, 0); err != nil {
+						return err
+					}
+					if _, _, err := c.RecvBytes(1, 0); err != nil {
+						return err
+					}
+				} else {
+					buf, _, err := c.RecvBytes(0, 0)
+					if err != nil {
+						return err
+					}
+					if err := c.SendBytes(buf, 0, 0); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("eager", func(b *testing.B) { run(b, mpi.WithEagerThreshold(1<<20)) })
+	b.Run("rendezvous", func(b *testing.B) { run(b, mpi.WithEagerThreshold(1)) })
+}
+
+// BenchmarkAblation_Transports compares the channel and TCP transports on
+// the same ping-pong.
+func BenchmarkAblation_Transports(b *testing.B) {
+	body := func(b *testing.B) func(c *mpi.Comm) error {
+		return func(c *mpi.Comm) error {
+			res, err := comm.PingPong(c, b.N, 4096)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				b.ReportMetric(float64(res.AvgRTT.Nanoseconds()), "rtt-ns")
+			}
+			return nil
+		}
+	}
+	b.Run("channel", func(b *testing.B) {
+		if err := mpi.Run(2, body(b)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("tcp", func(b *testing.B) {
+		if err := mpi.RunTCP(2, body(b)); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkAblation_MapReduceCombiner quantifies the combiner's shuffle
+// saving.
+func BenchmarkAblation_MapReduceCombiner(b *testing.B) {
+	var splits []string
+	for i := 0; i < 20; i++ {
+		splits = append(splits, "alpha beta gamma delta alpha beta gamma alpha beta alpha")
+	}
+	for _, useCombiner := range []bool{true, false} {
+		name := "with-combiner"
+		if !useCombiner {
+			name = "no-combiner"
+		}
+		b.Run(name, func(b *testing.B) {
+			job := mapreduce.WordCount()
+			if !useCombiner {
+				job.Combiner = nil
+			}
+			perRank := make([]int, 4)
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(4, func(c *mpi.Comm) error {
+					_, st, err := mapreduce.Run(c, job, splits)
+					perRank[c.Rank()] = st.ShuffledKVs // distinct indices
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			total := 0
+			for _, n := range perRank {
+				total += n
+			}
+			b.ReportMetric(float64(total), "shuffledKV")
+		})
+	}
+}
+
+// BenchmarkAblation_SchedulerBackfill measures scheduler throughput on a
+// mixed job stream.
+func BenchmarkAblation_SchedulerBackfill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(8, perfmodel.DefaultMachine())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			tasks := 4 + (j%5)*12
+			_, err := c.Submit(cluster.JobSpec{
+				Name:      fmt.Sprintf("job%d", j),
+				Tasks:     tasks,
+				BaseTime:  time.Duration(10+j%30) * time.Second,
+				TimeLimit: time.Duration(60) * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Drain()
+	}
+}
+
+// BenchmarkAblation_SpeedupAnalysis exercises the metrics pipeline used
+// by every scaling report.
+func BenchmarkAblation_SpeedupAnalysis(b *testing.B) {
+	s := metrics.Series{Name: "x"}
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		s.Points = append(s.Points, metrics.Point{P: p, Time: time.Second / time.Duration(p)})
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Speedup(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.KarpFlatt(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Extension modules (the paper's future work) ----
+
+// BenchmarkExtension_Stencil compares blocking and overlapped halo
+// exchange in the latency-hiding module.
+func BenchmarkExtension_Stencil(b *testing.B) {
+	for _, v := range []latencyhiding.Variant{latencyhiding.Blocking, latencyhiding.Overlapped} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(4, func(c *mpi.Comm) error {
+					_, _, err := latencyhiding.Run(c, 4096, 100, 0.25, v)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtension_HashJoin measures the distributed join phases.
+func BenchmarkExtension_HashJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var build, probe []hashjoin.Tuple
+	for i := 0; i < 100_000; i++ {
+		build = append(build, hashjoin.Tuple{Key: rng.Int63n(20_000), Payload: int64(i)})
+		probe = append(probe, hashjoin.Tuple{Key: rng.Int63n(20_000), Payload: int64(i)})
+	}
+	b.Run("distributed-np4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := mpi.Run(4, func(c *mpi.Comm) error {
+				var lb, lp []hashjoin.Tuple
+				for j := c.Rank(); j < len(build); j += 4 {
+					lb = append(lb, build[j])
+					lp = append(lp, probe[j])
+				}
+				_, _, err := hashjoin.Join(c, lb, lp)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hashjoin.Sequential(build, probe)
+		}
+	})
+}
+
+// BenchmarkExtension_WarmupGrading measures the auto-grader over the full
+// exercise set.
+func BenchmarkExtension_WarmupGrading(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ex := range warmup.Exercises() {
+			if err := warmup.GradeReference(ex, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_RTreeConstruction compares Guttman insertion against
+// STR bulk packing — the outcome-15 "improve the algorithm" exercise.
+func BenchmarkAblation_RTreeConstruction(b *testing.B) {
+	pts := data.UniformPoints(50_000, 2, 0, 100, 5)
+	b.Run("insertion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rtree.Bulk(pts, rtree.DefaultMaxEntries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("str-packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rtree.BulkSTR(pts, rtree.DefaultMaxEntries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_KMeansInit compares the module's naive strided
+// seeding against k-means++, reporting converged inertia.
+func BenchmarkAblation_KMeansInit(b *testing.B) {
+	pts, _ := data.GaussianMixture(4000, 2, 6, 0.4, 200, 11)
+	cfg := kmeans.Config{K: 6, MaxIter: 100, Seed: 1}
+	b.Run("naive", func(b *testing.B) {
+		var inertia float64
+		for i := 0; i < b.N; i++ {
+			res, _, err := kmeans.Sequential(pts, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inertia = res.Inertia
+		}
+		b.ReportMetric(inertia, "inertia")
+	})
+	b.Run("kmeans++", func(b *testing.B) {
+		var inertia float64
+		for i := 0; i < b.N; i++ {
+			init := kmeans.PlusPlusCentroids(pts, cfg.K, cfg.Seed)
+			res, _, err := kmeans.SequentialWithCentroids(pts, init, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inertia = res.Inertia
+		}
+		b.ReportMetric(inertia, "inertia")
+	})
+}
+
+// BenchmarkAblation_LocalSort compares the stdlib comparison sort against
+// the radix sort for Module 3's local sort phase.
+func BenchmarkAblation_LocalSort(b *testing.B) {
+	keys := data.UniformKeys(1_000_000, 0, 1e6, 13)
+	b.Run("stdlib", func(b *testing.B) {
+		buf := make([]float64, len(keys))
+		for i := 0; i < b.N; i++ {
+			copy(buf, keys)
+			b.StartTimer()
+			distsort.SequentialSort(buf)
+			b.StopTimer()
+		}
+	})
+	b.Run("radix", func(b *testing.B) {
+		buf := make([]float64, len(keys))
+		for i := 0; i < b.N; i++ {
+			copy(buf, keys)
+			b.StartTimer()
+			distsort.RadixSortFloat64s(buf)
+			b.StopTimer()
+		}
+	})
+}

@@ -1,0 +1,215 @@
+// Command modulerun executes the pedagogic modules' activities on the
+// message-passing runtime, mirroring how a student would run them on the
+// cluster:
+//
+//	modulerun -list
+//	modulerun -module 3
+//	modulerun -activity sort-histogram -np 8
+//	modulerun -activity ping-pong -transport tcp
+//	modulerun -activity kmeans-weighted-means -stats
+//	modulerun -deadlock-demo
+//	modulerun -warmup global-sum
+//	modulerun -activity range-query-brute -scale 1,2,4,8
+//	modulerun -weak kmeans -scale 1,2,4
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/modules/comm"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+	"repro/internal/warmup"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list activities and exit")
+	module := flag.Int("module", 0, "run every activity of one module (1-5)")
+	activity := flag.String("activity", "", "run one activity by name")
+	np := flag.Int("np", 0, "rank count (0 = activity default)")
+	transport := flag.String("transport", "channel", "transport: channel or tcp")
+	stats := flag.Bool("stats", false, "print the communication accounting after each run")
+	deadlock := flag.Bool("deadlock-demo", false, "run Module 1's intentional deadlock (and its fix)")
+	warmupName := flag.String("warmup", "", "grade the reference solution of one warmup exercise")
+	showTrace := flag.Bool("trace", false, "render a Gantt chart of per-rank communication blocking")
+	scale := flag.String("scale", "", "comma-separated rank counts: run a strong-scaling study of -activity")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this file (view in chrome://tracing)")
+	weak := flag.String("weak", "", "run a weak-scaling study of a sized workload (see -list)")
+	flag.Parse()
+
+	if err := run(*list, *module, *activity, *np, *transport, *stats, *deadlock, *warmupName, *showTrace, *scale, *chrome, *weak); err != nil {
+		fmt.Fprintln(os.Stderr, "modulerun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, module int, activity string, np int, transport string, stats, deadlock bool, warmupName string, showTrace bool, scale, chrome, weak string) error {
+	tcp := false
+	switch transport {
+	case "channel":
+	case "tcp":
+		tcp = true
+	default:
+		return fmt.Errorf("unknown transport %q (channel or tcp)", transport)
+	}
+
+	switch {
+	case list:
+		fmt.Printf("%-26s %-3s %-3s %s\n", "ACTIVITY", "MOD", "NP", "DESCRIPTION")
+		for _, a := range core.All() {
+			fmt.Printf("%-26s %-3d %-3d %s\n", a.Name, a.Module, a.DefaultNP, a.Description)
+		}
+		fmt.Println("\nwarmup exercises (run with -warmup <name>):")
+		for _, ex := range warmup.Exercises() {
+			fmt.Printf("%-26s %-3s %-3d %s\n", ex.Name, "W", ex.DefaultNP, ex.Statement)
+		}
+		fmt.Println("\nweak-scaling workloads (run with -weak <name> -scale 1,2,4):")
+		for _, sa := range core.SizedRegistry() {
+			fmt.Printf("%-26s %-3s %-3s %s\n", sa.Name, "S", "-", sa.Description)
+		}
+		return nil
+
+	case deadlock:
+		fmt.Println("running the head-to-head synchronous exchange (every rank sends first)...")
+		err := comm.DeadlockDemo(2)
+		if !errors.Is(err, mpi.ErrDeadlock) {
+			return fmt.Errorf("expected the deadlock detector to fire, got: %v", err)
+		}
+		fmt.Printf("  runtime detected: %v\n", err)
+		fmt.Println("running the fixed exchange (odd ranks receive first)...")
+		if err := comm.DeadlockFixed(2); err != nil {
+			return err
+		}
+		fmt.Println("  completed without deadlock")
+		return nil
+
+	case weak != "":
+		sa, ok := core.FindSized(weak)
+		if !ok {
+			return fmt.Errorf("no sized workload %q (try -list)", weak)
+		}
+		ranks, err := parseRanks(scale)
+		if err != nil {
+			return err
+		}
+		series, err := core.WeakScalingStudy(sa, ranks, 3, tcp)
+		if err != nil {
+			return err
+		}
+		report, err := core.WeakScalingReport(series)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+		return nil
+
+	case activity != "" && scale != "":
+		a, ok := core.Find(activity)
+		if !ok {
+			return fmt.Errorf("no activity %q (try -list)", activity)
+		}
+		ranks, err := parseRanks(scale)
+		if err != nil {
+			return err
+		}
+		series, err := core.ScalingStudy(a, ranks, 3, tcp)
+		if err != nil {
+			return err
+		}
+		report, err := core.ScalingReport(series)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+		return nil
+
+	case activity != "":
+		a, ok := core.Find(activity)
+		if !ok {
+			return fmt.Errorf("no activity %q (try -list)", activity)
+		}
+		return launch(a, np, tcp, stats, showTrace, chrome)
+
+	case warmupName != "":
+		ex, ok := warmup.Find(warmupName)
+		if !ok {
+			return fmt.Errorf("no warmup exercise %q (try -list)", warmupName)
+		}
+		fmt.Printf("exercise: %s\n  %s\n", ex.Name, ex.Statement)
+		if err := warmup.GradeReference(ex, np); err != nil {
+			return err
+		}
+		fmt.Println("reference solution graded: full marks")
+		return nil
+
+	case module >= 1 && module <= 7:
+		for _, a := range core.All() {
+			if a.Module != module {
+				continue
+			}
+			if err := launch(a, np, tcp, stats, showTrace, chrome); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		flag.Usage()
+		return errors.New("choose -list, -module, -activity, -warmup or -deadlock-demo")
+	}
+}
+
+// parseRanks parses a comma-separated rank list (default 1,2,4).
+func parseRanks(scale string) ([]int, error) {
+	if scale == "" {
+		return []int{1, 2, 4}, nil
+	}
+	var ranks []int
+	for _, f := range strings.Split(scale, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -scale entry %q: %w", f, err)
+		}
+		ranks = append(ranks, n)
+	}
+	return ranks, nil
+}
+
+func launch(a core.Activity, np int, tcp, stats, showTrace bool, chrome string) error {
+	var opts []mpi.Option
+	var tr *trace.Tracer
+	if showTrace || chrome != "" {
+		tr = trace.New()
+		opts = append(opts, mpi.WithTracer(tr))
+	}
+	summary, snap, err := a.Launch(np, tcp, opts...)
+	if err != nil {
+		return fmt.Errorf("activity %s: %w", a.Name, err)
+	}
+	fmt.Printf("[module %d] %-26s %s\n", a.Module, a.Name, summary)
+	if stats {
+		fmt.Print(snap.String())
+	}
+	if tr != nil && showTrace {
+		fmt.Print(tr.Gantt(72))
+		fmt.Print(tr.Summary())
+	}
+	if chrome != "" {
+		f, err := os.Create(chrome)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", chrome)
+	}
+	return nil
+}

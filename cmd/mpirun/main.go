@@ -1,0 +1,279 @@
+// Command mpirun launches built-in demonstration and microbenchmark
+// programs on the message-passing runtime, in the style of OSU/IMB
+// microbenchmarks:
+//
+//	mpirun -np 4 hello
+//	mpirun -np 2 latency
+//	mpirun -np 2 -transport tcp bandwidth
+//	mpirun -np 8 allreduce
+//	mpirun -np 8 pi
+//	mpirun -np 4 -procs hello    # each rank in its own OS process
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+type program struct {
+	name, desc string
+	np         int // default rank count
+	run        func(c *mpi.Comm) error
+}
+
+func programs() []program {
+	return []program{
+		{"hello", "every rank reports in", 4, hello},
+		{"latency", "osu_latency-style ping-pong latency sweep (ranks 0 and 1)", 2, latency},
+		{"bandwidth", "osu_bw-style bandwidth sweep (ranks 0 and 1)", 2, bandwidth},
+		{"allreduce", "allreduce latency: tree vs ring algorithm", 8, allreduceBench},
+		{"pi", "Monte Carlo estimation of pi with a final reduction", 8, piEstimate},
+		{"barrier", "barrier latency", 8, barrierBench},
+	}
+}
+
+func main() {
+	np := flag.Int("np", 0, "rank count (0 = program default)")
+	transport := flag.String("transport", "channel", "transport: channel or tcp")
+	procs := flag.Bool("procs", false, "run each rank in its own OS process (true mpirun semantics)")
+	flag.Parse()
+
+	name := flag.Arg(0)
+	if name == "" {
+		fmt.Println("programs:")
+		for _, p := range programs() {
+			fmt.Printf("  %-10s (np=%d)  %s\n", p.name, p.np, p.desc)
+		}
+		os.Exit(2)
+	}
+	var prog *program
+	for _, p := range programs() {
+		if p.name == name {
+			prog = &p
+			break
+		}
+	}
+	if prog == nil {
+		fmt.Fprintf(os.Stderr, "mpirun: unknown program %q\n", name)
+		os.Exit(1)
+	}
+	ranks := prog.np
+	if *np > 0 {
+		ranks = *np
+	}
+	var err error
+	if *procs {
+		ps := make(mpi.Programs)
+		for _, p := range programs() {
+			ps[p.name] = p.run
+		}
+		_, err = mpi.RunProcesses(ranks, name, ps)
+		if mpi.InWorker() {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpirun worker:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	} else {
+		switch *transport {
+		case "channel":
+			err = mpi.Run(ranks, prog.run)
+		case "tcp":
+			err = mpi.RunTCP(ranks, prog.run)
+		default:
+			err = fmt.Errorf("unknown transport %q", *transport)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpirun:", err)
+		os.Exit(1)
+	}
+}
+
+func hello(c *mpi.Comm) error {
+	msg := fmt.Sprintf("hello from rank %d of %d", c.Rank(), c.Size())
+	gathered, err := mpi.Gatherv(c, []byte(msg), 0)
+	if err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		lines := make([]string, 0, len(gathered))
+		for _, b := range gathered {
+			lines = append(lines, string(b))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+	return nil
+}
+
+func latency(c *mpi.Comm) error {
+	if c.Size() < 2 {
+		return fmt.Errorf("latency needs 2 ranks")
+	}
+	if c.Rank() == 0 {
+		fmt.Printf("%10s %14s\n", "bytes", "latency")
+	}
+	for size := 1; size <= 1<<20; size <<= 2 {
+		iters := 1000
+		if size >= 1<<16 {
+			iters = 100
+		}
+		buf := make([]byte, size)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if c.Rank() == 0 {
+				if err := c.SendBytes(buf, 1, 0); err != nil {
+					return err
+				}
+				if _, _, err := c.RecvBytes(1, 0); err != nil {
+					return err
+				}
+			} else if c.Rank() == 1 {
+				b, _, err := c.RecvBytes(0, 0)
+				if err != nil {
+					return err
+				}
+				if err := c.SendBytes(b, 0, 0); err != nil {
+					return err
+				}
+			}
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("%10d %14v\n", size, time.Since(start)/time.Duration(2*iters))
+		}
+	}
+	return nil
+}
+
+func bandwidth(c *mpi.Comm) error {
+	if c.Size() < 2 {
+		return fmt.Errorf("bandwidth needs 2 ranks")
+	}
+	if c.Rank() == 0 {
+		fmt.Printf("%10s %14s\n", "bytes", "MB/s")
+	}
+	const window = 16
+	for size := 1 << 10; size <= 1<<22; size <<= 2 {
+		iters := 50
+		buf := make([]byte, size)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if c.Rank() == 0 {
+				reqs := make([]*mpi.Request, 0, window)
+				for w := 0; w < window; w++ {
+					req, err := c.IsendBytes(buf, 1, 0)
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, req)
+				}
+				if err := mpi.Waitall(reqs...); err != nil {
+					return err
+				}
+				if _, _, err := c.RecvBytes(1, 1); err != nil { // window ack
+					return err
+				}
+			} else if c.Rank() == 1 {
+				for w := 0; w < window; w++ {
+					if _, _, err := c.RecvBytes(0, 0); err != nil {
+						return err
+					}
+				}
+				if err := c.SendBytes(nil, 0, 1); err != nil {
+					return err
+				}
+			}
+		}
+		if c.Rank() == 0 {
+			elapsed := time.Since(start).Seconds()
+			mb := float64(size) * window * float64(iters) / 1e6
+			fmt.Printf("%10d %14.1f\n", size, mb/elapsed)
+		}
+	}
+	return nil
+}
+
+func allreduceBench(c *mpi.Comm) error {
+	if c.Rank() == 0 {
+		fmt.Printf("%10s %14s %14s\n", "elems", "tree", "ring")
+	}
+	for _, n := range []int{16, 256, 4096, 65536} {
+		buf := make([]float64, n)
+		const iters = 200
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := mpi.Allreduce(c, buf, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+		tree := time.Since(start) / iters
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := mpi.AllreduceRing(c, buf, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+		ring := time.Since(start) / iters
+		if c.Rank() == 0 {
+			fmt.Printf("%10d %14v %14v\n", n, tree, ring)
+		}
+	}
+	return nil
+}
+
+func piEstimate(c *mpi.Comm) error {
+	const perRank = 2_000_000
+	rng := rand.New(rand.NewSource(int64(c.Rank()) + 1))
+	in := 0
+	for i := 0; i < perRank; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x*x+y*y <= 1 {
+			in++
+		}
+	}
+	total, err := mpi.Reduce(c, []int64{int64(in)}, mpi.OpSum, 0)
+	if err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		pi := 4 * float64(total[0]) / float64(perRank*c.Size())
+		fmt.Printf("pi ≈ %.6f (%d samples on %d ranks)\n", pi, perRank*c.Size(), c.Size())
+	}
+	return nil
+}
+
+func barrierBench(c *mpi.Comm) error {
+	const iters = 2000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+	}
+	if c.Rank() == 0 {
+		fmt.Printf("barrier latency: %v over %d ranks\n", time.Since(start)/iters, c.Size())
+	}
+	return nil
+}

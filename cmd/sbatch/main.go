@@ -1,0 +1,235 @@
+// Command sbatch drives the simulated SLURM-like cluster of the ancillary
+// module: submit jobs, inspect the queue, and replay the co-scheduling
+// scenarios the paper's Module 4 and Section IV-B build on.
+//
+//	sbatch -demo backfill   # FIFO + EASY backfill walkthrough
+//	sbatch -demo twins      # terrible-twins bandwidth contention
+//	sbatch -demo quiz4      # the Section IV-B placement decision
+//	sbatch -nodes 4 -jobs "alpha:32:60s,beta:16:30s,gamma:64:45s"
+//	sbatch -script job.sh -runtime 45s
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	demo := flag.String("demo", "", "scenario: backfill, twins or quiz4")
+	nodes := flag.Int("nodes", 4, "cluster size for -jobs")
+	jobs := flag.String("jobs", "", "comma-separated name:tasks:duration job list")
+	script := flag.String("script", "", "SLURM batch script to parse and submit")
+	runtime := flag.Duration("runtime", 30*time.Second, "simulated runtime for -script jobs")
+	flag.Parse()
+
+	if err := run(*demo, *nodes, *jobs, *script, *runtime); err != nil {
+		fmt.Fprintln(os.Stderr, "sbatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(demo string, nodes int, jobs, script string, runtime time.Duration) error {
+	switch demo {
+	case "backfill":
+		return demoBackfill()
+	case "twins":
+		return demoTwins()
+	case "quiz4":
+		return demoQuiz4()
+	case "":
+		if script != "" {
+			return runScript(nodes, script, runtime)
+		}
+		if jobs == "" {
+			flag.Usage()
+			return errors.New("choose -demo, -jobs or -script")
+		}
+		return runJobList(nodes, jobs)
+	default:
+		return fmt.Errorf("unknown demo %q", demo)
+	}
+}
+
+// runScript parses a SLURM batch script, submits it to a fresh cluster
+// with the given simulated runtime, and reports its lifecycle.
+func runScript(nodes int, path string, runtime time.Duration) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := cluster.ParseScript(string(body))
+	if err != nil {
+		return err
+	}
+	spec.BaseTime = runtime
+	c, err := cluster.New(nodes, perfmodel.DefaultMachine())
+	if err != nil {
+		return err
+	}
+	id, err := c.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Submitted batch job %d\n", id)
+	fmt.Printf("  name=%q ntasks=%d ntasks-per-node=%d exclusive=%v time-limit=%v\n",
+		spec.Name, spec.Tasks, spec.TasksPerNode, spec.Exclusive, spec.TimeLimit)
+	c.Drain()
+	j, err := c.Status(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  state %v, started %v, ended %v (ran on %d nodes)\n", j.State, j.StartTime, j.EndTime, j.NumNodes)
+	if j.State == cluster.TimedOut {
+		fmt.Println("  the job exceeded its #SBATCH --time limit and was killed")
+	}
+	return nil
+}
+
+func runJobList(nodes int, list string) error {
+	c, err := cluster.New(nodes, perfmodel.DefaultMachine())
+	if err != nil {
+		return err
+	}
+	for _, spec := range strings.Split(list, ",") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("job %q is not name:tasks:duration", spec)
+		}
+		tasks, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return fmt.Errorf("job %q: %w", spec, err)
+		}
+		dur, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return fmt.Errorf("job %q: %w", spec, err)
+		}
+		id, err := c.Submit(cluster.JobSpec{Name: parts[0], Tasks: tasks, BaseTime: dur, TimeLimit: 2 * dur})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Submitted batch job %d (%s)\n", id, parts[0])
+	}
+	fmt.Println("\nsqueue at t=0:")
+	fmt.Print(c.Squeue())
+	fmt.Println("sinfo at t=0:")
+	fmt.Print(c.Sinfo())
+	c.Drain()
+	fmt.Println("\ncompletion report:")
+	for _, j := range c.Jobs() {
+		fmt.Printf("  job %d %-12s %v  submit %-8v start %-8v end %-8v\n",
+			j.ID, j.Spec.Name, j.State, j.SubmitTime, j.StartTime, j.EndTime)
+	}
+	st := c.Stats()
+	fmt.Printf("\nworkload: %d jobs, makespan %v, mean wait %v (max %v), utilization %.1f%%\n",
+		st.Jobs, st.Makespan, st.MeanWait, st.MaxWait, st.Utilization*100)
+	return nil
+}
+
+func demoBackfill() error {
+	fmt.Println("EASY backfill: a wide job waits while a short narrow job slips ahead")
+	c, err := cluster.New(1, perfmodel.DefaultMachine())
+	if err != nil {
+		return err
+	}
+	for _, spec := range []cluster.JobSpec{
+		{Name: "long-20core", Tasks: 20, BaseTime: 100 * time.Second, TimeLimit: 100 * time.Second},
+		{Name: "wide-32core", Tasks: 32, BaseTime: 10 * time.Second, TimeLimit: 10 * time.Second},
+		{Name: "small-4core", Tasks: 4, BaseTime: 30 * time.Second, TimeLimit: 30 * time.Second},
+	} {
+		if _, err := c.Submit(spec); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nsqueue just after submission (small-4core backfilled, wide waits):")
+	fmt.Print(c.Squeue())
+	c.Drain()
+	fmt.Println("\ncompletion report:")
+	for _, j := range c.Jobs() {
+		fmt.Printf("  job %d %-12s start %-6v end %-6v\n", j.ID, j.Spec.Name, j.StartTime, j.EndTime)
+	}
+	fmt.Println("\nwide-32core started exactly when long-20core finished: the backfilled")
+	fmt.Println("job never delayed the reservation.")
+	return nil
+}
+
+func demoTwins() error {
+	fmt.Println("terrible twins: two identical memory-bound jobs sharing one node")
+	kernel := perfmodel.MemoryBoundKernel("stream", 5e11, 0.1)
+
+	solo, err := cluster.New(1, perfmodel.DefaultMachine())
+	if err != nil {
+		return err
+	}
+	id, err := solo.Submit(cluster.JobSpec{Name: "solo", Tasks: 10, Kernel: &kernel})
+	if err != nil {
+		return err
+	}
+	solo.Drain()
+	j, _ := solo.Status(id)
+	soloTime := j.EndTime - j.StartTime
+
+	twins, err := cluster.New(1, perfmodel.DefaultMachine())
+	if err != nil {
+		return err
+	}
+	a, err := twins.Submit(cluster.JobSpec{Name: "twin-a", Tasks: 10, Kernel: &kernel})
+	if err != nil {
+		return err
+	}
+	if _, err := twins.Submit(cluster.JobSpec{Name: "twin-b", Tasks: 10, Kernel: &kernel}); err != nil {
+		return err
+	}
+	twins.Drain()
+	ja, _ := twins.Status(a)
+	twinTime := ja.EndTime - ja.StartTime
+
+	fmt.Printf("  dedicated node:   %v\n", soloTime)
+	fmt.Printf("  sharing with twin: %v (%.2fx slowdown)\n", twinTime, float64(twinTime)/float64(soloTime))
+
+	cpu := perfmodel.ComputeBoundKernel("dgemm", 3e12, 100)
+	mixed, err := cluster.New(1, perfmodel.DefaultMachine())
+	if err != nil {
+		return err
+	}
+	b, err := mixed.Submit(cluster.JobSpec{Name: "stream", Tasks: 10, Kernel: &kernel})
+	if err != nil {
+		return err
+	}
+	if _, err := mixed.Submit(cluster.JobSpec{Name: "dgemm", Tasks: 10, Kernel: &cpu}); err != nil {
+		return err
+	}
+	mixed.Drain()
+	jb, _ := mixed.Status(b)
+	fmt.Printf("  sharing with a compute-bound job instead: %v (%.2fx)\n",
+		jb.EndTime-jb.StartTime, float64(jb.EndTime-jb.StartTime)/float64(soloTime))
+	fmt.Println("\nco-scheduling identical memory-bound jobs is the worst pairing —")
+	fmt.Println("the de Blanche & Lundqvist 'terrible twins' effect.")
+	return nil
+}
+
+func demoQuiz4() error {
+	fmt.Println("Section IV-B: which of your two programs should share its node?")
+	m := perfmodel.DefaultMachine()
+	programs := [2]perfmodel.Job{
+		{Name: "Program 1 (memory-bound)", Kernel: perfmodel.MemoryBoundKernel("p1", 1e11, 0.1), Ranks: 20},
+		{Name: "Program 2 (compute-bound)", Kernel: perfmodel.ComputeBoundKernel("p2", 1e12, 100), Ranks: 20},
+	}
+	theirs := perfmodel.Job{Name: "other user's job", Kernel: perfmodel.MemoryBoundKernel("other", 1e11, 0.1), Ranks: 10}
+	choice, slowdowns, err := m.CoScheduleChoice(programs, theirs)
+	if err != nil {
+		return err
+	}
+	for i, p := range programs {
+		fmt.Printf("  share node %d (%s): predicted slowdown %.2fx\n", i+1, p.Name, slowdowns[i])
+	}
+	fmt.Printf("\nanswer: Program %d / Compute Node %d\n", choice+1, choice+1)
+	return nil
+}

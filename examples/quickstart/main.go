@@ -1,0 +1,42 @@
+// Quickstart: the smallest complete program on the message-passing
+// runtime — a ring pass followed by an Allreduce, the "hello world" of
+// the pedagogic modules.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		rank, size := c.Rank(), c.Size()
+
+		// Pass a greeting around the ring.
+		right := (rank + 1) % size
+		left := (rank - 1 + size) % size
+		msg := []byte(fmt.Sprintf("greetings from rank %d", rank))
+		got, _, err := c.SendrecvBytes(msg, right, 0, left, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rank %d received: %s\n", rank, got)
+
+		// Sum every rank's number with one collective.
+		sum, err := mpi.Allreduce(c, []int{rank + 1}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			fmt.Printf("allreduce: 1+2+...+%d = %d\n", size, sum[0])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Stencil: the latency-hiding extension module in action. A 1-D heat
+// diffusion runs with blocking halo exchange and then with
+// communication/computation overlap; the runs agree bit-for-bit, and the
+// phase trace shows where ranks block.
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/modules/latencyhiding"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+func main() {
+	const (
+		np    = 4
+		cells = 16_384
+		steps = 400
+		alpha = 0.25
+	)
+	fmt.Printf("1-D heat diffusion: %d ranks × %d cells, %d steps\n\n", np, cells, steps)
+
+	var checksums [2]float64
+	for i, v := range []latencyhiding.Variant{latencyhiding.Blocking, latencyhiding.Overlapped} {
+		tr := trace.New()
+		var res latencyhiding.Result
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			r, _, err := latencyhiding.Run(c, cells, steps, alpha, v)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				res = r
+			}
+			return nil
+		}, mpi.WithTracer(tr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		checksums[i] = res.Checksum
+		fmt.Printf("%-11v %v, checksum %.9f\n", res.Variant, res.Elapsed, res.Checksum)
+		total := tr.TotalSplit()
+		fmt.Printf("  time blocked in communication across ranks: %v\n", total.Comm)
+	}
+	if checksums[0] != checksums[1] {
+		log.Fatalf("variants disagree: %v vs %v", checksums[0], checksums[1])
+	}
+	fmt.Println("\nidentical physics; the overlapped variant hides the halo latency")
+	fmt.Println("behind the interior update — the excluded concept the paper's future")
+	fmt.Println("work calls for.")
+}

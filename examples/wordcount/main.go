@@ -1,0 +1,70 @@
+// Wordcount: the MapReduce substrate in action — the Big-Data programming
+// model the paper's data-intensive framing points at. Counts word
+// frequencies of a built-in corpus across 4 ranks, with and without the
+// combiner optimization.
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+
+	"repro/internal/mapreduce"
+	"repro/internal/mpi"
+)
+
+var corpus = []string{
+	"Parallel and distributed computing has found a broad audience that exceeds the traditional fields of computer science",
+	"Many scientific enterprises require analyzing large volumes of data",
+	"There is an increased demand for parallel and distributed computing to be employed for solving data intensive problems",
+	"High performance computing is not just a topic studied by computer scientists",
+	"Many scientists and engineers need skills in parallel and distributed computing which are motivated by real world problems",
+	"Computer science departments have developed curriculum for the fields of big data, data science and machine learning",
+	"Sorting is a subroutine in many algorithms and data intensive workloads",
+	"The k means clustering algorithm is probably the most popular clustering algorithm given its simplicity",
+	"Range queries are used in database systems and in scientific applications",
+	"Computing the distances between pairs of points is common in many data intensive applications",
+}
+
+func main() {
+	for _, useCombiner := range []bool{false, true} {
+		job := mapreduce.WordCount()
+		if !useCombiner {
+			job.Combiner = nil
+		}
+		var out []mapreduce.KV
+		var st mapreduce.Stats
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			res, stats, err := mapreduce.Run(c, job, corpus)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out, st = res, stats
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("combiner=%-5v map-out %3d pairs, shuffled %3d, map %v shuffle %v reduce %v\n",
+			useCombiner, st.MapOutKVs, st.ShuffledKVs, st.MapDur, st.ShuffleDur, st.ReduceDur)
+		if useCombiner {
+			fmt.Println("\ntop 10 words:")
+			sort.Slice(out, func(i, j int) bool {
+				a, _ := strconv.Atoi(out[i].Value)
+				b, _ := strconv.Atoi(out[j].Value)
+				if a != b {
+					return a > b
+				}
+				return out[i].Key < out[j].Key
+			})
+			for i := 0; i < 10 && i < len(out); i++ {
+				fmt.Printf("  %-12s %s\n", out[i].Key, out[i].Value)
+			}
+		}
+	}
+}

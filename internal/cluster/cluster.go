@@ -1,0 +1,513 @@
+// Package cluster simulates the batch-scheduled cluster environment the
+// paper's modules run on (NAU's Monsoon): nodes described by the roofline
+// machine model, sbatch-style job submission, FIFO scheduling with EASY
+// backfill, exclusive (dedicated) or shared node allocation, and
+// memory-bandwidth contention between co-scheduled jobs — the mechanism
+// behind the Section IV-B quiz question and the ancillary SLURM module.
+//
+// The simulation is event-driven over virtual time with a
+// processor-sharing contention model: whenever node occupancy changes,
+// every affected job's progress rate is recomputed from the machine
+// model, so a memory-bound job visibly slows when a bandwidth-hungry
+// neighbour lands on its node.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/perfmodel"
+)
+
+// JobState is the lifecycle state of a submitted job.
+type JobState int
+
+const (
+	Pending JobState = iota
+	Running
+	Completed
+	Cancelled
+	TimedOut
+)
+
+// String renders the state like squeue would.
+func (s JobState) String() string {
+	switch s {
+	case Pending:
+		return "PD"
+	case Running:
+		return "R"
+	case Completed:
+		return "CD"
+	case Cancelled:
+		return "CA"
+	case TimedOut:
+		return "TO"
+	default:
+		return "??"
+	}
+}
+
+// JobSpec is the sbatch-style description of a job.
+type JobSpec struct {
+	Name  string
+	Tasks int // total ranks (--ntasks)
+	// TasksPerNode caps ranks per node (--ntasks-per-node); 0 packs as
+	// many as fit.
+	TasksPerNode int
+	// Exclusive requests dedicated nodes (--exclusive).
+	Exclusive bool
+	// Kernel characterizes the program for the contention model. Nil
+	// jobs run for exactly BaseTime regardless of neighbours.
+	Kernel *perfmodel.Kernel
+	// BaseTime is the dedicated-placement runtime for nil-Kernel jobs,
+	// and is ignored when Kernel is set (the model computes it).
+	BaseTime time.Duration
+	// TimeLimit kills the job if exceeded (0 = no limit). It is also
+	// the walltime estimate used for backfill reservations.
+	TimeLimit time.Duration
+}
+
+// Job is the scheduler's record of a submitted job.
+type Job struct {
+	ID    int
+	Spec  JobSpec
+	State JobState
+
+	SubmitTime time.Duration
+	StartTime  time.Duration
+	EndTime    time.Duration
+
+	// Nodes holds the ids of allocated nodes while running.
+	Nodes []int
+	// NumNodes records the allocation width for completed jobs (Nodes
+	// is released at finish).
+	NumNodes int
+	// tasks per allocated node, parallel to Nodes.
+	tasksOn []int
+
+	// work remaining in [0, 1]; rate is progress per second under the
+	// current contention.
+	remaining float64
+	rate      float64
+	// dedicated runtime (seconds) under the allocation, fixed at start.
+	dedicatedSec float64
+}
+
+// node tracks allocation state.
+type node struct {
+	id        int
+	freeCores int
+	exclusive bool  // currently held exclusively
+	jobs      []int // running job ids
+}
+
+// Cluster is the simulated system.
+type Cluster struct {
+	machine perfmodel.Machine
+	nodes   []*node
+	jobs    map[int]*Job
+	order   []int // submission order of pending job ids
+	nextID  int
+	now     time.Duration
+}
+
+// New creates a cluster of n identical nodes.
+func New(n int, m perfmodel.Machine) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: %d nodes", n)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{machine: m, jobs: make(map[int]*Job), nextID: 1}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &node{id: i, freeCores: m.CoresPerNode})
+	}
+	return c, nil
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.now }
+
+// Submit queues a job and immediately tries to schedule, returning the
+// job id (like `sbatch` printing "Submitted batch job N").
+func (c *Cluster) Submit(spec JobSpec) (int, error) {
+	if spec.Tasks <= 0 {
+		return 0, fmt.Errorf("cluster: job %q requests %d tasks", spec.Name, spec.Tasks)
+	}
+	perNode := spec.TasksPerNode
+	if perNode == 0 {
+		perNode = c.machine.CoresPerNode
+	}
+	if perNode > c.machine.CoresPerNode {
+		return 0, fmt.Errorf("cluster: %d tasks per node exceeds %d cores", perNode, c.machine.CoresPerNode)
+	}
+	needNodes := (spec.Tasks + perNode - 1) / perNode
+	if needNodes > len(c.nodes) {
+		return 0, fmt.Errorf("cluster: job needs %d nodes, cluster has %d", needNodes, len(c.nodes))
+	}
+	if spec.Kernel == nil && spec.BaseTime <= 0 {
+		return 0, fmt.Errorf("cluster: job %q has neither kernel nor base time", spec.Name)
+	}
+	j := &Job{ID: c.nextID, Spec: spec, State: Pending, SubmitTime: c.now, remaining: 1}
+	c.nextID++
+	c.jobs[j.ID] = j
+	c.order = append(c.order, j.ID)
+	c.schedule()
+	return j.ID, nil
+}
+
+// Cancel removes a pending job or kills a running one (`scancel`).
+func (c *Cluster) Cancel(id int) error {
+	j, ok := c.jobs[id]
+	if !ok {
+		return fmt.Errorf("cluster: no job %d", id)
+	}
+	switch j.State {
+	case Pending:
+		j.State = Cancelled
+		j.EndTime = c.now
+		c.dropPending(id)
+	case Running:
+		c.finish(j, Cancelled)
+	default:
+		return fmt.Errorf("cluster: job %d already %v", id, j.State)
+	}
+	c.schedule()
+	return nil
+}
+
+// Status returns a copy of the job record.
+func (c *Cluster) Status(id int) (Job, error) {
+	j, ok := c.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("cluster: no job %d", id)
+	}
+	return *j, nil
+}
+
+// dropPending removes id from the pending order.
+func (c *Cluster) dropPending(id int) {
+	for i, v := range c.order {
+		if v == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// tryPlace finds an allocation for the job under current state, or nil.
+// Placement packs tasks onto the emptiest-first nodes (to leave room) for
+// shared jobs and onto fully idle nodes for exclusive jobs.
+func (c *Cluster) tryPlace(j *Job) ([]int, []int) {
+	perNode := j.Spec.TasksPerNode
+	if perNode == 0 {
+		perNode = c.machine.CoresPerNode
+	}
+	var candidates []*node
+	for _, n := range c.nodes {
+		if n.exclusive {
+			continue
+		}
+		if j.Spec.Exclusive {
+			if len(n.jobs) == 0 {
+				candidates = append(candidates, n)
+			}
+			continue
+		}
+		if n.freeCores > 0 {
+			candidates = append(candidates, n)
+		}
+	}
+	// Most-free-cores first gives balanced placements.
+	sort.Slice(candidates, func(a, b int) bool {
+		if candidates[a].freeCores != candidates[b].freeCores {
+			return candidates[a].freeCores > candidates[b].freeCores
+		}
+		return candidates[a].id < candidates[b].id
+	})
+	var nodes, tasks []int
+	left := j.Spec.Tasks
+	for _, n := range candidates {
+		if left == 0 {
+			break
+		}
+		fit := n.freeCores
+		if fit > perNode {
+			fit = perNode
+		}
+		if fit <= 0 {
+			continue
+		}
+		if fit > left {
+			fit = left
+		}
+		nodes = append(nodes, n.id)
+		tasks = append(tasks, fit)
+		left -= fit
+	}
+	if left > 0 {
+		return nil, nil
+	}
+	return nodes, tasks
+}
+
+// schedule starts jobs in FIFO order with EASY backfill: the head pending
+// job gets a reservation at its earliest possible start; later jobs may
+// start now only if their walltime estimate finishes before that
+// reservation (or they don't need the reserved capacity).
+func (c *Cluster) schedule() {
+	for {
+		started := false
+		for idx := 0; idx < len(c.order); idx++ {
+			id := c.order[idx]
+			j := c.jobs[id]
+			nodes, tasks := c.tryPlace(j)
+			if nodes != nil {
+				if idx == 0 || c.fitsBackfill(idx) {
+					c.start(j, nodes, tasks)
+					c.dropPending(id)
+					started = true
+					break
+				}
+				continue
+			}
+			if idx == 0 {
+				// Head of queue cannot start; others may backfill.
+				continue
+			}
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+// fitsBackfill reports whether starting the idx-th pending job now cannot
+// delay the head job's reservation. Conservatively: the candidate must
+// have a time limit and finish before the head's earliest start.
+func (c *Cluster) fitsBackfill(idx int) bool {
+	if len(c.order) == 0 || idx == 0 {
+		return true
+	}
+	head := c.jobs[c.order[0]]
+	if nodes, _ := c.tryPlace(head); nodes != nil {
+		// Head can start too; no reservation to protect.
+		return true
+	}
+	cand := c.jobs[c.order[idx]]
+	if cand.Spec.TimeLimit == 0 {
+		return false // no estimate: never backfill
+	}
+	headStart := c.earliestStart(head)
+	return c.now+cand.Spec.TimeLimit <= headStart
+}
+
+// earliestStart estimates when the head job could start, assuming running
+// jobs end at their current predicted completion (walltime-limit capped)
+// and no further arrivals.
+func (c *Cluster) earliestStart(head *Job) time.Duration {
+	type release struct {
+		at    time.Duration
+		node  int
+		cores int
+		excl  bool
+	}
+	var rel []release
+	for _, j := range c.jobs {
+		if j.State != Running {
+			continue
+		}
+		eta := c.now + c.predictRemaining(j)
+		for i, nid := range j.Nodes {
+			rel = append(rel, release{at: eta, node: nid, cores: j.tasksOn[i]})
+		}
+	}
+	sort.Slice(rel, func(a, b int) bool { return rel[a].at < rel[b].at })
+	// Replay releases until the head fits.
+	free := make([]int, len(c.nodes))
+	excl := make([]bool, len(c.nodes))
+	occupied := make([]int, len(c.nodes))
+	for i, n := range c.nodes {
+		free[i] = n.freeCores
+		excl[i] = n.exclusive
+		occupied[i] = len(n.jobs)
+	}
+	fits := func() bool {
+		perNode := head.Spec.TasksPerNode
+		if perNode == 0 {
+			perNode = c.machine.CoresPerNode
+		}
+		left := head.Spec.Tasks
+		for i := range free {
+			if excl[i] {
+				continue
+			}
+			if head.Spec.Exclusive && occupied[i] > 0 {
+				continue
+			}
+			fit := free[i]
+			if fit > perNode {
+				fit = perNode
+			}
+			left -= fit
+		}
+		return left <= 0
+	}
+	if fits() {
+		return c.now
+	}
+	for _, r := range rel {
+		free[r.node] += r.cores
+		if occupied[r.node] > 0 {
+			occupied[r.node]--
+		}
+		if occupied[r.node] == 0 {
+			excl[r.node] = false
+		}
+		if fits() {
+			return r.at
+		}
+	}
+	return time.Duration(math.MaxInt64) // never under current load
+}
+
+// predictRemaining estimates a running job's remaining time at current
+// rates, capped by its time limit.
+func (c *Cluster) predictRemaining(j *Job) time.Duration {
+	if j.rate <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	rem := time.Duration(j.remaining / j.rate * float64(time.Second))
+	if j.Spec.TimeLimit > 0 {
+		used := c.now - j.StartTime
+		if lim := j.Spec.TimeLimit - used; lim < rem {
+			rem = lim
+		}
+	}
+	return rem
+}
+
+// start allocates and launches a job.
+func (c *Cluster) start(j *Job, nodes, tasks []int) {
+	j.State = Running
+	j.StartTime = c.now
+	j.Nodes = nodes
+	j.NumNodes = len(nodes)
+	j.tasksOn = tasks
+	for i, nid := range nodes {
+		n := c.nodes[nid]
+		n.freeCores -= tasks[i]
+		n.jobs = append(n.jobs, j.ID)
+		if j.Spec.Exclusive {
+			n.exclusive = true
+			n.freeCores = 0
+		}
+	}
+	j.dedicatedSec = c.dedicatedSeconds(j)
+	c.recomputeRates()
+}
+
+// dedicatedSeconds computes the job's runtime on its allocation with no
+// co-runners.
+func (c *Cluster) dedicatedSeconds(j *Job) float64 {
+	if j.Spec.Kernel == nil {
+		return j.Spec.BaseTime.Seconds()
+	}
+	d, err := c.machine.Time(*j.Spec.Kernel, perfmodel.Placement{
+		Ranks: j.Spec.Tasks,
+		Nodes: len(j.Nodes),
+	})
+	if err != nil {
+		// Fall back to base time; Submit validated shapes, so this is
+		// a modeling corner (e.g. ranks<nodes cannot happen here).
+		return math.Max(j.Spec.BaseTime.Seconds(), 1)
+	}
+	return d.Seconds()
+}
+
+// finish releases a job's allocation.
+func (c *Cluster) finish(j *Job, state JobState) {
+	j.State = state
+	j.EndTime = c.now
+	for i, nid := range j.Nodes {
+		n := c.nodes[nid]
+		if j.Spec.Exclusive {
+			n.exclusive = false
+			n.freeCores = c.machine.CoresPerNode
+		} else {
+			n.freeCores += j.tasksOn[i]
+		}
+		for k, id := range n.jobs {
+			if id == j.ID {
+				n.jobs = append(n.jobs[:k], n.jobs[k+1:]...)
+				break
+			}
+		}
+	}
+	j.Nodes, j.tasksOn = nil, nil
+	c.recomputeRates()
+}
+
+// recomputeRates updates every running job's progress rate from the
+// contention model: a job's share on a node is NodeBW/totalDemand when
+// the bus is oversubscribed; its rate is dedicated/contended runtime, and
+// multi-node jobs run at their worst node's rate.
+func (c *Cluster) recomputeRates() {
+	// Total bandwidth demand per node.
+	demand := make([]float64, len(c.nodes))
+	for _, j := range c.jobs {
+		if j.State != Running || j.Spec.Kernel == nil {
+			continue
+		}
+		for i, nid := range j.Nodes {
+			jb := perfmodel.Job{Kernel: *j.Spec.Kernel, Ranks: j.tasksOn[i]}
+			demand[nid] += c.machine.BandwidthDemand(jb)
+		}
+	}
+	for _, j := range c.jobs {
+		if j.State != Running {
+			continue
+		}
+		if j.dedicatedSec <= 0 {
+			j.rate = math.Inf(1)
+			continue
+		}
+		if j.Spec.Kernel == nil {
+			// Fixed-duration job: contention does not affect it.
+			j.rate = 1 / j.dedicatedSec
+			continue
+		}
+		// Worst bandwidth share across the job's nodes.
+		share := 1.0
+		for i, nid := range j.Nodes {
+			jb := perfmodel.Job{Kernel: *j.Spec.Kernel, Ranks: j.tasksOn[i]}
+			my := c.machine.BandwidthDemand(jb)
+			if demand[nid] > c.machine.NodeBW && my > 0 {
+				if s := c.machine.NodeBW / demand[nid]; s < share {
+					share = s
+				}
+			}
+		}
+		contended, err := c.machine.Time(*j.Spec.Kernel, perfmodel.Placement{
+			Ranks:          j.Spec.Tasks,
+			Nodes:          maxi(len(j.Nodes), 1),
+			BandwidthShare: share,
+		})
+		if err != nil || contended <= 0 {
+			j.rate = 1 / j.dedicatedSec
+			continue
+		}
+		j.rate = 1 / contended.Seconds()
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,21 @@
+package cluster
+
+import "testing"
+
+// FuzzParseScript hardens the SLURM-script parser: arbitrary input must
+// never panic, and accepted scripts must yield sane specs.
+func FuzzParseScript(f *testing.F) {
+	f.Add("#!/bin/bash\n#SBATCH --ntasks=4\n")
+	f.Add("#SBATCH -J x -n 8 -t 1-00:00:00\n")
+	f.Add("#SBATCH --time=::\n")
+	f.Add("#SBATCH")
+	f.Fuzz(func(t *testing.T, script string) {
+		spec, err := ParseScript(script)
+		if err != nil {
+			return
+		}
+		if spec.Tasks < 0 || spec.TasksPerNode < 0 || spec.TimeLimit < 0 {
+			t.Fatalf("accepted spec with negative fields: %+v", spec)
+		}
+	})
+}

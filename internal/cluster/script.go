@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseScript extracts a JobSpec from a SLURM batch script — the format
+// the ancillary module teaches. Recognized directives:
+//
+//	#SBATCH --job-name=<name>      (or -J <name>)
+//	#SBATCH --ntasks=<n>           (or -n <n>)
+//	#SBATCH --ntasks-per-node=<n>
+//	#SBATCH --exclusive
+//	#SBATCH --time=<[hh:]mm:ss | mm | hh:mm:ss>
+//
+// Unknown directives are ignored (real SLURM accepts many more); the
+// returned spec still needs a Kernel or BaseTime before submission.
+func ParseScript(script string) (JobSpec, error) {
+	var spec JobSpec
+	for lineNo, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		rest, ok := strings.CutPrefix(line, "#SBATCH")
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue // not a directive (e.g. "#SBATCHX" is a comment)
+		}
+		args := strings.Fields(rest)
+		for i := 0; i < len(args); i++ {
+			arg := args[i]
+			key, value, hasEq := strings.Cut(arg, "=")
+			// Short options take the next field as value.
+			next := func() (string, error) {
+				if hasEq {
+					return value, nil
+				}
+				if i+1 < len(args) {
+					i++
+					return args[i], nil
+				}
+				return "", fmt.Errorf("cluster: line %d: %s needs a value", lineNo+1, key)
+			}
+			var err error
+			switch key {
+			case "--job-name", "-J":
+				spec.Name, err = next()
+			case "--ntasks", "-n":
+				var v string
+				if v, err = next(); err == nil {
+					spec.Tasks, err = parseCount(v)
+				}
+			case "--ntasks-per-node":
+				var v string
+				if v, err = next(); err == nil {
+					spec.TasksPerNode, err = parseCount(v)
+				}
+			case "--exclusive":
+				spec.Exclusive = true
+			case "--time", "-t":
+				var v string
+				if v, err = next(); err == nil {
+					spec.TimeLimit, err = parseSlurmTime(v)
+				}
+			}
+			if err != nil {
+				return JobSpec{}, fmt.Errorf("cluster: line %d: %w", lineNo+1, err)
+			}
+		}
+	}
+	if spec.Tasks == 0 {
+		spec.Tasks = 1 // SLURM's default
+	}
+	return spec, nil
+}
+
+// parseCount parses a non-negative integer directive value.
+func parseCount(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative count %d", n)
+	}
+	return n, nil
+}
+
+// parseSlurmTime accepts SLURM's common walltime spellings: "mm",
+// "mm:ss", "hh:mm:ss", and "d-hh:mm:ss".
+func parseSlurmTime(s string) (time.Duration, error) {
+	// SLURM walltimes top out around a year on real clusters; bounding
+	// the components also rules out int64-duration overflow.
+	const maxDays, maxComponent = 10_000, 1_000_000
+	days := 0
+	if d, rest, ok := strings.Cut(s, "-"); ok {
+		n, err := strconv.Atoi(d)
+		if err != nil || n < 0 || n > maxDays {
+			return 0, fmt.Errorf("bad day count %q", d)
+		}
+		days = n
+		s = rest
+	}
+	parts := strings.Split(s, ":")
+	nums := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > maxComponent {
+			return 0, fmt.Errorf("bad time component %q", p)
+		}
+		nums[i] = n
+	}
+	var d time.Duration
+	switch len(nums) {
+	case 1: // minutes
+		d = time.Duration(nums[0]) * time.Minute
+	case 2: // mm:ss
+		d = time.Duration(nums[0])*time.Minute + time.Duration(nums[1])*time.Second
+	case 3: // hh:mm:ss
+		d = time.Duration(nums[0])*time.Hour + time.Duration(nums[1])*time.Minute + time.Duration(nums[2])*time.Second
+	default:
+		return 0, fmt.Errorf("unrecognized time %q", s)
+	}
+	return d + time.Duration(days)*24*time.Hour, nil
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseScriptFull(t *testing.T) {
+	script := `#!/bin/bash
+#SBATCH --job-name=distmatrix
+#SBATCH --ntasks=64
+#SBATCH --ntasks-per-node=16
+#SBATCH --time=01:30:00
+#SBATCH --exclusive
+
+srun ./distmatrix
+`
+	spec, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "distmatrix" || spec.Tasks != 64 || spec.TasksPerNode != 16 {
+		t.Fatalf("spec %+v", spec)
+	}
+	if !spec.Exclusive {
+		t.Fatal("exclusive lost")
+	}
+	if spec.TimeLimit != 90*time.Minute {
+		t.Fatalf("time limit %v", spec.TimeLimit)
+	}
+}
+
+func TestParseScriptShortOptions(t *testing.T) {
+	script := "#SBATCH -J quick -n 8 -t 15\n"
+	spec, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "quick" || spec.Tasks != 8 || spec.TimeLimit != 15*time.Minute {
+		t.Fatalf("spec %+v", spec)
+	}
+}
+
+func TestParseScriptDefaults(t *testing.T) {
+	spec, err := ParseScript("#!/bin/bash\necho hello\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Tasks != 1 {
+		t.Fatalf("default tasks %d", spec.Tasks)
+	}
+}
+
+func TestParseScriptIgnoresUnknownDirectives(t *testing.T) {
+	spec, err := ParseScript("#SBATCH --mem=64G --ntasks=4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Tasks != 4 {
+		t.Fatalf("tasks %d", spec.Tasks)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	if _, err := ParseScript("#SBATCH --ntasks=abc\n"); err == nil {
+		t.Fatal("bad ntasks accepted")
+	}
+	if _, err := ParseScript("#SBATCH --time=1:2:3:4\n"); err == nil {
+		t.Fatal("bad time accepted")
+	}
+	if _, err := ParseScript("#SBATCH -n\n"); err == nil {
+		t.Fatal("missing value accepted")
+	}
+}
+
+func TestParseSlurmTimeFormats(t *testing.T) {
+	cases := map[string]time.Duration{
+		"30":         30 * time.Minute,
+		"05:30":      5*time.Minute + 30*time.Second,
+		"02:00:00":   2 * time.Hour,
+		"1-00:00:00": 24 * time.Hour,
+		"2-12:00:00": 60 * time.Hour,
+	}
+	for in, want := range cases {
+		got, err := parseSlurmTime(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("%q → %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "1:x", "5-"} {
+		if _, err := parseSlurmTime(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParsedScriptSubmits(t *testing.T) {
+	c := newTestCluster(t, 2)
+	spec, err := ParseScript("#SBATCH --job-name=e2e --ntasks=32 --time=10:00\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.BaseTime = 5 * time.Second
+	id, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Drain()
+	j, _ := c.Status(id)
+	if j.State != Completed || j.Spec.Name != "e2e" {
+		t.Fatalf("job %+v", j)
+	}
+}

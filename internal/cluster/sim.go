@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Step advances virtual time to the next job completion or timeout and
+// processes it. It returns false when no job is running (nothing can make
+// progress without a new submission).
+func (c *Cluster) Step() bool {
+	var nextAt time.Duration = math.MaxInt64
+	var victim *Job
+	var timeout bool
+	for _, j := range c.jobs {
+		if j.State != Running {
+			continue
+		}
+		// Completion time at current rate.
+		if j.rate > 0 {
+			eta := c.now + time.Duration(j.remaining/j.rate*float64(time.Second))
+			if eta < nextAt {
+				nextAt, victim, timeout = eta, j, false
+			}
+		}
+		// Walltime limit.
+		if j.Spec.TimeLimit > 0 {
+			kill := j.StartTime + j.Spec.TimeLimit
+			if kill < nextAt {
+				nextAt, victim, timeout = kill, j, true
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	c.advanceTo(nextAt)
+	if timeout {
+		c.finish(victim, TimedOut)
+	} else {
+		victim.remaining = 0
+		c.finish(victim, Completed)
+	}
+	c.schedule()
+	return true
+}
+
+// advanceTo moves virtual time forward, draining every running job's
+// remaining work at its current rate.
+func (c *Cluster) advanceTo(t time.Duration) {
+	dt := (t - c.now).Seconds()
+	if dt < 0 {
+		return
+	}
+	for _, j := range c.jobs {
+		if j.State == Running {
+			j.remaining -= j.rate * dt
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+	}
+	c.now = t
+}
+
+// Drain runs the simulation until every submitted job has finished.
+// It returns the number of processed events.
+func (c *Cluster) Drain() int {
+	events := 0
+	for c.Step() {
+		events++
+	}
+	return events
+}
+
+// RunUntil advances the simulation clock to t, processing any events due
+// before it.
+func (c *Cluster) RunUntil(t time.Duration) {
+	for {
+		// Find the next event time without processing.
+		next := c.nextEventTime()
+		if next > t || next == math.MaxInt64 {
+			break
+		}
+		if !c.Step() {
+			break
+		}
+	}
+	if c.now < t {
+		c.advanceTo(t)
+	}
+}
+
+func (c *Cluster) nextEventTime() time.Duration {
+	var at time.Duration = math.MaxInt64
+	for _, j := range c.jobs {
+		if j.State != Running {
+			continue
+		}
+		if j.rate > 0 {
+			eta := c.now + time.Duration(j.remaining/j.rate*float64(time.Second))
+			if eta < at {
+				at = eta
+			}
+		}
+		if j.Spec.TimeLimit > 0 {
+			if kill := j.StartTime + j.Spec.TimeLimit; kill < at {
+				at = kill
+			}
+		}
+	}
+	return at
+}
+
+// Jobs returns copies of all job records sorted by id.
+func (c *Cluster) Jobs() []Job {
+	out := make([]Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Squeue renders the queue like `squeue`: one row per non-finished job.
+func (c *Cluster) Squeue() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %-16s %3s %6s %8s %s\n", "JOBID", "NAME", "ST", "TASKS", "TIME", "NODELIST(REASON)")
+	for _, j := range c.Jobs() {
+		if j.State != Pending && j.State != Running {
+			continue
+		}
+		elapsed := time.Duration(0)
+		nodelist := "(Priority)"
+		if j.State == Running {
+			elapsed = c.now - j.StartTime
+			ids := make([]string, len(j.Nodes))
+			for i, n := range j.Nodes {
+				ids[i] = fmt.Sprintf("n%03d", n)
+			}
+			nodelist = strings.Join(ids, ",")
+		}
+		fmt.Fprintf(&b, "%6d %-16s %3s %6d %8s %s\n",
+			j.ID, truncate(j.Spec.Name, 16), j.State, j.Spec.Tasks,
+			elapsed.Round(time.Second), nodelist)
+	}
+	return b.String()
+}
+
+// Sinfo renders node state like `sinfo -N`.
+func (c *Cluster) Sinfo() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %6s %s\n", "NODE", "CORES", "FREE", "STATE")
+	for _, n := range c.nodes {
+		state := "idle"
+		switch {
+		case n.exclusive:
+			state = "allocated(excl)"
+		case n.freeCores == 0:
+			state = "allocated"
+		case len(n.jobs) > 0:
+			state = "mixed"
+		}
+		fmt.Fprintf(&b, "n%03d     %6d %6d %s\n", n.id, c.machine.CoresPerNode, n.freeCores, state)
+	}
+	return b.String()
+}
+
+// Utilization returns the fraction of cores currently allocated.
+func (c *Cluster) Utilization() float64 {
+	total, used := 0, 0
+	for _, n := range c.nodes {
+		total += c.machine.CoresPerNode
+		used += c.machine.CoresPerNode - n.freeCores
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// CheckInvariants validates the scheduler's bookkeeping: per-node free
+// cores must equal capacity minus the tasks of resident jobs, exclusive
+// nodes host exactly one job, every running job's nodes list it, and no
+// node is oversubscribed. Tests call it after every event.
+func (c *Cluster) CheckInvariants() error {
+	type nodeLoad struct {
+		tasks int
+		jobs  int
+	}
+	load := make([]nodeLoad, len(c.nodes))
+	for _, j := range c.jobs {
+		if j.State != Running {
+			continue
+		}
+		if len(j.Nodes) != len(j.tasksOn) {
+			return fmt.Errorf("cluster: job %d has %d nodes but %d task entries", j.ID, len(j.Nodes), len(j.tasksOn))
+		}
+		total := 0
+		for i, nid := range j.Nodes {
+			if nid < 0 || nid >= len(c.nodes) {
+				return fmt.Errorf("cluster: job %d allocated to bogus node %d", j.ID, nid)
+			}
+			load[nid].tasks += j.tasksOn[i]
+			load[nid].jobs++
+			total += j.tasksOn[i]
+			found := false
+			for _, id := range c.nodes[nid].jobs {
+				if id == j.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("cluster: node %d does not list resident job %d", nid, j.ID)
+			}
+		}
+		if total != j.Spec.Tasks {
+			return fmt.Errorf("cluster: job %d placed %d of %d tasks", j.ID, total, j.Spec.Tasks)
+		}
+	}
+	for i, n := range c.nodes {
+		if load[i].tasks > c.machine.CoresPerNode {
+			return fmt.Errorf("cluster: node %d oversubscribed: %d tasks on %d cores", i, load[i].tasks, c.machine.CoresPerNode)
+		}
+		if !n.exclusive {
+			want := c.machine.CoresPerNode - load[i].tasks
+			if n.freeCores != want {
+				return fmt.Errorf("cluster: node %d freeCores %d, want %d", i, n.freeCores, want)
+			}
+		} else {
+			if load[i].jobs != 1 {
+				return fmt.Errorf("cluster: exclusive node %d hosts %d jobs", i, load[i].jobs)
+			}
+			if n.freeCores != 0 {
+				return fmt.Errorf("cluster: exclusive node %d shows %d free cores", i, n.freeCores)
+			}
+		}
+		if len(n.jobs) != load[i].jobs {
+			return fmt.Errorf("cluster: node %d lists %d jobs, %d resident", i, len(n.jobs), load[i].jobs)
+		}
+	}
+	return nil
+}
+
+// WorkloadStats summarizes a completed workload: the scheduler-quality
+// numbers a SLURM operator (or the ancillary module's students) would
+// look at.
+type WorkloadStats struct {
+	Jobs        int
+	Completed   int
+	TimedOut    int
+	Cancelled   int
+	Makespan    time.Duration // last completion time
+	MeanWait    time.Duration // submit → start, over started jobs
+	MaxWait     time.Duration
+	MeanRuntime time.Duration // start → end, over finished jobs
+	// Utilization is the core-time actually allocated divided by
+	// nodes × cores × makespan.
+	Utilization float64
+}
+
+// Stats computes workload statistics over every submitted job.
+func (c *Cluster) Stats() WorkloadStats {
+	var st WorkloadStats
+	var waitSum, runSum time.Duration
+	started := 0
+	var coreTime time.Duration
+	for _, j := range c.jobs {
+		st.Jobs++
+		switch j.State {
+		case Completed:
+			st.Completed++
+		case TimedOut:
+			st.TimedOut++
+		case Cancelled:
+			st.Cancelled++
+		}
+		if j.State == Completed || j.State == TimedOut || (j.State == Cancelled && j.StartTime > 0) {
+			wait := j.StartTime - j.SubmitTime
+			waitSum += wait
+			if wait > st.MaxWait {
+				st.MaxWait = wait
+			}
+			started++
+			run := j.EndTime - j.StartTime
+			runSum += run
+			coreTime += run * time.Duration(j.Spec.Tasks)
+			if j.EndTime > st.Makespan {
+				st.Makespan = j.EndTime
+			}
+		}
+	}
+	if started > 0 {
+		st.MeanWait = waitSum / time.Duration(started)
+		st.MeanRuntime = runSum / time.Duration(started)
+	}
+	if st.Makespan > 0 {
+		capacity := st.Makespan * time.Duration(len(c.nodes)*c.machine.CoresPerNode)
+		st.Utilization = float64(coreTime) / float64(capacity)
+	}
+	return st
+}

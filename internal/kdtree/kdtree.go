@@ -1,0 +1,165 @@
+// Package kdtree implements a k-d tree (Bentley 1975), one of the
+// alternative spatial indexes the paper cites alongside the R-tree. The
+// range-query ablation bench compares it against the R-tree, quadtree and
+// brute force.
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Tree is a balanced k-d tree over points, built once from a dataset.
+type Tree struct {
+	dim   int
+	nodes []kdNode // heap-like storage, nodes[0] is the root
+	stats Stats
+}
+
+// Stats counts traversal work since the last ResetStats.
+type Stats struct {
+	NodesVisited int64
+	Results      int64
+}
+
+type kdNode struct {
+	point       []float64
+	id          int
+	axis        int
+	left, right int32 // indices into nodes; -1 for none
+}
+
+// Build constructs a balanced tree by recursive median splitting.
+func Build(pts data.Points) (*Tree, error) {
+	if err := pts.Validate(); err != nil {
+		return nil, err
+	}
+	n := pts.N()
+	t := &Tree{dim: pts.Dim, nodes: make([]kdNode, 0, n)}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	if n > 0 {
+		t.build(pts, ids, 0)
+	}
+	return t, nil
+}
+
+// build inserts the median of ids along the axis, then recurses; returns
+// the node index or -1.
+func (t *Tree) build(pts data.Points, ids []int, depth int) int32 {
+	if len(ids) == 0 {
+		return -1
+	}
+	axis := depth % t.dim
+	sort.Slice(ids, func(i, j int) bool {
+		return pts.At(ids[i])[axis] < pts.At(ids[j])[axis]
+	})
+	mid := len(ids) / 2
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{
+		point: pts.At(ids[mid]),
+		id:    ids[mid],
+		axis:  axis,
+	})
+	left := t.build(pts, ids[:mid], depth+1)
+	right := t.build(pts, ids[mid+1:], depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Stats returns cumulative traversal statistics.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// ResetStats clears traversal statistics.
+func (t *Tree) ResetStats() { t.stats = Stats{} }
+
+// Search appends ids of points inside q to dst.
+func (t *Tree) Search(q data.Rect, dst []int) []int {
+	if len(q.Min) != t.dim {
+		return dst
+	}
+	if len(t.nodes) == 0 {
+		return dst
+	}
+	return t.search(0, q, dst)
+}
+
+func (t *Tree) search(idx int32, q data.Rect, dst []int) []int {
+	if idx < 0 {
+		return dst
+	}
+	t.stats.NodesVisited++
+	n := &t.nodes[idx]
+	if q.Contains(n.point) {
+		t.stats.Results++
+		dst = append(dst, n.id)
+	}
+	if n.point[n.axis] >= q.Min[n.axis] {
+		dst = t.search(n.left, q, dst)
+	}
+	if n.point[n.axis] <= q.Max[n.axis] {
+		dst = t.search(n.right, q, dst)
+	}
+	return dst
+}
+
+// Height returns the maximum depth of the tree (0 for empty).
+func (t *Tree) Height() int {
+	var depth func(idx int32) int
+	depth = func(idx int32) int {
+		if idx < 0 {
+			return 0
+		}
+		l, r := depth(t.nodes[idx].left), depth(t.nodes[idx].right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return depth(0)
+}
+
+// CheckInvariants verifies the k-d ordering property at every node.
+func (t *Tree) CheckInvariants() error {
+	var walk func(idx int32) error
+	walk = func(idx int32) error {
+		if idx < 0 {
+			return nil
+		}
+		n := &t.nodes[idx]
+		if n.left >= 0 {
+			l := &t.nodes[n.left]
+			if l.point[n.axis] > n.point[n.axis] {
+				return fmt.Errorf("kdtree: left child violates ordering on axis %d", n.axis)
+			}
+			if err := walk(n.left); err != nil {
+				return err
+			}
+		}
+		if n.right >= 0 {
+			r := &t.nodes[n.right]
+			if r.point[n.axis] < n.point[n.axis] {
+				return fmt.Errorf("kdtree: right child violates ordering on axis %d", n.axis)
+			}
+			if err := walk(n.right); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(t.nodes) == 0 {
+		return nil
+	}
+	return walk(0)
+}

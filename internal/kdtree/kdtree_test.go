@@ -1,0 +1,136 @@
+package kdtree
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func bruteForce(pts data.Points, q data.Rect) []int {
+	var out []int
+	for i := 0; i < pts.N(); i++ {
+		if q.Contains(pts.At(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortedEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(data.Points{Dim: 0}); err == nil {
+		t.Fatal("invalid points accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := Build(data.Points{Dim: 2, Coords: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Search(data.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}, nil); len(got) != 0 {
+		t.Fatal("empty tree returned results")
+	}
+}
+
+func TestSearchMatchesBruteForce2D(t *testing.T) {
+	pts := data.UniformPoints(3000, 2, 0, 100, 4)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range data.UniformRects(200, 2, 0, 100, 12, 5) {
+		if !sortedEqual(tr.Search(q, nil), bruteForce(pts, q)) {
+			t.Fatal("kd search mismatch")
+		}
+	}
+}
+
+func TestSearchMatchesBruteForceHighDim(t *testing.T) {
+	pts := data.UniformPoints(500, 5, 0, 10, 6)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range data.UniformRects(50, 5, 0, 10, 4, 7) {
+		if !sortedEqual(tr.Search(q, nil), bruteForce(pts, q)) {
+			t.Fatal("5-d kd search mismatch")
+		}
+	}
+}
+
+func TestBalancedHeight(t *testing.T) {
+	pts := data.UniformPoints(4096, 2, 0, 1, 8)
+	tr, _ := Build(pts)
+	// Median splitting gives height ≈ log2(4096) = 12 (+1 slack).
+	if h := tr.Height(); h > 14 {
+		t.Fatalf("unbalanced: height %d for 4096 points", h)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsOnClusteredData(t *testing.T) {
+	pts, _ := data.GaussianMixture(2000, 2, 3, 0.5, 50, 10)
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	coords := make([]float64, 0, 200)
+	for i := 0; i < 100; i++ {
+		coords = append(coords, 1, 2)
+	}
+	pts := data.Points{Dim: 2, Coords: coords}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Search(data.PointRect([]float64{1, 2}), nil)
+	if len(got) != 100 {
+		t.Fatalf("duplicates: got %d of 100", len(got))
+	}
+}
+
+func TestStatsPruning(t *testing.T) {
+	pts := data.UniformPoints(10_000, 2, 0, 100, 12)
+	tr, _ := Build(pts)
+	tr.ResetStats()
+	tr.Search(data.Rect{Min: []float64{10, 10}, Max: []float64{11, 11}}, nil)
+	st := tr.Stats()
+	if st.NodesVisited == 0 {
+		t.Fatal("no nodes visited")
+	}
+	if st.NodesVisited > 2000 {
+		t.Fatalf("selective query visited %d of 10000 nodes: no pruning", st.NodesVisited)
+	}
+	tr.ResetStats()
+	if tr.Stats() != (Stats{}) {
+		t.Fatal("reset failed")
+	}
+}

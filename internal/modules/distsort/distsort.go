@@ -1,0 +1,389 @@
+// Package distsort implements Module 3 of the pedagogic modules: a
+// distributed bucket sort. Activity 1 sorts uniformly distributed keys
+// with equal-width buckets; activity 2 repeats it on exponentially
+// distributed keys, exposing data-dependent load imbalance; activity 3
+// fixes the imbalance with histogram-derived equi-depth bucket boundaries
+// (learning outcomes 4, 8–11). A sample-based splitter is included as an
+// ablation.
+package distsort
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+const (
+	tagBoundary  = 11
+	tagExchange  = 12
+	tagImbalance = 13
+	tagBounds    = 14
+)
+
+// Splitter selects bucket boundaries for the exchange phase.
+type Splitter int
+
+const (
+	// EqualWidth divides the global key range into p equal-width
+	// buckets (activities 1 and 2).
+	EqualWidth Splitter = iota
+	// Histogram builds a histogram on rank 0's local data and derives
+	// equi-depth boundaries from it (activity 3).
+	Histogram
+	// Sampled gathers a regular sample from every rank and picks
+	// boundaries from the sorted sample (ablation).
+	Sampled
+)
+
+// String names the splitter for reports.
+func (s Splitter) String() string {
+	switch s {
+	case EqualWidth:
+		return "equal-width"
+	case Histogram:
+		return "histogram"
+	case Sampled:
+		return "sampled"
+	default:
+		return fmt.Sprintf("Splitter(%d)", int(s))
+	}
+}
+
+// HistogramBins is the bin count of the activity-3 histogram.
+const HistogramBins = 1024
+
+// Result reports one distributed sort.
+type Result struct {
+	NP          int
+	LocalN      int // keys initially on this rank
+	SortedN     int // keys on this rank after the exchange
+	Splitter    Splitter
+	Elapsed     time.Duration
+	ExchangeDur time.Duration
+	SortDur     time.Duration
+	// Imbalance is max bucket size over mean bucket size across ranks
+	// (1.0 = perfectly balanced). Same value on every rank.
+	Imbalance float64
+}
+
+// Sort performs the distributed bucket sort of the module: each rank
+// contributes its local keys; after the call each rank holds one sorted
+// bucket, where bucket i precedes bucket i+1, and the concatenation of
+// all buckets is the sorted dataset. The data stays distributed to
+// reflect datasets exceeding single-node memory.
+func Sort(c *mpi.Comm, local []float64, splitter Splitter) ([]float64, Result, error) {
+	p := c.Size()
+	start := time.Now()
+
+	boundaries, err := computeBoundaries(c, local, splitter)
+	if err != nil {
+		return nil, Result{}, err
+	}
+
+	// Partition local keys into per-destination blocks.
+	blocks := make([][]float64, p)
+	for _, k := range local {
+		b := bucketOf(k, boundaries)
+		blocks[b] = append(blocks[b], k)
+	}
+
+	// Exchange with the primitive set Table II prescribes for Module 3:
+	// nonblocking sends of every block, then p-1 receives sized with
+	// MPI_Probe + MPI_Get_count (the keys destined to ourselves skip the
+	// network).
+	exchangeStart := time.Now()
+	r := c.Rank()
+	var reqs []*mpi.Request
+	for dst := 0; dst < p; dst++ {
+		if dst == r {
+			continue
+		}
+		req, err := mpi.Isend(c, blocks[dst], dst, tagExchange)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		reqs = append(reqs, req)
+	}
+	mine := append([]float64(nil), blocks[r]...)
+	for i := 0; i < p-1; i++ {
+		st, err := c.Probe(mpi.AnySource, tagExchange)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		if _, err := c.GetCount(st, 8); err != nil {
+			return nil, Result{}, err
+		}
+		blk, _, err := mpi.Recv[float64](c, st.Source, tagExchange)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		mine = append(mine, blk...)
+	}
+	if err := mpi.Waitall(reqs...); err != nil {
+		return nil, Result{}, err
+	}
+	exchangeDur := time.Since(exchangeStart)
+
+	sortStart := time.Now()
+	sort.Float64s(mine)
+	sortDur := time.Since(sortStart)
+
+	// Global imbalance: MPI_Reduce of bucket sizes onto rank 0, which
+	// shares the verdict with everyone over point-to-point messages.
+	sum, err := mpi.Reduce(c, []float64{float64(len(mine))}, mpi.OpSum, 0)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	maxSize, err := mpi.Reduce(c, []float64{float64(len(mine))}, mpi.OpMax, 0)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	imb := 1.0
+	if r == 0 {
+		mean := sum[0] / float64(p)
+		if mean > 0 {
+			imb = maxSize[0] / mean
+		}
+		for dst := 1; dst < p; dst++ {
+			if err := mpi.Send(c, []float64{imb}, dst, tagImbalance); err != nil {
+				return nil, Result{}, err
+			}
+		}
+	} else {
+		v, _, err := mpi.Recv[float64](c, 0, tagImbalance)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		imb = v[0]
+	}
+
+	return mine, Result{
+		NP:          p,
+		LocalN:      len(local),
+		SortedN:     len(mine),
+		Splitter:    splitter,
+		Elapsed:     time.Since(start),
+		ExchangeDur: exchangeDur,
+		SortDur:     sortDur,
+		Imbalance:   imb,
+	}, nil
+}
+
+// computeBoundaries returns p-1 ascending bucket boundaries; bucket i is
+// (boundary[i-1], boundary[i]].
+func computeBoundaries(c *mpi.Comm, local []float64, splitter Splitter) ([]float64, error) {
+	p := c.Size()
+	switch splitter {
+	case EqualWidth:
+		lo, hi, err := globalRange(c, local)
+		if err != nil {
+			return nil, err
+		}
+		bounds := make([]float64, p-1)
+		width := (hi - lo) / float64(p)
+		for i := range bounds {
+			bounds[i] = lo + width*float64(i+1)
+		}
+		return bounds, nil
+
+	case Histogram:
+		// Activity 3: rank 0 histograms its LOCAL data (the module's
+		// prescription — local data approximates the global
+		// distribution) and derives equi-depth boundaries, shared over
+		// point-to-point messages like the rest of the module.
+		lo, hi, err := globalRange(c, local)
+		if err != nil {
+			return nil, err
+		}
+		if c.Rank() == 0 {
+			bounds := equiDepthBoundaries(local, lo, hi, p)
+			for dst := 1; dst < p; dst++ {
+				if err := mpi.Send(c, bounds, dst, tagBounds); err != nil {
+					return nil, err
+				}
+			}
+			return bounds, nil
+		}
+		bounds, _, err := mpi.Recv[float64](c, 0, tagBounds)
+		return bounds, err
+
+	case Sampled:
+		// Every rank contributes a regular sample of its sorted data;
+		// rank 0 picks every p-th quantile of the pooled sample.
+		const perRank = 64
+		sorted := append([]float64(nil), local...)
+		sort.Float64s(sorted)
+		sample := make([]float64, 0, perRank)
+		for i := 0; i < perRank; i++ {
+			if len(sorted) == 0 {
+				break
+			}
+			sample = append(sample, sorted[i*len(sorted)/perRank])
+		}
+		pooled, err := mpi.Gatherv(c, sample, 0)
+		if err != nil {
+			return nil, err
+		}
+		var bounds []float64
+		if c.Rank() == 0 {
+			var flat []float64
+			for _, blk := range pooled {
+				flat = append(flat, blk...)
+			}
+			sort.Float64s(flat)
+			bounds = make([]float64, p-1)
+			for i := range bounds {
+				bounds[i] = flat[(i+1)*len(flat)/p]
+			}
+		}
+		return mpi.Bcast(c, bounds, 0)
+
+	default:
+		return nil, fmt.Errorf("distsort: unknown splitter %d", int(splitter))
+	}
+}
+
+// globalRange computes the global min and max of the distributed keys
+// with MPI_Reduce onto rank 0, which redistributes the result over
+// point-to-point messages (keeping to Module 3's primitive set).
+func globalRange(c *mpi.Comm, local []float64) (float64, float64, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, k := range local {
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+	}
+	mins, err := mpi.Reduce(c, []float64{lo}, mpi.OpMin, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	maxs, err := mpi.Reduce(c, []float64{hi}, mpi.OpMax, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	p := c.Size()
+	if c.Rank() == 0 {
+		rng := []float64{mins[0], maxs[0]}
+		for dst := 1; dst < p; dst++ {
+			if err := mpi.Send(c, rng, dst, tagBounds); err != nil {
+				return 0, 0, err
+			}
+		}
+		return rng[0], rng[1], nil
+	}
+	rng, _, err := mpi.Recv[float64](c, 0, tagBounds)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rng[0], rng[1], nil
+}
+
+// equiDepthBoundaries histograms keys over [lo, hi] into HistogramBins
+// bins and returns p-1 boundaries splitting the mass into p equal parts.
+func equiDepthBoundaries(keys []float64, lo, hi float64, p int) []float64 {
+	hist := make([]int, HistogramBins)
+	width := (hi - lo) / float64(HistogramBins)
+	if width == 0 {
+		width = 1
+	}
+	for _, k := range keys {
+		b := int((k - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= HistogramBins {
+			b = HistogramBins - 1
+		}
+		hist[b]++
+	}
+	bounds := make([]float64, p-1)
+	target := len(keys) / p
+	cum, next := 0, 1
+	for b := 0; b < HistogramBins && next < p; b++ {
+		cum += hist[b]
+		for next < p && cum >= next*target {
+			bounds[next-1] = lo + width*float64(b+1)
+			next++
+		}
+	}
+	// Any unset trailing boundaries collapse to hi.
+	for i := next - 1; i < p-1; i++ {
+		bounds[i] = hi
+	}
+	return bounds
+}
+
+// bucketOf locates the bucket of k given ascending boundaries.
+func bucketOf(k float64, bounds []float64) int {
+	return sort.SearchFloat64s(bounds, k)
+}
+
+// VerifyDistributedSorted checks the global sort invariant: each rank's
+// bucket is locally sorted, and the maximum of every earlier bucket is at
+// most this rank's minimum. It sticks to Module 3's primitive set: the
+// running maximum travels rank-to-rank over MPI_Send/MPI_Recv, the
+// verdict is folded onto rank 0 with MPI_Reduce and redistributed
+// point-to-point. Every rank receives the same verdict.
+func VerifyDistributedSorted(c *mpi.Comm, mine []float64) (bool, error) {
+	p, r := c.Size(), c.Rank()
+	ok := 1.0
+	for i := 1; i < len(mine); i++ {
+		if mine[i-1] > mine[i] {
+			ok = 0
+			break
+		}
+	}
+	// Chain pass: rank r receives the maximum over buckets 0..r-1,
+	// checks it against its own minimum, and forwards the running max.
+	runningMax := math.Inf(-1)
+	if r > 0 {
+		left, _, err := mpi.Recv[float64](c, r-1, tagBoundary)
+		if err != nil {
+			return false, err
+		}
+		runningMax = left[0]
+		if len(mine) > 0 && runningMax > mine[0] {
+			ok = 0
+		}
+	}
+	if len(mine) > 0 && mine[len(mine)-1] > runningMax {
+		runningMax = mine[len(mine)-1]
+	}
+	if r < p-1 {
+		if err := mpi.Send(c, []float64{runningMax}, r+1, tagBoundary); err != nil {
+			return false, err
+		}
+	}
+	verdict, err := mpi.Reduce(c, []float64{ok}, mpi.OpMin, 0)
+	if err != nil {
+		return false, err
+	}
+	if r == 0 {
+		for dst := 1; dst < p; dst++ {
+			if err := mpi.Send(c, verdict, dst, tagBoundary); err != nil {
+				return false, err
+			}
+		}
+		return verdict[0] == 1, nil
+	}
+	v, _, err := mpi.Recv[float64](c, 0, tagBoundary)
+	if err != nil {
+		return false, err
+	}
+	return v[0] == 1, nil
+}
+
+// SequentialSort is the single-process baseline the module compares
+// against: no exchange phase, just a local sort.
+func SequentialSort(keys []float64) ([]float64, time.Duration) {
+	out := append([]float64(nil), keys...)
+	start := time.Now()
+	sort.Float64s(out)
+	return out, time.Since(start)
+}

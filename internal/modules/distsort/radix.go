@@ -1,0 +1,64 @@
+package distsort
+
+import "math"
+
+// RadixSortFloat64s sorts keys in place with an LSD radix sort over the
+// order-preserving bit transform of IEEE-754 doubles — the
+// "improve the algorithm beyond the module" answer (learning outcome 15)
+// to the comparison sort of the local phase: O(n) passes instead of
+// O(n log n) comparisons, a large win exactly when buckets are big.
+// NaNs sort to the end (after +Inf).
+func RadixSortFloat64s(keys []float64) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	src := make([]uint64, n)
+	for i, k := range keys {
+		src[i] = orderedBits(k)
+	}
+	dst := make([]uint64, n)
+	var counts [256]int
+	for shift := 0; shift < 64; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, v := range src {
+			counts[(v>>shift)&0xff]++
+		}
+		if counts[(src[0]>>shift)&0xff] == n {
+			continue // all keys share this byte: skip the pass
+		}
+		total := 0
+		for i := range counts {
+			counts[i], total = total, total+counts[i]
+		}
+		for _, v := range src {
+			b := (v >> shift) & 0xff
+			dst[counts[b]] = v
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	for i, v := range src {
+		keys[i] = fromOrderedBits(v)
+	}
+}
+
+// orderedBits maps a float64 to a uint64 whose unsigned order matches the
+// float order: flip all bits of negatives, flip only the sign bit of
+// non-negatives.
+func orderedBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+func fromOrderedBits(b uint64) float64 {
+	if b&(1<<63) != 0 {
+		return math.Float64frombits(b &^ (1 << 63))
+	}
+	return math.Float64frombits(^b)
+}

@@ -1,0 +1,457 @@
+// Package kmeans implements Module 5 of the pedagogic modules:
+// distributed k-means clustering with alternating phases of synchronous
+// computation and communication. The module's two communication options
+// are both provided: ExplicitAssignments ships every point's cluster
+// assignment to rank 0 each iteration (simple, communication-heavy);
+// WeightedMeans reduces per-cluster coordinate sums and counts (minimal
+// communication). Students observe the compute/communication balance flip
+// with k (learning outcomes 4, 8, 10–15).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+	"repro/internal/trace"
+)
+
+// CommOption selects the module's centroid-update communication scheme.
+type CommOption int
+
+const (
+	// WeightedMeans allreduces k×(dim+1) partial sums — the efficient
+	// option.
+	WeightedMeans CommOption = iota
+	// ExplicitAssignments gathers every point assignment onto rank 0,
+	// which recomputes and redistributes centroids — the explicit,
+	// communication-heavy option.
+	ExplicitAssignments
+)
+
+// String names the option for reports.
+func (o CommOption) String() string {
+	switch o {
+	case WeightedMeans:
+		return "weighted-means"
+	case ExplicitAssignments:
+		return "explicit-assignments"
+	default:
+		return fmt.Sprintf("CommOption(%d)", int(o))
+	}
+}
+
+// Config parameterizes a clustering run.
+type Config struct {
+	K       int
+	MaxIter int
+	// Tol is the centroid-movement convergence threshold (squared
+	// Euclidean). Zero means exact: stop when no centroid moves.
+	Tol float64
+	// Option selects the communication scheme (default WeightedMeans).
+	Option CommOption
+	// Tracer, when set, records per-iteration compute and communication
+	// phases (rank-resolved).
+	Tracer *trace.Tracer
+	// Seed drives the deterministic initial centroid choice.
+	Seed int64
+}
+
+// Result reports one clustering run.
+type Result struct {
+	K          int
+	NP         int
+	N          int // global point count
+	Iterations int
+	Converged  bool
+	Inertia    float64 // sum of squared distances to assigned centroids
+	Elapsed    time.Duration
+	ComputeDur time.Duration // this rank's assignment/update time
+	CommDur    time.Duration // this rank's communication time
+	Centroids  data.Points
+}
+
+// Sequential runs Lloyd's algorithm on one process — the module's
+// baseline and the reference the distributed tests compare against.
+func Sequential(pts data.Points, cfg Config) (Result, []int, error) {
+	if err := validate(pts.N(), cfg); err != nil {
+		return Result{}, nil, err
+	}
+	cent := initialCentroids(pts, cfg.K, cfg.Seed)
+	assign := make([]int, pts.N())
+	res := Result{K: cfg.K, NP: 1, N: pts.N()}
+	start := time.Now()
+	for it := 0; it < cfg.MaxIter; it++ {
+		res.Iterations = it + 1
+		assignPoints(pts, cent, assign)
+		sums, counts := partialSums(pts, assign, cfg.K)
+		moved := updateCentroids(cent, sums, counts, cfg.Tol)
+		if !moved {
+			res.Converged = true
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Inertia = inertia(pts, cent, assign)
+	res.Centroids = cent
+	return res, assign, nil
+}
+
+// Distributed runs the module's distributed k-means. Every rank holds
+// the full dataset (the module prescribes a single input dataset each
+// rank reads); MPI_Scatter hands each rank its N/p-point share, and
+// initial centroids are computed locally from the shared dataset, so the
+// prescribed weighted-means configuration touches exactly Table II's
+// Module 5 primitives (MPI_Scatter, MPI_Allreduce). Each iteration
+// alternates local assignment with the selected global update. Every
+// rank returns the same centroids; assignments are returned for the
+// local share along with its global offset.
+func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, error) {
+	p, r := c.Size(), c.Rank()
+	if err := validate(pts.N(), cfg); err != nil {
+		return Result{}, nil, 0, err
+	}
+	if pts.N()%p != 0 {
+		return Result{}, nil, 0, fmt.Errorf("kmeans: N=%d not divisible by %d ranks (the module prescribes N/p points per rank)", pts.N(), p)
+	}
+	n, dim := pts.N(), pts.Dim
+
+	start := time.Now()
+	var sendCoords []float64
+	if r == 0 {
+		sendCoords = pts.Coords
+	}
+	localCoords, err := mpi.Scatter(c, sendCoords, 0)
+	if err != nil {
+		return Result{}, nil, 0, err
+	}
+	local := data.Points{Dim: dim, Coords: localCoords}
+	offset := r * (n / p)
+
+	// Initial centroids are a deterministic function of the shared
+	// dataset: every rank computes the same ones with no communication.
+	cent := initialCentroids(pts, cfg.K, cfg.Seed)
+
+	assign := make([]int, local.N())
+	res := Result{K: cfg.K, NP: p, N: n}
+	var computeDur, commDur time.Duration
+
+	for it := 0; it < cfg.MaxIter; it++ {
+		res.Iterations = it + 1
+
+		computeStart := time.Now()
+		assignPoints(local, cent, assign)
+		sums, counts := partialSums(local, assign, cfg.K)
+		d := time.Since(computeStart)
+		computeDur += d
+		if cfg.Tracer != nil {
+			cfg.Tracer.Record(c.WorldRank(), trace.Compute, "assign", computeStart, d)
+		}
+
+		commStart := time.Now()
+		var moved bool
+		switch cfg.Option {
+		case WeightedMeans:
+			moved, err = weightedMeansUpdate(c, cent, sums, counts, cfg.Tol)
+		case ExplicitAssignments:
+			moved, err = explicitUpdate(c, local, cent, assign, cfg.Tol, n)
+		default:
+			err = fmt.Errorf("kmeans: unknown comm option %d", int(cfg.Option))
+		}
+		if err != nil {
+			return Result{}, nil, 0, err
+		}
+		d = time.Since(commStart)
+		commDur += d
+		if cfg.Tracer != nil {
+			cfg.Tracer.Record(c.WorldRank(), trace.Comm, "update", commStart, d)
+		}
+		if !moved {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Global inertia for verification (MPI_Allreduce, the module's
+	// optional primitive).
+	localInertia := inertia(local, cent, assign)
+	tot, err := mpi.Allreduce(c, []float64{localInertia}, mpi.OpSum)
+	if err != nil {
+		return Result{}, nil, 0, err
+	}
+	res.Inertia = tot[0]
+	res.Elapsed = time.Since(start)
+	res.ComputeDur = computeDur
+	res.CommDur = commDur
+	res.Centroids = cent
+	return res, assign, offset, nil
+}
+
+// weightedMeansUpdate is the efficient option: one Allreduce of
+// k×(dim+1) values updates every rank's centroids identically.
+func weightedMeansUpdate(c *mpi.Comm, cent data.Points, sums []float64, counts []float64, tol float64) (bool, error) {
+	k, dim := cent.N(), cent.Dim
+	payload := make([]float64, 0, k*(dim+1))
+	payload = append(payload, sums...)
+	payload = append(payload, counts...)
+	global, err := mpi.Allreduce(c, payload, mpi.OpSum)
+	if err != nil {
+		return false, err
+	}
+	return updateCentroids(cent, global[:k*dim], global[k*dim:], tol), nil
+}
+
+// explicitUpdate is the communication-heavy option: every rank ships its
+// point coordinates and assignments to rank 0 (describing the assignment
+// of points to centroids explicitly), which recomputes centroids and
+// broadcasts them back.
+func explicitUpdate(c *mpi.Comm, local data.Points, cent data.Points, assign []int, tol float64, n int) (bool, error) {
+	k, dim := cent.N(), cent.Dim
+	assign64 := make([]int64, len(assign))
+	for i, a := range assign {
+		assign64[i] = int64(a)
+	}
+	allAssign, err := mpi.Gather(c, assign64, 0)
+	if err != nil {
+		return false, err
+	}
+	allCoords, err := mpi.Gather(c, local.Coords, 0)
+	if err != nil {
+		return false, err
+	}
+	var moved float64
+	var newCent []float64
+	if c.Rank() == 0 {
+		sums := make([]float64, k*dim)
+		counts := make([]float64, k)
+		for i := 0; i < n; i++ {
+			a := int(allAssign[i])
+			counts[a]++
+			for d := 0; d < dim; d++ {
+				sums[a*dim+d] += allCoords[i*dim+d]
+			}
+		}
+		centCopy := data.Points{Dim: dim, Coords: append([]float64(nil), cent.Coords...)}
+		if updateCentroids(centCopy, sums, counts, tol) {
+			moved = 1
+		}
+		newCent = centCopy.Coords
+	}
+	newCent, err = mpi.Bcast(c, newCent, 0)
+	if err != nil {
+		return false, err
+	}
+	copy(cent.Coords, newCent)
+	mv, err := mpi.Bcast(c, []float64{moved}, 0)
+	if err != nil {
+		return false, err
+	}
+	return mv[0] == 1, nil
+}
+
+// IterationKernel characterizes one k-means iteration for the roofline
+// model: the module's Section III-F analysis of when the algorithm is
+// compute-bound (large k) versus communication-bound (small k) on a real
+// cluster, where per-collective latency is significant. Assignment costs
+// ≈3·dim flops per point per centroid; the weighted-means option moves
+// 2·log2(p) latency-bound messages of k·(dim+1) floats per iteration,
+// while the explicit option gathers every point and assignment to rank 0
+// and broadcasts centroids back.
+func IterationKernel(n, dim, k, p int, opt CommOption) perfmodel.Kernel {
+	flops := float64(n) * float64(k) * float64(3*dim)
+	bytes := float64(n) * float64(dim) * 8 // stream the local points
+	kern := perfmodel.Kernel{
+		Name:  fmt.Sprintf("kmeans-n%d-k%d-%s", n, k, opt),
+		Flops: flops,
+		Bytes: bytes,
+	}
+	logp := 0
+	for q := 1; q < p; q <<= 1 {
+		logp++
+	}
+	switch opt {
+	case ExplicitAssignments:
+		kern.CommBytes = float64(n)*float64(dim+1)*8 + float64(k*dim*8*p)
+		kern.CommMsgs = 2 * p
+	default: // WeightedMeans
+		kern.CommBytes = float64(2*logp) * float64(k*(dim+1)*8)
+		kern.CommMsgs = 2 * logp
+	}
+	return kern
+}
+
+// validate checks configuration invariants.
+func validate(n int, cfg Config) error {
+	if cfg.K <= 0 {
+		return fmt.Errorf("kmeans: k=%d must be positive", cfg.K)
+	}
+	if n < cfg.K {
+		return fmt.Errorf("kmeans: %d points for k=%d clusters", n, cfg.K)
+	}
+	if cfg.MaxIter <= 0 {
+		return fmt.Errorf("kmeans: max iterations %d must be positive", cfg.MaxIter)
+	}
+	return nil
+}
+
+// PlusPlusCentroids implements k-means++ seeding (Arthur & Vassilvitskii):
+// centroids are drawn with probability proportional to squared distance
+// from the nearest chosen centroid. It is the "improve the algorithm
+// beyond the module" initialization (learning outcome 15), typically
+// converging in fewer iterations with lower inertia than the module's
+// naive strided choice. Deterministic for a fixed seed.
+func PlusPlusCentroids(pts data.Points, k int, seed int64) data.Points {
+	rng := rand.New(rand.NewSource(seed))
+	n, dim := pts.N(), pts.Dim
+	coords := make([]float64, 0, k*dim)
+	first := rng.Intn(n)
+	coords = append(coords, pts.At(first)...)
+	// dist2[i] tracks squared distance to the nearest chosen centroid.
+	dist2 := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		dist2[i] = data.SquaredDistance(pts.At(i), pts.At(first))
+		total += dist2[i]
+	}
+	for c := 1; c < k; c++ {
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(n) // all points coincide with a centroid
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			idx = n - 1
+			for i := 0; i < n; i++ {
+				acc += dist2[i]
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		chosen := pts.At(idx)
+		coords = append(coords, chosen...)
+		for i := 0; i < n; i++ {
+			if d := data.SquaredDistance(pts.At(i), chosen); d < dist2[i] {
+				total -= dist2[i] - d
+				dist2[i] = d
+			}
+		}
+	}
+	return data.Points{Dim: dim, Coords: coords}
+}
+
+// SequentialWithCentroids runs Lloyd's algorithm from the given initial
+// centroids — the hook the k-means++ ablation uses.
+func SequentialWithCentroids(pts data.Points, init data.Points, cfg Config) (Result, []int, error) {
+	if err := validate(pts.N(), cfg); err != nil {
+		return Result{}, nil, err
+	}
+	if init.N() != cfg.K || init.Dim != pts.Dim {
+		return Result{}, nil, fmt.Errorf("kmeans: init centroids %d×%d, want %d×%d", init.N(), init.Dim, cfg.K, pts.Dim)
+	}
+	cent := data.Points{Dim: init.Dim, Coords: append([]float64(nil), init.Coords...)}
+	assign := make([]int, pts.N())
+	res := Result{K: cfg.K, NP: 1, N: pts.N()}
+	start := time.Now()
+	for it := 0; it < cfg.MaxIter; it++ {
+		res.Iterations = it + 1
+		assignPoints(pts, cent, assign)
+		sums, counts := partialSums(pts, assign, cfg.K)
+		if !updateCentroids(cent, sums, counts, cfg.Tol) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Inertia = inertia(pts, cent, assign)
+	res.Centroids = cent
+	return res, assign, nil
+}
+
+// initialCentroids picks k distinct points deterministically from the
+// dataset (evenly strided with a seed-driven start), so sequential and
+// distributed runs start identically.
+func initialCentroids(pts data.Points, k int, seed int64) data.Points {
+	n := pts.N()
+	stride := n / k
+	if stride == 0 {
+		stride = 1
+	}
+	startIdx := int(seed % int64(stride))
+	if startIdx < 0 {
+		startIdx += stride
+	}
+	coords := make([]float64, 0, k*pts.Dim)
+	for i := 0; i < k; i++ {
+		idx := (startIdx + i*stride) % n
+		coords = append(coords, pts.At(idx)...)
+	}
+	return data.Points{Dim: pts.Dim, Coords: coords}
+}
+
+// assignPoints writes each point's nearest-centroid index into assign.
+func assignPoints(pts data.Points, cent data.Points, assign []int) {
+	for i := 0; i < pts.N(); i++ {
+		pt := pts.At(i)
+		best, bestDist := 0, math.Inf(1)
+		for c := 0; c < cent.N(); c++ {
+			if d := data.SquaredDistance(pt, cent.At(c)); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		assign[i] = best
+	}
+}
+
+// partialSums accumulates per-cluster coordinate sums and counts.
+func partialSums(pts data.Points, assign []int, k int) ([]float64, []float64) {
+	dim := pts.Dim
+	sums := make([]float64, k*dim)
+	counts := make([]float64, k)
+	for i := 0; i < pts.N(); i++ {
+		a := assign[i]
+		counts[a]++
+		base := a * dim
+		pt := pts.At(i)
+		for d := 0; d < dim; d++ {
+			sums[base+d] += pt[d]
+		}
+	}
+	return sums, counts
+}
+
+// updateCentroids moves centroids to their cluster means and reports
+// whether any moved more than tol (squared distance). Empty clusters keep
+// their previous position.
+func updateCentroids(cent data.Points, sums []float64, counts []float64, tol float64) bool {
+	dim := cent.Dim
+	moved := false
+	buf := make([]float64, dim)
+	for c := 0; c < cent.N(); c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for d := 0; d < dim; d++ {
+			buf[d] = sums[c*dim+d] / counts[c]
+		}
+		if data.SquaredDistance(buf, cent.At(c)) > tol {
+			moved = true
+		}
+		copy(cent.At(c), buf)
+	}
+	return moved
+}
+
+// inertia sums squared distances from points to their assigned centroids.
+func inertia(pts data.Points, cent data.Points, assign []int) float64 {
+	var s float64
+	for i := 0; i < pts.N(); i++ {
+		s += data.SquaredDistance(pts.At(i), cent.At(assign[i]))
+	}
+	return s
+}

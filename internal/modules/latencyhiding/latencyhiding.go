@@ -1,0 +1,236 @@
+// Package latencyhiding implements the paper's first future-work module
+// ("modules that capture excluded concepts, such as increasing focus on
+// communication and latency hiding"): a 1-D heat-diffusion stencil with
+// halo exchange. The blocking variant exchanges halos and then computes;
+// the overlapped variant posts nonblocking halo transfers, computes the
+// interior while they fly, then finishes the boundary — the canonical
+// communication/computation-overlap lesson.
+package latencyhiding
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+const (
+	tagLeft  = 41 // halo moving toward lower ranks
+	tagRight = 42 // halo moving toward higher ranks
+)
+
+// Variant selects the exchange strategy.
+type Variant int
+
+const (
+	// Blocking exchanges halos with Sendrecv, then computes everything.
+	Blocking Variant = iota
+	// Overlapped posts Isend/Irecv, computes the interior, completes
+	// the requests, then computes the two boundary cells.
+	Overlapped
+)
+
+// String names the variant for reports.
+func (v Variant) String() string {
+	switch v {
+	case Blocking:
+		return "blocking"
+	case Overlapped:
+		return "overlapped"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Result reports one stencil run.
+type Result struct {
+	Variant  Variant
+	NP       int
+	CellsPer int // cells per rank
+	Steps    int
+	Elapsed  time.Duration
+	// Checksum is the global sum of the final field (via MPI_Allreduce),
+	// identical across variants for the same inputs.
+	Checksum float64
+}
+
+// Run advances the explicit heat equation u' = u + α·(left − 2u + right)
+// for the given number of steps over a global field distributed as
+// cellsPerRank cells per rank, with fixed zero boundary conditions at the
+// global edges. The initial condition is a unit spike in the middle of
+// each rank's block (deterministic and rank-count independent only in
+// checksum symmetry; tests compare variants, not rank counts).
+func Run(c *mpi.Comm, cellsPerRank, steps int, alpha float64, variant Variant) (Result, []float64, error) {
+	if cellsPerRank < 2 {
+		return Result{}, nil, fmt.Errorf("latencyhiding: need ≥2 cells per rank, got %d", cellsPerRank)
+	}
+	if steps <= 0 {
+		return Result{}, nil, fmt.Errorf("latencyhiding: steps %d must be positive", steps)
+	}
+	if alpha <= 0 || alpha > 0.5 {
+		return Result{}, nil, fmt.Errorf("latencyhiding: alpha %v outside (0, 0.5]", alpha)
+	}
+	p, r := c.Size(), c.Rank()
+
+	// Field with two ghost cells: u[0] and u[n+1].
+	n := cellsPerRank
+	u := make([]float64, n+2)
+	next := make([]float64, n+2)
+	u[1+n/2] = 1 // unit spike per rank
+
+	start := time.Now()
+	for step := 0; step < steps; step++ {
+		switch variant {
+		case Blocking:
+			if err := exchangeBlocking(c, u, n, p, r); err != nil {
+				return Result{}, nil, err
+			}
+			stencil(u, next, 1, n+1, alpha)
+
+		case Overlapped:
+			reqs, err := startExchange(c, u, n, p, r)
+			if err != nil {
+				return Result{}, nil, err
+			}
+			// Interior cells depend only on local data: compute while
+			// the halos are in flight.
+			stencil(u, next, 2, n, alpha)
+			if err := finishExchange(c, u, reqs, n); err != nil {
+				return Result{}, nil, err
+			}
+			// Boundary cells needed the ghosts.
+			stencil(u, next, 1, 2, alpha)
+			stencil(u, next, n, n+1, alpha)
+
+		default:
+			return Result{}, nil, fmt.Errorf("latencyhiding: unknown variant %d", int(variant))
+		}
+		u, next = next, u
+	}
+	elapsed := time.Since(start)
+
+	var local float64
+	for i := 1; i <= n; i++ {
+		local += u[i]
+	}
+	sum, err := mpi.Allreduce(c, []float64{local}, mpi.OpSum)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return Result{
+		Variant:  variant,
+		NP:       p,
+		CellsPer: n,
+		Steps:    steps,
+		Elapsed:  elapsed,
+		Checksum: sum[0],
+	}, u[1 : n+1], nil
+}
+
+// stencil applies one explicit step to cells [lo, hi).
+func stencil(u, next []float64, lo, hi int, alpha float64) {
+	for i := lo; i < hi; i++ {
+		next[i] = u[i] + alpha*(u[i-1]-2*u[i]+u[i+1])
+	}
+}
+
+// exchangeBlocking swaps halos with deadlock-free combined send/receives.
+// Edge ranks keep zero ghosts (fixed boundary).
+func exchangeBlocking(c *mpi.Comm, u []float64, n, p, r int) error {
+	if r > 0 {
+		got, _, err := mpi.Sendrecv(c, []float64{u[1]}, r-1, tagLeft, r-1, tagRight)
+		if err != nil {
+			return err
+		}
+		u[0] = got[0]
+	} else {
+		u[0] = 0
+	}
+	if r < p-1 {
+		got, _, err := mpi.Sendrecv(c, []float64{u[n]}, r+1, tagRight, r+1, tagLeft)
+		if err != nil {
+			return err
+		}
+		u[n+1] = got[0]
+	} else {
+		u[n+1] = 0
+	}
+	return nil
+}
+
+// haloReqs carries the outstanding nonblocking halo operations.
+type haloReqs struct {
+	recvLeft, recvRight *mpi.Request
+	sends               []*mpi.Request
+}
+
+// startExchange posts Irecv/Isend for both halos.
+func startExchange(c *mpi.Comm, u []float64, n, p, r int) (haloReqs, error) {
+	var hr haloReqs
+	var err error
+	if r > 0 {
+		if hr.recvLeft, err = mpi.Irecv[float64](c, r-1, tagRight); err != nil {
+			return hr, err
+		}
+	}
+	if r < p-1 {
+		if hr.recvRight, err = mpi.Irecv[float64](c, r+1, tagLeft); err != nil {
+			return hr, err
+		}
+	}
+	if r > 0 {
+		req, err := mpi.Isend(c, []float64{u[1]}, r-1, tagLeft)
+		if err != nil {
+			return hr, err
+		}
+		hr.sends = append(hr.sends, req)
+	}
+	if r < p-1 {
+		req, err := mpi.Isend(c, []float64{u[n]}, r+1, tagRight)
+		if err != nil {
+			return hr, err
+		}
+		hr.sends = append(hr.sends, req)
+	}
+	return hr, nil
+}
+
+// finishExchange completes the halo transfers and installs the ghosts.
+func finishExchange(c *mpi.Comm, u []float64, hr haloReqs, n int) error {
+	if hr.recvLeft != nil {
+		got, _, err := mpi.WaitRecv[float64](hr.recvLeft)
+		if err != nil {
+			return err
+		}
+		u[0] = got[0]
+	} else {
+		u[0] = 0
+	}
+	if hr.recvRight != nil {
+		got, _, err := mpi.WaitRecv[float64](hr.recvRight)
+		if err != nil {
+			return err
+		}
+		u[n+1] = got[0]
+	} else {
+		u[n+1] = 0
+	}
+	return mpi.Waitall(hr.sends...)
+}
+
+// Sequential advances the same global field on one process: the reference
+// for correctness tests. Returns the final field (without ghosts).
+func Sequential(p, cellsPerRank, steps int, alpha float64) []float64 {
+	n := p * cellsPerRank
+	u := make([]float64, n+2)
+	next := make([]float64, n+2)
+	for r := 0; r < p; r++ {
+		u[1+r*cellsPerRank+cellsPerRank/2] = 1
+	}
+	for step := 0; step < steps; step++ {
+		u[0], u[n+1] = 0, 0
+		stencil(u, next, 1, n+1, alpha)
+		u, next = next, u
+	}
+	return u[1 : n+1]
+}

@@ -1,0 +1,138 @@
+package latencyhiding
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// runVariant executes the stencil and stitches the distributed field.
+func runVariant(t *testing.T, np, cells, steps int, v Variant) ([]float64, Result) {
+	t.Helper()
+	field := make([]float64, np*cells)
+	var res Result
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		r, local, err := Run(c, cells, steps, 0.25, v)
+		if err != nil {
+			return err
+		}
+		copy(field[c.Rank()*cells:], local)
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return field, res
+}
+
+func TestVariantsMatchSequential(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 7} {
+		for _, v := range []Variant{Blocking, Overlapped} {
+			np, v := np, v
+			t.Run(fmt.Sprintf("np=%d %v", np, v), func(t *testing.T) {
+				const cells, steps = 64, 50
+				got, res := runVariant(t, np, cells, steps, v)
+				want := Sequential(np, cells, steps, 0.25)
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > 1e-12 {
+						t.Fatalf("cell %d: %v != %v", i, got[i], want[i])
+					}
+				}
+				if res.Steps != steps || res.NP != np {
+					t.Fatalf("meta %+v", res)
+				}
+			})
+		}
+	}
+}
+
+func TestVariantsProduceIdenticalChecksums(t *testing.T) {
+	_, blocking := runVariant(t, 4, 128, 100, Blocking)
+	_, overlapped := runVariant(t, 4, 128, 100, Overlapped)
+	if blocking.Checksum != overlapped.Checksum {
+		t.Fatalf("checksums differ: %v vs %v", blocking.Checksum, overlapped.Checksum)
+	}
+	if blocking.Checksum <= 0 {
+		t.Fatalf("degenerate field: checksum %v", blocking.Checksum)
+	}
+}
+
+func TestMassConservedAwayFromBoundary(t *testing.T) {
+	// With few steps the spikes cannot reach the global edges, so the
+	// diffusion conserves total mass: checksum = number of spikes.
+	_, res := runVariant(t, 4, 256, 20, Overlapped)
+	if math.Abs(res.Checksum-4.0) > 1e-9 {
+		t.Fatalf("mass not conserved: %v, want 4", res.Checksum)
+	}
+}
+
+func TestDiffusionSpreads(t *testing.T) {
+	field, _ := runVariant(t, 2, 64, 200, Blocking)
+	// After 200 steps the spike must have spread: max well below 1.
+	max := 0.0
+	nonzero := 0
+	for _, v := range field {
+		if v > max {
+			max = v
+		}
+		if v > 1e-15 {
+			nonzero++
+		}
+	}
+	if max > 0.5 {
+		t.Fatalf("no diffusion: max %v", max)
+	}
+	if nonzero < 32 {
+		t.Fatalf("spike did not spread: %d nonzero cells", nonzero)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		if _, _, err := Run(c, 1, 10, 0.25, Blocking); err == nil {
+			return fmt.Errorf("1 cell per rank accepted")
+		}
+		if _, _, err := Run(c, 16, 0, 0.25, Blocking); err == nil {
+			return fmt.Errorf("0 steps accepted")
+		}
+		if _, _, err := Run(c, 16, 5, 0.9, Blocking); err == nil {
+			return fmt.Errorf("unstable alpha accepted")
+		}
+		if _, _, err := Run(c, 16, 5, 0.25, Variant(9)); err == nil {
+			return fmt.Errorf("unknown variant accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	if Blocking.String() == "" || Overlapped.String() == "" || Variant(7).String() == "" {
+		t.Fatal("empty variant name")
+	}
+}
+
+func TestOverlapUsesNonblockingPrimitives(t *testing.T) {
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		if _, _, err := Run(c, 32, 10, 0.25, Overlapped); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			snap := c.Stats()
+			if snap.TotalCalls(mpi.PrimIsend) == 0 || snap.TotalCalls(mpi.PrimIrecv) == 0 {
+				return fmt.Errorf("overlapped variant did not use Isend/Irecv")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package rangequery
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+)
+
+var allMethods = []Method{BruteForce, RTree, KDTree, QuadTree, RTreeSTR}
+
+func TestSequentialMethodsAgree(t *testing.T) {
+	pts := data.UniformPoints(5000, 2, 0, 100, 1)
+	queries := data.UniformRects(300, 2, 0, 100, 8, 2)
+	want, _, err := Sequential(pts, queries, BruteForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("degenerate workload: zero hits")
+	}
+	for _, m := range allMethods[1:] {
+		got, _, err := Sequential(pts, queries, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v found %d hits, brute force %d", m, got, want)
+		}
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	pts := data.UniformPoints(2000, 2, 0, 50, 3)
+	queries := data.UniformRects(100, 2, 0, 50, 5, 4)
+	want, _, err := Sequential(pts, queries, BruteForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, np := range []int{1, 2, 3, 4} {
+		for _, m := range allMethods {
+			np, m := np, m
+			t.Run(fmt.Sprintf("np=%d %v", np, m), func(t *testing.T) {
+				err := mpi.Run(np, func(c *mpi.Comm) error {
+					res, err := Distributed(c, pts, queries, m)
+					if err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						if res.TotalHits != want {
+							return fmt.Errorf("%d hits, want %d", res.TotalHits, want)
+						}
+						if res.NP != np || res.NQueries != 100 {
+							return fmt.Errorf("meta %+v", res)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestIndexPrunesWork(t *testing.T) {
+	pts := data.UniformPoints(10_000, 2, 0, 100, 5)
+	queries := data.UniformRects(200, 2, 0, 100, 3, 6)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		brute, err := Distributed(c, pts, queries, BruteForce)
+		if err != nil {
+			return err
+		}
+		rtree, err := Distributed(c, pts, queries, RTree)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if brute.WorkPruned > 0.01 {
+				return fmt.Errorf("brute force claims %v pruning", brute.WorkPruned)
+			}
+			if rtree.WorkPruned < 0.5 {
+				return fmt.Errorf("r-tree pruned only %.2f of work", rtree.WorkPruned)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModule4UsesReduce(t *testing.T) {
+	pts := data.UniformPoints(500, 2, 0, 10, 7)
+	queries := data.UniformRects(20, 2, 0, 10, 2, 8)
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		if _, err := Distributed(c, pts, queries, RTree); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			snap := c.Stats()
+			if snap.TotalCalls(mpi.PrimReduce) == 0 {
+				return fmt.Errorf("MPI_Reduce (Module 4's required primitive) not used")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsteroidQueryScenario(t *testing.T) {
+	cat := data.AsteroidCatalog(50_000, 11)
+	pts := data.AsteroidPoints(cat)
+	q := AsteroidQuery()
+	wantHits := 0
+	for _, a := range cat {
+		if a.Amplitude >= 0.2 && a.Amplitude <= 1.0 && a.Period >= 30 && a.Period <= 100 {
+			wantHits++
+		}
+	}
+	got, _, err := Sequential(pts, []data.Rect{q}, RTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(wantHits) {
+		t.Fatalf("asteroid query: %d hits, want %d", got, wantHits)
+	}
+	if wantHits == 0 {
+		t.Fatal("motivating query returns nothing")
+	}
+}
+
+func TestKernelsShapes(t *testing.T) {
+	brute, indexed := Kernels(100_000, 10_000, 2, 0.95)
+	// Brute force must be compute-bound relative to the indexed search.
+	if brute.ArithmeticIntensity() <= indexed.ArithmeticIntensity() {
+		t.Fatalf("AI ordering wrong: brute %v vs indexed %v",
+			brute.ArithmeticIntensity(), indexed.ArithmeticIntensity())
+	}
+	// The indexed search must do far fewer flops.
+	if indexed.Flops >= brute.Flops/2 {
+		t.Fatalf("index not more efficient: %v vs %v flops", indexed.Flops, brute.Flops)
+	}
+}
+
+// TestPaperClaimScalabilityVsEfficiency reproduces the central lesson of
+// Module 4: brute force scales better, but the R-tree is faster in
+// absolute terms — "more efficient algorithms often have worse
+// scalability than their simple counterparts."
+func TestPaperClaimScalabilityVsEfficiency(t *testing.T) {
+	m := perfmodel.DefaultMachine()
+	brute, indexed := Kernels(100_000, 10_000, 2, 0.95)
+	bsp, err := m.Speedup(brute, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isp, err := m.Speedup(indexed, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bsp[19] <= isp[19] {
+		t.Fatalf("brute-force speedup %v not better than indexed %v", bsp[19], isp[19])
+	}
+	bt, _ := m.Time(brute, perfmodel.Placement{Ranks: 20, Nodes: 1})
+	it, _ := m.Time(indexed, perfmodel.Placement{Ranks: 20, Nodes: 1})
+	if it >= bt {
+		t.Fatalf("indexed (%v) not faster than brute (%v) at 20 ranks", it, bt)
+	}
+}
+
+func TestNodePlacementStudy(t *testing.T) {
+	m := perfmodel.DefaultMachine()
+	_, indexed := Kernels(100_000, 10_000, 2, 0.95)
+	one, two, err := NodePlacementStudy(m, indexed, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two >= one {
+		t.Fatalf("2-node placement (%v) not faster than 1-node (%v) for memory-bound search", two, one)
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	pts := data.UniformPoints(10, 2, 0, 1, 1)
+	if _, _, err := Sequential(pts, nil, Method(42)); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for _, m := range allMethods {
+		if m.String() == "" {
+			t.Fatal("empty method name")
+		}
+	}
+	if Method(42).String() == "" {
+		t.Fatal("unknown method empty name")
+	}
+}
+
+func TestEmptyQuerySet(t *testing.T) {
+	pts := data.UniformPoints(100, 2, 0, 1, 2)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		res, err := Distributed(c, pts, nil, RTree)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && res.TotalHits != 0 {
+			return fmt.Errorf("%d hits for empty query set", res.TotalHits)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreRanksThanQueries(t *testing.T) {
+	pts := data.UniformPoints(100, 2, 0, 1, 2)
+	queries := data.UniformRects(3, 2, 0, 1, 0.5, 3)
+	want, _, err := Sequential(pts, queries, BruteForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(8, func(c *mpi.Comm) error {
+		res, err := Distributed(c, pts, queries, BruteForce)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && res.TotalHits != want {
+			return fmt.Errorf("%d hits, want %d", res.TotalHits, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

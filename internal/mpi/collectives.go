@@ -1,0 +1,675 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Collective operations. All of them are implemented on top of the
+// point-to-point layer in a shadow communicator context, so user messages
+// can never be confused with collective traffic. Every rank of a
+// communicator must call each collective in the same order (the usual MPI
+// contract); the lockstep collective sequence number provides per-call tag
+// isolation.
+
+// nextCollTag advances the lockstep collective sequence.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return int(c.collSeq % int64(MaxUserTag))
+}
+
+// collCtx is the communicator's collective shadow context.
+func (c *Comm) collCtx() int32 { return c.ctx + 1 }
+
+// collSend and collRecv are internal point-to-point operations on the
+// shadow context. They bypass user-primitive accounting (wire traffic is
+// still counted) and never force synchronous mode, so collectives remain
+// deadlock-free under WithSynchronousSends.
+func (c *Comm) collSend(data []byte, dest, tag int) error {
+	env := &envelope{
+		kind: kindData,
+		src:  c.rank,
+		wsrc: c.worldRank,
+		wdst: c.members[dest],
+		ctx:  c.collCtx(),
+		tag:  int32(tag),
+	}
+	var seq int64
+	if len(data) > c.world.opts.eagerThreshold {
+		seq = c.world.nextSeq()
+		env.seq = seq
+	}
+	env.data = append([]byte(nil), data...)
+	if err := c.world.deliver(env); err != nil {
+		return err
+	}
+	if seq != 0 {
+		return c.mb.waitAck(seq)
+	}
+	return nil
+}
+
+func (c *Comm) collRecv(src, tag int) ([]byte, error) {
+	env, _, err := c.recvEnvelope(c.collCtx(), src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return env.data, nil
+}
+
+// collIrecv posts an internal receive on the shadow context.
+func (c *Comm) collIrecv(src, tag int) *pendingRecv {
+	return c.mb.postRecv(c.collCtx(), src, tag)
+}
+
+// Barrier blocks until every rank of the communicator has entered it
+// (MPI_Barrier). Dissemination algorithm: ceil(log2 p) rounds.
+func (c *Comm) Barrier() error {
+	c.world.stats.countCall(c.worldRank, PrimBarrier)
+	tag := c.nextCollTag()
+	p, r := len(c.members), c.rank
+	for k := 1; k < p; k <<= 1 {
+		to := (r + k) % p
+		from := (r - k + p) % p
+		pr := c.collIrecv(from, tag)
+		if err := c.collSend(nil, to, tag); err != nil {
+			return err
+		}
+		if _, err := c.finishRecv(pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's buffer to every rank (MPI_Bcast) along a
+// binomial tree. Non-root ranks pass nil (or any placeholder) and use the
+// returned slice.
+func Bcast[T Scalar](c *Comm, data []T, root int) ([]T, error) {
+	if err := c.checkPeer(root, false); err != nil {
+		return nil, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimBcast)
+	tag := c.nextCollTag()
+	p, r := len(c.members), c.rank
+	rel := (r - root + p) % p
+
+	var payload []byte
+	if r == root {
+		payload = Marshal(data)
+	}
+	// Receive from the binomial parent.
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % p
+			b, err := c.collRecv(parent, tag)
+			if err != nil {
+				return nil, err
+			}
+			payload = b
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to binomial children, highest distance first.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < p {
+			child := (rel + mask + root) % p
+			if err := c.collSend(payload, child, tag); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r == root {
+		return data, nil
+	}
+	return Unmarshal[T](payload)
+}
+
+// Scatter splits root's buffer into equal contiguous chunks and delivers
+// the i-th chunk to rank i (MPI_Scatter). len(data) must be a multiple of
+// the communicator size at the root; other ranks pass nil.
+func Scatter[T Scalar](c *Comm, data []T, root int) ([]T, error) {
+	if err := c.checkPeer(root, false); err != nil {
+		return nil, err
+	}
+	p := len(c.members)
+	if c.rank == root && len(data)%p != 0 {
+		return nil, fmt.Errorf("%w: Scatter buffer of %d elements across %d ranks", ErrLengthMismatch, len(data), p)
+	}
+	c.world.stats.countCall(c.worldRank, PrimScatter)
+	tag := c.nextCollTag()
+	if c.rank == root {
+		chunk := len(data) / p
+		for i := 0; i < p; i++ {
+			if i == root {
+				continue
+			}
+			if err := c.collSend(Marshal(data[i*chunk:(i+1)*chunk]), i, tag); err != nil {
+				return nil, err
+			}
+		}
+		own := make([]T, chunk)
+		copy(own, data[root*chunk:(root+1)*chunk])
+		return own, nil
+	}
+	b, err := c.collRecv(root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal[T](b)
+}
+
+// Scatterv scatters variable-sized contiguous chunks from root
+// (MPI_Scatterv). counts is significant only at the root and must sum to
+// len(data).
+func Scatterv[T Scalar](c *Comm, data []T, counts []int, root int) ([]T, error) {
+	if err := c.checkPeer(root, false); err != nil {
+		return nil, err
+	}
+	p := len(c.members)
+	c.world.stats.countCall(c.worldRank, PrimScatterv)
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(counts) != p {
+			return nil, fmt.Errorf("%w: Scatterv got %d counts for %d ranks", ErrLengthMismatch, len(counts), p)
+		}
+		total := 0
+		for _, n := range counts {
+			if n < 0 {
+				return nil, fmt.Errorf("%w: Scatterv negative count", ErrLengthMismatch)
+			}
+			total += n
+		}
+		if total != len(data) {
+			return nil, fmt.Errorf("%w: Scatterv counts sum to %d, buffer has %d", ErrLengthMismatch, total, len(data))
+		}
+		off := 0
+		var own []T
+		for i := 0; i < p; i++ {
+			chunk := data[off : off+counts[i]]
+			if i == root {
+				own = append([]T(nil), chunk...)
+			} else if err := c.collSend(Marshal(chunk), i, tag); err != nil {
+				return nil, err
+			}
+			off += counts[i]
+		}
+		return own, nil
+	}
+	b, err := c.collRecv(root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal[T](b)
+}
+
+// Gather collects equal-sized contributions onto root (MPI_Gather),
+// returning the concatenation in rank order at the root and nil elsewhere.
+// Every rank must contribute the same number of elements.
+func Gather[T Scalar](c *Comm, data []T, root int) ([]T, error) {
+	if err := c.checkPeer(root, false); err != nil {
+		return nil, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimGather)
+	blocks, err := c.gatherBlocks(Marshal(data), root)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	n := len(data)
+	out := make([]T, 0, n*len(c.members))
+	for i, b := range blocks {
+		xs, err := Unmarshal[T](b)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != n {
+			return nil, fmt.Errorf("%w: Gather rank %d contributed %d elements, expected %d", ErrLengthMismatch, i, len(xs), n)
+		}
+		out = append(out, xs...)
+	}
+	return out, nil
+}
+
+// Gatherv collects variable-sized contributions onto root (MPI_Gatherv),
+// returning one slice per rank at the root and nil elsewhere.
+func Gatherv[T Scalar](c *Comm, data []T, root int) ([][]T, error) {
+	if err := c.checkPeer(root, false); err != nil {
+		return nil, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimGatherv)
+	blocks, err := c.gatherBlocks(Marshal(data), root)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	out := make([][]T, len(blocks))
+	for i, b := range blocks {
+		xs, err := Unmarshal[T](b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = xs
+	}
+	return out, nil
+}
+
+// gatherBlocks is the shared linear gather: rank order, receives posted
+// up-front.
+func (c *Comm) gatherBlocks(payload []byte, root int) ([][]byte, error) {
+	tag := c.nextCollTag()
+	p := len(c.members)
+	if c.rank != root {
+		return nil, c.collSend(payload, root, tag)
+	}
+	prs := make([]*pendingRecv, p)
+	for i := 0; i < p; i++ {
+		if i != root {
+			prs[i] = c.collIrecv(i, tag)
+		}
+	}
+	blocks := make([][]byte, p)
+	blocks[root] = payload
+	for i := 0; i < p; i++ {
+		if i == root {
+			continue
+		}
+		env, err := c.finishRecv(prs[i])
+		if err != nil {
+			return nil, err
+		}
+		blocks[i] = env.data
+	}
+	return blocks, nil
+}
+
+// Allgather concatenates every rank's equal-sized contribution on every
+// rank (MPI_Allgather), using the ring algorithm: p-1 steps, each moving
+// one block to the right neighbour.
+func Allgather[T Scalar](c *Comm, data []T) ([]T, error) {
+	c.world.stats.countCall(c.worldRank, PrimAllgather)
+	tag := c.nextCollTag()
+	p, r := len(c.members), c.rank
+	n := len(data)
+	out := make([]T, n*p)
+	copy(out[r*n:(r+1)*n], data)
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	cur := Marshal(data)
+	for step := 0; step < p-1; step++ {
+		pr := c.collIrecv(left, tag)
+		if err := c.collSend(cur, right, tag); err != nil {
+			return nil, err
+		}
+		env, err := c.finishRecv(pr)
+		if err != nil {
+			return nil, err
+		}
+		cur = env.data
+		blockOwner := (r - step - 1 + p) % p
+		xs, err := Unmarshal[T](cur)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != n {
+			return nil, fmt.Errorf("%w: Allgather rank %d contributed %d elements, expected %d", ErrLengthMismatch, blockOwner, len(xs), n)
+		}
+		copy(out[blockOwner*n:(blockOwner+1)*n], xs)
+	}
+	return out, nil
+}
+
+// Reduce folds every rank's buffer elementwise with op onto root
+// (MPI_Reduce) along a binomial tree. All ranks must contribute buffers of
+// the same length; non-root ranks receive nil.
+func Reduce[T Scalar](c *Comm, data []T, op Op[T], root int) ([]T, error) {
+	if err := c.checkPeer(root, false); err != nil {
+		return nil, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimReduce)
+	return reduceTree(c, data, op, root)
+}
+
+// reduceTree is the binomial-tree reduction shared by Reduce and
+// Allreduce. The accumulator travels up the tree; the result lands on
+// root.
+func reduceTree[T Scalar](c *Comm, data []T, op Op[T], root int) ([]T, error) {
+	tag := c.nextCollTag()
+	p := len(c.members)
+	rel := (c.rank - root + p) % p
+	acc := append([]T(nil), data...)
+	for mask := 1; mask < p; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := (rel&^mask + root) % p
+			return nil, c.collSend(Marshal(acc), parent, tag)
+		}
+		childRel := rel | mask
+		if childRel < p {
+			child := (childRel + root) % p
+			b, err := c.collRecv(child, tag)
+			if err != nil {
+				return nil, err
+			}
+			xs, err := Unmarshal[T](b)
+			if err != nil {
+				return nil, err
+			}
+			if len(xs) != len(acc) {
+				return nil, fmt.Errorf("%w: Reduce rank %d contributed %d elements, expected %d", ErrLengthMismatch, child, len(xs), len(acc))
+			}
+			reduceInto(acc, xs, op)
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce folds every rank's buffer elementwise with op and delivers the
+// result to every rank (MPI_Allreduce). The default algorithm is a
+// binomial reduce to rank 0 followed by a binomial broadcast; see
+// AllreduceRing for the bandwidth-optimal alternative.
+func Allreduce[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	c.world.stats.countCall(c.worldRank, PrimAllreduce)
+	acc, err := reduceTree(c, data, op, 0)
+	if err != nil {
+		return nil, err
+	}
+	return bcastInternal(c, acc, len(data), 0)
+}
+
+// bcastInternal is Bcast without user-primitive accounting, used by
+// composite collectives. n is the element count every rank expects.
+func bcastInternal[T Scalar](c *Comm, data []T, n int, root int) ([]T, error) {
+	tag := c.nextCollTag()
+	p, r := len(c.members), c.rank
+	rel := (r - root + p) % p
+	var payload []byte
+	if rel == 0 {
+		payload = Marshal(data)
+	}
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % p
+			b, err := c.collRecv(parent, tag)
+			if err != nil {
+				return nil, err
+			}
+			payload = b
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < p {
+			child := (rel + mask + root) % p
+			if err := c.collSend(payload, child, tag); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if rel == 0 {
+		return data, nil
+	}
+	xs, err := Unmarshal[T](payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(xs) != n {
+		return nil, fmt.Errorf("%w: broadcast delivered %d elements, expected %d", ErrLengthMismatch, len(xs), n)
+	}
+	return xs, nil
+}
+
+// AllreduceRing is the bandwidth-optimal ring allreduce
+// (reduce-scatter followed by allgather), the algorithm popularized by
+// large-scale data-parallel training. It moves 2·(p-1)/p of the buffer per
+// rank versus log2(p) full buffers for the tree algorithm, which the
+// ablation bench quantifies.
+func AllreduceRing[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	c.world.stats.countCall(c.worldRank, PrimAllreduce)
+	p, r := len(c.members), c.rank
+	if p == 1 {
+		return append([]T(nil), data...), nil
+	}
+	tag := c.nextCollTag()
+	n := len(data)
+	// Pad to a multiple of p so every segment has equal size.
+	seg := (n + p - 1) / p
+	buf := make([]T, seg*p)
+	copy(buf, data)
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+
+	segment := func(i int) []T { return buf[i*seg : (i+1)*seg] }
+
+	// Reduce-scatter: after p-1 steps, rank r owns the fully reduced
+	// segment (r+1) mod p.
+	for step := 0; step < p-1; step++ {
+		sendIdx := (r - step + p) % p
+		recvIdx := (r - step - 1 + p) % p
+		pr := c.collIrecv(left, tag)
+		if err := c.collSend(Marshal(segment(sendIdx)), right, tag); err != nil {
+			return nil, err
+		}
+		env, err := c.finishRecv(pr)
+		if err != nil {
+			return nil, err
+		}
+		xs, err := Unmarshal[T](env.data)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != seg {
+			return nil, fmt.Errorf("%w: ring allreduce segment of %d elements, expected %d", ErrLengthMismatch, len(xs), seg)
+		}
+		reduceInto(segment(recvIdx), xs, op)
+	}
+	// Allgather: circulate the reduced segments.
+	for step := 0; step < p-1; step++ {
+		sendIdx := (r + 1 - step + p) % p
+		recvIdx := (r - step + p) % p
+		pr := c.collIrecv(left, tag)
+		if err := c.collSend(Marshal(segment(sendIdx)), right, tag); err != nil {
+			return nil, err
+		}
+		env, err := c.finishRecv(pr)
+		if err != nil {
+			return nil, err
+		}
+		xs, err := Unmarshal[T](env.data)
+		if err != nil {
+			return nil, err
+		}
+		copy(segment(recvIdx), xs)
+	}
+	return buf[:n], nil
+}
+
+// Scan computes the inclusive prefix reduction (MPI_Scan): rank r receives
+// op-fold of the buffers of ranks 0..r. Linear chain algorithm.
+func Scan[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	c.world.stats.countCall(c.worldRank, PrimScan)
+	tag := c.nextCollTag()
+	p, r := len(c.members), c.rank
+	acc := append([]T(nil), data...)
+	if r > 0 {
+		b, err := c.collRecv(r-1, tag)
+		if err != nil {
+			return nil, err
+		}
+		xs, err := Unmarshal[T](b)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != len(acc) {
+			return nil, fmt.Errorf("%w: Scan rank %d passed %d elements, expected %d", ErrLengthMismatch, r-1, len(xs), len(acc))
+		}
+		// Inclusive scan folds the prefix from the left.
+		for i := range acc {
+			acc[i] = op(xs[i], acc[i])
+		}
+	}
+	if r < p-1 {
+		if err := c.collSend(Marshal(acc), r+1, tag); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Alltoall sends the i-th equal-sized block of data to rank i and returns
+// the blocks received from every rank, concatenated in rank order
+// (MPI_Alltoall). len(data) must be a multiple of the communicator size.
+func Alltoall[T Scalar](c *Comm, data []T) ([]T, error) {
+	p, r := len(c.members), c.rank
+	if len(data)%p != 0 {
+		return nil, fmt.Errorf("%w: Alltoall buffer of %d elements across %d ranks", ErrLengthMismatch, len(data), p)
+	}
+	c.world.stats.countCall(c.worldRank, PrimAlltoall)
+	tag := c.nextCollTag()
+	n := len(data) / p
+	out := make([]T, len(data))
+	copy(out[r*n:(r+1)*n], data[r*n:(r+1)*n])
+	for step := 1; step < p; step++ {
+		to := (r + step) % p
+		from := (r - step + p) % p
+		pr := c.collIrecv(from, tag)
+		if err := c.collSend(Marshal(data[to*n:(to+1)*n]), to, tag); err != nil {
+			return nil, err
+		}
+		env, err := c.finishRecv(pr)
+		if err != nil {
+			return nil, err
+		}
+		xs, err := Unmarshal[T](env.data)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != n {
+			return nil, fmt.Errorf("%w: Alltoall rank %d sent %d elements, expected %d", ErrLengthMismatch, from, len(xs), n)
+		}
+		copy(out[from*n:(from+1)*n], xs)
+	}
+	return out, nil
+}
+
+// Alltoallv performs a personalized all-to-all exchange with per-peer
+// block sizes (MPI_Alltoallv). blocks[i] is sent to rank i; the return
+// value holds one received block per source rank. It is the shuffle
+// primitive of the MapReduce substrate and of Module 3's bucket exchange.
+func Alltoallv[T Scalar](c *Comm, blocks [][]T) ([][]T, error) {
+	p, r := len(c.members), c.rank
+	if len(blocks) != p {
+		return nil, fmt.Errorf("%w: Alltoallv got %d blocks for %d ranks", ErrLengthMismatch, len(blocks), p)
+	}
+	c.world.stats.countCall(c.worldRank, PrimAlltoallv)
+	tag := c.nextCollTag()
+	out := make([][]T, p)
+	out[r] = append([]T(nil), blocks[r]...)
+	for step := 1; step < p; step++ {
+		to := (r + step) % p
+		from := (r - step + p) % p
+		pr := c.collIrecv(from, tag)
+		if err := c.collSend(Marshal(blocks[to]), to, tag); err != nil {
+			return nil, err
+		}
+		env, err := c.finishRecv(pr)
+		if err != nil {
+			return nil, err
+		}
+		xs, err := Unmarshal[T](env.data)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = xs
+	}
+	return out, nil
+}
+
+// Allgatherv concatenates variable-sized contributions on every rank
+// (MPI_Allgatherv): a linear gather onto rank 0 followed by a binomial
+// broadcast of the counts and the flattened payload.
+func Allgatherv[T Scalar](c *Comm, data []T) ([][]T, error) {
+	c.world.stats.countCall(c.worldRank, PrimAllgather)
+	blocks, err := c.gatherBlocks(Marshal(data), 0)
+	if err != nil {
+		return nil, err
+	}
+	p := len(c.members)
+	var flat []byte
+	counts := make([]int64, p)
+	if c.rank == 0 {
+		for i, b := range blocks {
+			counts[i] = int64(len(b))
+			flat = append(flat, b...)
+		}
+	}
+	counts64, err := bcastInternal(c, counts, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, n := range counts64 {
+		total += int(n)
+	}
+	flat, err = bcastInternal(c, flat, total, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, p)
+	off := 0
+	for i := 0; i < p; i++ {
+		xs, err := Unmarshal[T](flat[off : off+int(counts64[i])])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = xs
+		off += int(counts64[i])
+	}
+	return out, nil
+}
+
+// Exscan computes the exclusive prefix reduction (MPI_Exscan): rank r
+// receives the op-fold of ranks 0..r-1; rank 0's result is the zero-value
+// slice (MPI leaves it undefined; zeros are the defined choice here).
+func Exscan[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	c.world.stats.countCall(c.worldRank, PrimScan)
+	tag := c.nextCollTag()
+	p, r := len(c.members), c.rank
+	// Chain: receive the running prefix from the left, forward
+	// prefix⊕mine to the right.
+	prefix := make([]T, len(data))
+	if r > 0 {
+		b, err := c.collRecv(r-1, tag)
+		if err != nil {
+			return nil, err
+		}
+		xs, err := Unmarshal[T](b)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != len(data) {
+			return nil, fmt.Errorf("%w: Exscan rank %d passed %d elements, expected %d", ErrLengthMismatch, r-1, len(xs), len(data))
+		}
+		prefix = xs
+	}
+	if r < p-1 {
+		next := make([]T, len(data))
+		if r == 0 {
+			copy(next, data)
+		} else {
+			for i := range next {
+				next[i] = op(prefix[i], data[i])
+			}
+		}
+		if err := c.collSend(Marshal(next), r+1, tag); err != nil {
+			return nil, err
+		}
+	}
+	return prefix, nil
+}

@@ -1,0 +1,369 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Comm is a communicator handle held by one rank, analogous to an
+// MPI_Comm. The world communicator is passed to the rank function by Run;
+// sub-communicators come from Split. A Comm is not safe for concurrent use
+// by multiple goroutines (matching MPI's one-thread-per-rank model), but
+// distinct ranks' Comms are independent.
+type Comm struct {
+	world     *World
+	worldRank int   // this rank's world rank
+	rank      int   // this rank's rank within the communicator
+	members   []int // comm rank -> world rank
+	ctx       int32 // user context; ctx+1 is the collective shadow context
+	collSeq   int64 // lockstep collective sequence number
+	splitSeq  int64 // lockstep Split sequence number
+	mb        *mailbox
+}
+
+func newWorldComm(w *World, rank int) *Comm {
+	members := make([]int, w.size)
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{
+		world:     w,
+		worldRank: rank,
+		rank:      rank,
+		members:   members,
+		ctx:       0,
+		mb:        w.mailboxes[rank],
+	}
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank returns the caller's rank in the world communicator, which can
+// differ from Rank for communicators produced by Split.
+func (c *Comm) WorldRank() int { return c.worldRank }
+
+// Stats returns a snapshot of the world's communication accounting.
+func (c *Comm) Stats() Snapshot { return c.world.stats.Snapshot() }
+
+// checkPeer validates a peer rank within the communicator; wildcard allows
+// AnySource.
+func (c *Comm) checkPeer(peer int, wildcard bool) error {
+	if wildcard && peer == AnySource {
+		return nil
+	}
+	if peer < 0 || peer >= len(c.members) {
+		return fmt.Errorf("%w: peer %d of communicator size %d", ErrRankOutOfRange, peer, len(c.members))
+	}
+	return nil
+}
+
+func checkTag(tag int, wildcard bool) error {
+	if wildcard && tag == AnyTag {
+		return nil
+	}
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("%w: tag %d not in [0, %d]", ErrTagOutOfRange, tag, MaxUserTag)
+	}
+	return nil
+}
+
+// sendEnvelope builds, accounts and delivers one data envelope on ctx, and
+// runs the rendezvous protocol when required. data is owned by the caller;
+// it is copied before delivery.
+func (c *Comm) sendEnvelope(ctx int32, data []byte, dest, tag int, sync bool) error {
+	payload := append([]byte(nil), data...)
+	env := &envelope{
+		kind: kindData,
+		src:  c.rank,
+		wsrc: c.worldRank,
+		wdst: c.members[dest],
+		ctx:  ctx,
+		tag:  int32(tag),
+	}
+	var seq int64
+	if sync || len(payload) > c.world.opts.eagerThreshold || c.world.opts.synchronousSend {
+		seq = c.world.nextSeq()
+		env.seq = seq
+	}
+	env.data = payload
+	// The receiver may consume env.seq concurrently once delivered, so
+	// the local copy taken above is the only safe handle afterwards.
+	if err := c.world.deliver(env); err != nil {
+		return err
+	}
+	if seq != 0 {
+		start := time.Now()
+		err := c.mb.waitAck(seq)
+		c.traceComm("send", start)
+		return err
+	}
+	return nil
+}
+
+// isendEnvelope is the nonblocking variant; the returned request completes
+// immediately for eager sends and on acknowledgement for rendezvous sends.
+func (c *Comm) isendEnvelope(ctx int32, data []byte, dest, tag int) (*Request, error) {
+	payload := append([]byte(nil), data...)
+	env := &envelope{
+		kind: kindData,
+		src:  c.rank,
+		wsrc: c.worldRank,
+		wdst: c.members[dest],
+		ctx:  ctx,
+		tag:  int32(tag),
+	}
+	var seq int64
+	if len(payload) > c.world.opts.eagerThreshold || c.world.opts.synchronousSend {
+		seq = c.world.nextSeq()
+		env.seq = seq
+	}
+	env.data = payload
+	if err := c.world.deliver(env); err != nil {
+		return nil, err
+	}
+	return &Request{comm: c, kind: reqSend, seq: seq, done: seq == 0}, nil
+}
+
+// recvEnvelope blocks for a matching envelope on ctx and acknowledges
+// rendezvous sends.
+func (c *Comm) recvEnvelope(ctx int32, src, tag int) (*envelope, Status, error) {
+	pr := c.mb.postRecv(ctx, src, tag)
+	var env *envelope
+	if pr.env != nil {
+		env = pr.env
+	} else {
+		start := time.Now()
+		e, err := c.mb.waitRecv(pr)
+		c.traceComm("recv", start)
+		if err != nil {
+			return nil, Status{}, err
+		}
+		env = e
+	}
+	return env, Status{Source: env.src, Tag: int(env.tag), Bytes: len(env.data)}, nil
+}
+
+func (c *Comm) traceComm(op string, start time.Time) {
+	if t := c.world.opts.tracer; t != nil {
+		t.RecordComm(c.worldRank, op, start, time.Since(start))
+	}
+}
+
+// SendBytes sends a raw payload to dest with the given tag (MPI_Send). The
+// call returns once the buffer is reusable: immediately for eager-size
+// messages, after the receiver matches for rendezvous-size messages.
+func (c *Comm) SendBytes(data []byte, dest, tag int) error {
+	if err := c.checkPeer(dest, false); err != nil {
+		return err
+	}
+	if err := checkTag(tag, false); err != nil {
+		return err
+	}
+	c.world.stats.countCall(c.worldRank, PrimSend)
+	c.world.stats.addUserSent(c.worldRank, len(data))
+	return c.sendEnvelope(c.ctx, data, dest, tag, false)
+}
+
+// SsendBytes is the explicitly synchronous send (MPI_Ssend): it always
+// blocks until the receiver has matched the message.
+func (c *Comm) SsendBytes(data []byte, dest, tag int) error {
+	if err := c.checkPeer(dest, false); err != nil {
+		return err
+	}
+	if err := checkTag(tag, false); err != nil {
+		return err
+	}
+	c.world.stats.countCall(c.worldRank, PrimSend)
+	c.world.stats.addUserSent(c.worldRank, len(data))
+	return c.sendEnvelope(c.ctx, data, dest, tag, true)
+}
+
+// RecvBytes receives a message matching (src, tag), which may use
+// AnySource and AnyTag wildcards (MPI_Recv).
+func (c *Comm) RecvBytes(src, tag int) ([]byte, Status, error) {
+	if err := c.checkPeer(src, true); err != nil {
+		return nil, Status{}, err
+	}
+	if err := checkTag(tag, true); err != nil {
+		return nil, Status{}, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimRecv)
+	env, st, err := c.recvEnvelope(c.ctx, src, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	c.world.stats.addUserRecv(c.worldRank, len(env.data))
+	return env.data, st, nil
+}
+
+// IsendBytes starts a nonblocking send (MPI_Isend). The data is copied, so
+// the caller's buffer is immediately reusable; Wait reports when the
+// transfer obligation is complete.
+func (c *Comm) IsendBytes(data []byte, dest, tag int) (*Request, error) {
+	if err := c.checkPeer(dest, false); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag, false); err != nil {
+		return nil, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimIsend)
+	c.world.stats.addUserSent(c.worldRank, len(data))
+	return c.isendEnvelope(c.ctx, data, dest, tag)
+}
+
+// IrecvBytes starts a nonblocking receive (MPI_Irecv).
+func (c *Comm) IrecvBytes(src, tag int) (*Request, error) {
+	if err := c.checkPeer(src, true); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag, true); err != nil {
+		return nil, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimIrecv)
+	pr := c.mb.postRecv(c.ctx, src, tag)
+	return &Request{comm: c, kind: reqRecv, pr: pr}, nil
+}
+
+// SendrecvBytes performs a combined send and receive (MPI_Sendrecv),
+// deadlock-free regardless of ordering at the peers: the receive is posted
+// before the send blocks.
+func (c *Comm) SendrecvBytes(data []byte, dest, sendTag, src, recvTag int) ([]byte, Status, error) {
+	if err := c.checkPeer(dest, false); err != nil {
+		return nil, Status{}, err
+	}
+	if err := c.checkPeer(src, true); err != nil {
+		return nil, Status{}, err
+	}
+	if err := checkTag(sendTag, false); err != nil {
+		return nil, Status{}, err
+	}
+	if err := checkTag(recvTag, true); err != nil {
+		return nil, Status{}, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimSendrecv)
+	c.world.stats.addUserSent(c.worldRank, len(data))
+	pr := c.mb.postRecv(c.ctx, src, recvTag)
+	if err := c.sendEnvelope(c.ctx, data, dest, sendTag, false); err != nil {
+		return nil, Status{}, err
+	}
+	env, err := c.finishRecv(pr)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	c.world.stats.addUserRecv(c.worldRank, len(env.data))
+	return env.data, Status{Source: env.src, Tag: int(env.tag), Bytes: len(env.data)}, nil
+}
+
+// finishRecv waits for a posted receive and completes the rendezvous
+// protocol.
+func (c *Comm) finishRecv(pr *pendingRecv) (*envelope, error) {
+	var env *envelope
+	if pr.env != nil {
+		env = pr.env
+		c.mb.mu.Lock()
+		c.mb.dropPending(pr)
+		c.mb.mu.Unlock()
+	} else {
+		start := time.Now()
+		e, err := c.mb.waitRecv(pr)
+		c.traceComm("recv", start)
+		if err != nil {
+			return nil, err
+		}
+		env = e
+	}
+	return env, nil
+}
+
+// Probe blocks until a message matching (src, tag) is available and
+// returns its Status without receiving it (MPI_Probe). Combined with
+// Status.Count it lets a rank size its receive buffer, the pattern
+// Module 3 teaches alongside MPI_Get_count.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	if err := c.checkPeer(src, true); err != nil {
+		return Status{}, err
+	}
+	if err := checkTag(tag, true); err != nil {
+		return Status{}, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimProbe)
+	start := time.Now()
+	st, err := c.mb.probe(c.ctx, src, tag)
+	c.traceComm("probe", start)
+	return st, err
+}
+
+// Iprobe is the nonblocking probe (MPI_Iprobe).
+func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	if err := c.checkPeer(src, true); err != nil {
+		return Status{}, false, err
+	}
+	if err := checkTag(tag, true); err != nil {
+		return Status{}, false, err
+	}
+	c.world.stats.countCall(c.worldRank, PrimIprobe)
+	st, ok := c.mb.iprobe(c.ctx, src, tag)
+	return st, ok, nil
+}
+
+// GetCount returns the element count of a received message, mirroring
+// MPI_Get_count, and records the primitive use for Table II accounting.
+func (c *Comm) GetCount(st Status, elemSize int) (int, error) {
+	c.world.stats.countCall(c.worldRank, PrimGetCount)
+	return st.Count(elemSize)
+}
+
+// Abort stops the whole world with the given error (MPI_Abort).
+func (c *Comm) Abort(err error) {
+	if err == nil {
+		err = fmt.Errorf("rank %d called Abort", c.rank)
+	}
+	c.world.abort(err)
+}
+
+// Send sends a typed slice (MPI_Send). See SendBytes for blocking
+// semantics.
+func Send[T Scalar](c *Comm, data []T, dest, tag int) error {
+	return c.SendBytes(Marshal(data), dest, tag)
+}
+
+// Ssend sends a typed slice with forced synchronous semantics (MPI_Ssend).
+func Ssend[T Scalar](c *Comm, data []T, dest, tag int) error {
+	return c.SsendBytes(Marshal(data), dest, tag)
+}
+
+// Recv receives a typed slice (MPI_Recv). Wildcards AnySource and AnyTag
+// are permitted.
+func Recv[T Scalar](c *Comm, src, tag int) ([]T, Status, error) {
+	b, st, err := c.RecvBytes(src, tag)
+	if err != nil {
+		return nil, st, err
+	}
+	xs, err := Unmarshal[T](b)
+	return xs, st, err
+}
+
+// Isend starts a nonblocking typed send (MPI_Isend).
+func Isend[T Scalar](c *Comm, data []T, dest, tag int) (*Request, error) {
+	return c.IsendBytes(Marshal(data), dest, tag)
+}
+
+// Irecv starts a nonblocking typed receive (MPI_Irecv); complete it with
+// WaitRecv.
+func Irecv[T Scalar](c *Comm, src, tag int) (*Request, error) {
+	return c.IrecvBytes(src, tag)
+}
+
+// Sendrecv performs a combined typed send and receive (MPI_Sendrecv).
+func Sendrecv[T Scalar](c *Comm, data []T, dest, sendTag, src, recvTag int) ([]T, Status, error) {
+	b, st, err := c.SendrecvBytes(Marshal(data), dest, sendTag, src, recvTag)
+	if err != nil {
+		return nil, st, err
+	}
+	xs, err := Unmarshal[T](b)
+	return xs, st, err
+}

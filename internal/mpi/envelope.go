@@ -1,0 +1,319 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// envelope kinds.
+const (
+	kindData int8 = iota // application or collective payload
+	kindAck              // rendezvous acknowledgement
+)
+
+// envelope is the unit moved by a transport. src is the sender's rank
+// relative to the communicator identified by ctx (what Recv matches and
+// Status reports); wsrc and wdst are world ranks used for routing, the
+// rendezvous reply path, and traffic accounting. For kindData envelopes,
+// seq is nonzero when the sender awaits a rendezvous acknowledgement; the
+// receiver replies with a kindAck envelope carrying the same seq.
+type envelope struct {
+	kind int8
+	src  int   // communicator-relative sender rank
+	wsrc int   // world rank of the sender
+	wdst int   // world rank of the destination
+	ctx  int32 // communicator context (even: user, odd: collective shadow)
+	tag  int32
+	seq  int64 // rendezvous sequence; 0 when no ack is required
+	data []byte
+}
+
+const envelopeHeaderLen = 1 + 4 + 4 + 4 + 4 + 4 + 8 + 4 // kind, src, wsrc, wdst, ctx, tag, seq, len
+
+// appendWire serializes the envelope for the TCP transport.
+func (e *envelope) appendWire(b []byte) []byte {
+	b = append(b, byte(e.kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(e.src)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(e.wsrc)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(e.wdst)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.ctx))
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.tag))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.seq))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.data)))
+	return append(b, e.data...)
+}
+
+// parseWire decodes an envelope serialized by appendWire. The input must
+// contain exactly one envelope.
+func parseWire(b []byte) (*envelope, error) {
+	if len(b) < envelopeHeaderLen {
+		return nil, fmt.Errorf("mpi: short envelope: %d bytes", len(b))
+	}
+	e := &envelope{
+		kind: int8(b[0]),
+		src:  int(int32(binary.LittleEndian.Uint32(b[1:]))),
+		wsrc: int(int32(binary.LittleEndian.Uint32(b[5:]))),
+		wdst: int(int32(binary.LittleEndian.Uint32(b[9:]))),
+		ctx:  int32(binary.LittleEndian.Uint32(b[13:])),
+		tag:  int32(binary.LittleEndian.Uint32(b[17:])),
+		seq:  int64(binary.LittleEndian.Uint64(b[21:])),
+	}
+	n := int(binary.LittleEndian.Uint32(b[29:]))
+	if len(b) != envelopeHeaderLen+n {
+		return nil, fmt.Errorf("mpi: envelope length mismatch: header says %d payload bytes, have %d", n, len(b)-envelopeHeaderLen)
+	}
+	if n > 0 {
+		e.data = append([]byte(nil), b[envelopeHeaderLen:]...)
+	}
+	return e, nil
+}
+
+// wireBytes returns the on-wire size of the envelope, counted by the
+// traffic accounting regardless of transport.
+func (e *envelope) wireBytes() int { return envelopeHeaderLen + len(e.data) }
+
+// Scalar enumerates the element types that can cross rank boundaries.
+// Fixed-width little-endian encoding is used on the wire, so the TCP and
+// channel transports carry identical bytes.
+type Scalar interface {
+	~byte | ~int16 | ~uint16 | ~int32 | ~uint32 | ~int64 | ~uint64 | ~int | ~uint | ~float32 | ~float64
+}
+
+// scalarSize reports the encoded size in bytes of T. Go's int and uint are
+// always encoded as 8 bytes.
+func scalarSize[T Scalar]() int {
+	var z T
+	switch any(z).(type) {
+	case byte:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Marshal encodes a slice of scalars into the canonical wire format.
+func Marshal[T Scalar](xs []T) []byte {
+	size := scalarSize[T]()
+	out := make([]byte, 0, size*len(xs))
+	switch v := any(xs).(type) {
+	case []byte:
+		return append(out, v...)
+	case []float64:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+		}
+	case []float32:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(x))
+		}
+	case []int:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint64(out, uint64(int64(x)))
+		}
+	case []uint:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint64(out, uint64(x))
+		}
+	case []int64:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint64(out, uint64(x))
+		}
+	case []uint64:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint64(out, x)
+		}
+	case []int32:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint32(out, uint32(x))
+		}
+	case []uint32:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint32(out, x)
+		}
+	case []int16:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint16(out, uint16(x))
+		}
+	case []uint16:
+		for _, x := range v {
+			out = binary.LittleEndian.AppendUint16(out, x)
+		}
+	default:
+		// Named types (e.g. type ID int64) fall through the concrete
+		// switch; encode element-wise via the generic path.
+		for _, x := range xs {
+			out = appendScalar(out, x)
+		}
+	}
+	return out
+}
+
+func appendScalar[T Scalar](out []byte, x T) []byte {
+	switch size := scalarSize[T](); size {
+	case 1:
+		return append(out, byte(asUint64(x)))
+	case 2:
+		return binary.LittleEndian.AppendUint16(out, uint16(asUint64(x)))
+	case 4:
+		return binary.LittleEndian.AppendUint32(out, uint32(asUint64(x)))
+	default:
+		return binary.LittleEndian.AppendUint64(out, asUint64(x))
+	}
+}
+
+// asUint64 reinterprets a scalar's bits as uint64 without unsafe.
+func asUint64[T Scalar](x T) uint64 {
+	switch v := any(x).(type) {
+	case float64:
+		return math.Float64bits(v)
+	case float32:
+		return uint64(math.Float32bits(v))
+	case byte:
+		return uint64(v)
+	case int16:
+		return uint64(uint16(v))
+	case uint16:
+		return uint64(v)
+	case int32:
+		return uint64(uint32(v))
+	case uint32:
+		return uint64(v)
+	case int64:
+		return uint64(v)
+	case uint64:
+		return v
+	case int:
+		return uint64(int64(v))
+	case uint:
+		return uint64(v)
+	default:
+		// Named scalar type: round-trip through the underlying kind.
+		return namedAsUint64(x)
+	}
+}
+
+func namedAsUint64[T Scalar](x T) uint64 {
+	if isFloat[T]() {
+		if scalarSize[T]() == 4 {
+			return uint64(math.Float32bits(float32(x)))
+		}
+		return math.Float64bits(float64(x))
+	}
+	// The conversions below are valid for every integer type in Scalar.
+	switch scalarSize[T]() {
+	case 1:
+		return uint64(uint8(x))
+	case 2:
+		return uint64(uint16(x))
+	case 4:
+		return uint64(uint32(x))
+	default:
+		return uint64(x)
+	}
+}
+
+// isFloat reports whether T has a floating-point underlying type. The
+// division trick distinguishes floats (1/2 = 0.5) from integers (1/2 = 0)
+// without reflection.
+func isFloat[T Scalar]() bool {
+	return T(1)/T(2) != T(0)
+}
+
+// Unmarshal decodes a canonical wire-format payload into a slice of T. It
+// returns an error when the payload is not a whole number of elements.
+func Unmarshal[T Scalar](b []byte) ([]T, error) {
+	size := scalarSize[T]()
+	if len(b)%size != 0 {
+		return nil, fmt.Errorf("mpi: Unmarshal: %d bytes is not a multiple of element size %d", len(b), size)
+	}
+	n := len(b) / size
+	out := make([]T, n)
+	switch v := any(out).(type) {
+	case []byte:
+		copy(v, b)
+	case []float64:
+		for i := range v {
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+	case []float32:
+		for i := range v {
+			v[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+		}
+	case []int:
+		for i := range v {
+			v[i] = int(int64(binary.LittleEndian.Uint64(b[i*8:])))
+		}
+	case []uint:
+		for i := range v {
+			v[i] = uint(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+	case []int64:
+		for i := range v {
+			v[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+	case []uint64:
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+	case []int32:
+		for i := range v {
+			v[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+		}
+	case []uint32:
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint32(b[i*4:])
+		}
+	case []int16:
+		for i := range v {
+			v[i] = int16(binary.LittleEndian.Uint16(b[i*2:]))
+		}
+	case []uint16:
+		for i := range v {
+			v[i] = binary.LittleEndian.Uint16(b[i*2:])
+		}
+	default:
+		for i := range out {
+			out[i] = scalarFromBytes[T](b[i*size:], size)
+		}
+	}
+	return out, nil
+}
+
+func scalarFromBytes[T Scalar](b []byte, size int) T {
+	var bits uint64
+	switch size {
+	case 1:
+		bits = uint64(b[0])
+	case 2:
+		bits = uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		bits = uint64(binary.LittleEndian.Uint32(b))
+	default:
+		bits = binary.LittleEndian.Uint64(b)
+	}
+	if isFloat[T]() {
+		if size == 4 {
+			return T(math.Float32frombits(uint32(bits)))
+		}
+		return T(math.Float64frombits(bits))
+	}
+	return fromBits[T](bits, size)
+}
+
+func fromBits[T Scalar](bits uint64, size int) T {
+	switch size {
+	case 1:
+		return T(uint8(bits))
+	case 2:
+		return T(uint16(bits))
+	case 4:
+		return T(uint32(bits))
+	default:
+		return T(bits)
+	}
+}

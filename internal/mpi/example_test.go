@@ -1,0 +1,83 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// ExampleRun shows the smallest complete program: four goroutine ranks
+// summing their ranks with one collective.
+func ExampleRun() {
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		sum, err := mpi.Allreduce(c, []int{c.Rank()}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Println("total:", sum[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: total: 6
+}
+
+// ExampleSend demonstrates blocking point-to-point messaging with tags.
+func ExampleSend() {
+	mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return mpi.Send(c, []float64{3.14}, 1, 7)
+		}
+		xs, st, err := mpi.Recv[float64](c, 0, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rank 1 got %.2f from rank %d\n", xs[0], st.Source)
+		return nil
+	})
+	// Output: rank 1 got 3.14 from rank 0
+}
+
+// ExampleComm_Split partitions the world into odd and even groups.
+func ExampleComm_Split() {
+	mpi.Run(4, func(c *mpi.Comm) error {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		sum, err := mpi.Allreduce(sub, []int{c.Rank()}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Println("even-rank sum:", sum[0]) // 0 + 2
+		}
+		return nil
+	})
+	// Output: even-rank sum: 2
+}
+
+// ExampleComm_Probe sizes a receive buffer before receiving, the
+// MPI_Probe + MPI_Get_count pattern from Module 3.
+func ExampleComm_Probe() {
+	mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return mpi.Send(c, []int64{1, 2, 3}, 1, 0)
+		}
+		st, err := c.Probe(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return err
+		}
+		n, err := c.GetCount(st, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Println("incoming elements:", n)
+		_, _, err = mpi.Recv[int64](c, st.Source, st.Tag)
+		return err
+	})
+	// Output: incoming elements: 3
+}

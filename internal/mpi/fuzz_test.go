@@ -1,0 +1,45 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseWire hardens the TCP transport's envelope decoder against
+// malformed frames: it must never panic, and any frame it accepts must
+// re-encode to the same bytes.
+func FuzzParseWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&envelope{kind: kindData, src: 1, wsrc: 1, wdst: 0, ctx: 2, tag: 3, seq: 4, data: []byte("hi")}).appendWire(nil))
+	f.Add((&envelope{kind: kindAck, seq: 9}).appendWire(nil))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		e, err := parseWire(frame)
+		if err != nil {
+			return
+		}
+		back := e.appendWire(nil)
+		if !bytes.Equal(back, frame) {
+			t.Fatalf("accepted frame does not round-trip: %x → %x", frame, back)
+		}
+	})
+}
+
+// FuzzUnmarshalFloat64 hardens the typed decoder: arbitrary byte strings
+// either error or decode to a slice that re-encodes identically.
+func FuzzUnmarshalFloat64(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Marshal([]float64{1.5, -2.25}))
+	f.Add([]byte{1, 2, 3}) // not a multiple of 8
+	f.Fuzz(func(t *testing.T, b []byte) {
+		xs, err := Unmarshal[float64](b)
+		if err != nil {
+			if len(b)%8 == 0 {
+				t.Fatalf("aligned input rejected: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(Marshal(xs), b) {
+			t.Fatal("decode/encode not idempotent")
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package mpi
+
+import (
+	"sync"
+)
+
+// waitKind classifies what a blocked rank is waiting for. The deadlock
+// detector uses it to decide whether the wait could ever be satisfied.
+type waitKind int8
+
+const (
+	waitNone  waitKind = iota
+	waitRecv           // blocked in Recv/Wait(Irecv) on pr
+	waitProbe          // blocked in Probe on (ctx, src, tag)
+	waitAck            // blocked in a rendezvous Send on seq
+)
+
+// waitInfo records the blocking state of a rank, guarded by its mailbox
+// mutex. Exactly one of the fields past kind is meaningful.
+type waitInfo struct {
+	kind waitKind
+	pr   *pendingRecv // waitRecv
+	ctx  int32        // waitProbe
+	src  int          // waitProbe
+	tag  int          // waitProbe
+	seq  int64        // waitAck
+}
+
+// pendingRecv is a posted receive awaiting a matching envelope. env is set
+// exactly once, under the mailbox mutex, when a message matches.
+type pendingRecv struct {
+	ctx int32
+	src int // AnySource allowed
+	tag int // AnyTag allowed
+	env *envelope
+}
+
+// matches reports whether an envelope satisfies a (ctx, src, tag) pattern.
+func matches(e *envelope, ctx int32, src, tag int) bool {
+	if e.kind != kindData || e.ctx != ctx {
+		return false
+	}
+	if src != AnySource && e.src != src {
+		return false
+	}
+	if tag != AnyTag && int(e.tag) != tag {
+		return false
+	}
+	return true
+}
+
+// mailbox is the per-rank matching engine shared by every communicator the
+// rank belongs to. All state is guarded by mu; cond is broadcast on every
+// state change that could unblock a waiter.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	rank  int
+	world *World
+
+	unexpected []*envelope    // FIFO of unmatched arrivals
+	pending    []*pendingRecv // FIFO of posted receives
+	acks       map[int64]bool // rendezvous acks received, by sequence
+
+	// waiting is non-nil while the rank's goroutine is blocked in
+	// cond.Wait; the deadlock detector reads it while holding mu.
+	waiting *waitInfo
+
+	// finished is set when the rank's function has returned. A finished
+	// rank can never post again.
+	finished bool
+}
+
+func newMailbox(rank int, w *World) *mailbox {
+	mb := &mailbox{rank: rank, world: w, acks: make(map[int64]bool)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// post delivers an envelope to the mailbox. Called by transports. A
+// rendezvous envelope that matches an already-posted receive is
+// acknowledged immediately — MPI's progress guarantee: a posted MPI_Irecv
+// must complete a matching synchronous send even if the receiving rank is
+// itself blocked in a send (the ring collectives depend on this). The
+// acknowledgement is dispatched by ackMatched after the mailbox lock is
+// released, so concurrent cross-posts cannot order-deadlock on mailbox
+// mutexes.
+func (mb *mailbox) post(e *envelope) {
+	mb.mu.Lock()
+	if e.kind == kindAck {
+		mb.acks[e.seq] = true
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+		return
+	}
+	for _, pr := range mb.pending {
+		if pr.env == nil && matches(e, pr.ctx, pr.src, pr.tag) {
+			pr.env = e
+			seq, wsrc, ctx := e.seq, e.wsrc, e.ctx
+			e.seq = 0 // consumed: completion paths must not double-ack
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+			mb.sendAck(wsrc, ctx, seq)
+			return
+		}
+	}
+	mb.unexpected = append(mb.unexpected, e)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// sendAck dispatches a rendezvous acknowledgement. Must be called without
+// holding any mailbox lock; seq 0 means no acknowledgement is owed.
+func (mb *mailbox) sendAck(wdst int, ctx int32, seq int64) {
+	if seq == 0 {
+		return
+	}
+	ack := &envelope{kind: kindAck, src: mb.rank, wsrc: mb.rank, wdst: wdst, ctx: ctx, seq: seq}
+	// Delivery failure can only mean a malformed destination, which a
+	// matched envelope cannot have.
+	_ = mb.world.deliver(ack)
+}
+
+// postRecv registers a receive. If an unexpected message already matches,
+// the returned pendingRecv is complete (and any rendezvous sender is
+// acknowledged); otherwise it joins the posted queue in FIFO order.
+func (mb *mailbox) postRecv(ctx int32, src, tag int) *pendingRecv {
+	mb.mu.Lock()
+	pr := &pendingRecv{ctx: ctx, src: src, tag: tag}
+	for i, e := range mb.unexpected {
+		if matches(e, ctx, src, tag) {
+			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+			pr.env = e
+			seq, wsrc := e.seq, e.wsrc
+			e.seq = 0
+			mb.mu.Unlock()
+			mb.sendAck(wsrc, ctx, seq)
+			return pr
+		}
+	}
+	mb.pending = append(mb.pending, pr)
+	mb.mu.Unlock()
+	return pr
+}
+
+// waitRecv blocks until pr completes, the world stops, or deadlock is
+// detected. On success it removes pr from the posted queue and returns its
+// envelope.
+func (mb *mailbox) waitRecv(pr *pendingRecv) (*envelope, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for pr.env == nil {
+		if err := mb.world.stopErr(); err != nil {
+			mb.dropPending(pr)
+			return nil, err
+		}
+		mb.block(&waitInfo{kind: waitRecv, pr: pr})
+	}
+	mb.dropPending(pr)
+	return pr.env, nil
+}
+
+// tryRecv reports whether pr has completed, without blocking. On success
+// the pendingRecv is removed from the posted queue.
+func (mb *mailbox) tryRecv(pr *pendingRecv) (*envelope, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if pr.env == nil {
+		return nil, false
+	}
+	mb.dropPending(pr)
+	return pr.env, true
+}
+
+// dropPending removes pr from the posted queue. Callers hold mu.
+func (mb *mailbox) dropPending(pr *pendingRecv) {
+	for i, p := range mb.pending {
+		if p == pr {
+			mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// probe blocks until an unexpected message matches (ctx, src, tag) and
+// returns its Status without consuming it.
+func (mb *mailbox) probe(ctx int32, src, tag int) (Status, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for _, e := range mb.unexpected {
+			if matches(e, ctx, src, tag) {
+				return Status{Source: e.src, Tag: int(e.tag), Bytes: len(e.data)}, nil
+			}
+		}
+		if err := mb.world.stopErr(); err != nil {
+			return Status{}, err
+		}
+		mb.block(&waitInfo{kind: waitProbe, ctx: ctx, src: src, tag: tag})
+	}
+}
+
+// iprobe is the nonblocking variant of probe.
+func (mb *mailbox) iprobe(ctx int32, src, tag int) (Status, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, e := range mb.unexpected {
+		if matches(e, ctx, src, tag) {
+			return Status{Source: e.src, Tag: int(e.tag), Bytes: len(e.data)}, true
+		}
+	}
+	return Status{}, false
+}
+
+// waitAck blocks until the rendezvous acknowledgement for seq arrives.
+func (mb *mailbox) waitAck(seq int64) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for !mb.acks[seq] {
+		if err := mb.world.stopErr(); err != nil {
+			return err
+		}
+		mb.block(&waitInfo{kind: waitAck, seq: seq})
+	}
+	delete(mb.acks, seq)
+	return nil
+}
+
+// tryAck reports whether the acknowledgement for seq has arrived, without
+// blocking, consuming it on success.
+func (mb *mailbox) tryAck(seq int64) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if !mb.acks[seq] {
+		return false
+	}
+	delete(mb.acks, seq)
+	return true
+}
+
+// block parks the goroutine on the mailbox condition variable with its
+// blocking state exposed to the deadlock detector. Callers hold mu and
+// re-check their predicate after block returns.
+func (mb *mailbox) block(wi *waitInfo) {
+	mb.waiting = wi
+	mb.world.noteBlocked()
+	mb.cond.Wait()
+	mb.waiting = nil
+	mb.world.noteUnblocked()
+}
+
+// markFinished records that the rank's function returned. Guarded by mu so
+// the detector observes a consistent snapshot.
+func (mb *mailbox) markFinished() {
+	mb.mu.Lock()
+	mb.finished = true
+	mb.mu.Unlock()
+}
+
+// satisfiableLocked reports whether the rank's current wait could complete
+// given present mailbox state. The deadlock detector calls it while
+// holding mu for every mailbox in the world. A rank that is neither
+// finished nor waiting is running, which also counts as satisfiable
+// (progress is possible).
+func (mb *mailbox) satisfiableLocked() bool {
+	if mb.finished {
+		return false // cannot act, but also not stuck
+	}
+	wi := mb.waiting
+	if wi == nil {
+		return true // running: progress possible
+	}
+	switch wi.kind {
+	case waitRecv:
+		return wi.pr.env != nil
+	case waitProbe:
+		for _, e := range mb.unexpected {
+			if matches(e, wi.ctx, wi.src, wi.tag) {
+				return true
+			}
+		}
+		return false
+	case waitAck:
+		return mb.acks[wi.seq]
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// multiProcPrograms is shared by parent and children: the children
+// re-execute this test binary filtered to the same test, reach the same
+// RunProcesses call, and take the worker branch. A child's test verdict
+// becomes its process exit code, which the parent collects.
+var multiProcPrograms = Programs{
+	"allreduce": func(c *Comm) error {
+		sum, err := Allreduce(c, []int64{int64(c.Rank() + 1)}, OpSum)
+		if err != nil {
+			return err
+		}
+		want := int64(c.Size() * (c.Size() + 1) / 2)
+		if sum[0] != want {
+			return fmt.Errorf("allreduce %d, want %d", sum[0], want)
+		}
+		return nil
+	},
+	"pingpong": func(c *Comm) error {
+		if c.Size() < 2 {
+			return fmt.Errorf("need 2 ranks")
+		}
+		switch c.Rank() {
+		case 0:
+			if err := Send(c, []int64{41}, 1, 0); err != nil {
+				return err
+			}
+			got, _, err := Recv[int64](c, 1, 0)
+			if err != nil {
+				return err
+			}
+			if got[0] != 42 {
+				return fmt.Errorf("echo %d", got[0])
+			}
+		case 1:
+			x, _, err := Recv[int64](c, 0, 0)
+			if err != nil {
+				return err
+			}
+			if err := Send(c, []int64{x[0] + 1}, 0, 0); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	},
+	"bigtransfer": func(c *Comm) error {
+		var big []float64
+		if c.Rank() == 0 {
+			big = make([]float64, 100_000)
+			for i := range big {
+				big[i] = float64(i)
+			}
+		}
+		out, err := Bcast(c, big, 0)
+		if err != nil {
+			return err
+		}
+		if len(out) != 100_000 || out[77_777] != 77_777 {
+			return fmt.Errorf("bcast corrupted")
+		}
+		return nil
+	},
+	"fail": func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("intentional failure")
+		}
+		return nil
+	},
+}
+
+// runMP launches the program across processes. In a child it reports the
+// worker verdict through the test framework (whose exit code the parent
+// observes) and returns worker=true.
+func runMP(t *testing.T, np int, prog string, wantWorkerErr bool) (parentErr error, isWorker bool) {
+	t.Helper()
+	worker, err := RunProcesses(np, prog, multiProcPrograms,
+		WithChildArgs("-test.run=^"+t.Name()+"$"),
+		WithChildOutput(io.Discard, io.Discard),
+	)
+	if worker {
+		if err != nil && !wantWorkerErr {
+			t.Fatalf("worker: %v", err)
+		}
+		if err != nil {
+			// Expected failure: fail the child's test so its process
+			// exits nonzero, which is what the parent asserts on.
+			t.Errorf("worker failing as scripted: %v", err)
+		}
+		return nil, true
+	}
+	return err, false
+}
+
+func TestMultiProcessAllreduce(t *testing.T) {
+	err, worker := runMP(t, 3, "allreduce", false)
+	if worker {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiProcessPingPong(t *testing.T) {
+	err, worker := runMP(t, 2, "pingpong", false)
+	if worker {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiProcessBigTransfer(t *testing.T) {
+	err, worker := runMP(t, 3, "bigtransfer", false)
+	if worker {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiProcessFailurePropagates(t *testing.T) {
+	err, worker := runMP(t, 3, "fail", true)
+	if worker {
+		return
+	}
+	if err == nil {
+		t.Fatal("child failure not reported")
+	}
+	if !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("failure not attributed: %v", err)
+	}
+}
+
+func TestRunProcessesValidation(t *testing.T) {
+	if InWorker() {
+		t.Skip("validation is parent-side")
+	}
+	if _, err := RunProcesses(2, "nonsense", multiProcPrograms); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+	if _, err := RunProcesses(0, "allreduce", multiProcPrograms); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package mpi
+
+// Op is an elementwise reduction operator for Reduce, Allreduce and Scan.
+// It must be associative; the tree-based algorithms additionally assume
+// commutativity, which all the predefined operators satisfy.
+type Op[T Scalar] func(a, b T) T
+
+// OpSum is the MPI_SUM analogue.
+func OpSum[T Scalar](a, b T) T { return a + b }
+
+// OpProd is the MPI_PROD analogue.
+func OpProd[T Scalar](a, b T) T { return a * b }
+
+// OpMax is the MPI_MAX analogue.
+func OpMax[T Scalar](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OpMin is the MPI_MIN analogue.
+func OpMin[T Scalar](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// reduceInto folds src into dst elementwise: dst[i] = op(dst[i], src[i]).
+func reduceInto[T Scalar](dst, src []T, op Op[T]) {
+	for i := range dst {
+		dst[i] = op(dst[i], src[i])
+	}
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import "time"
+
+type reqKind int8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request represents an outstanding nonblocking operation started by Isend
+// or Irecv, mirroring MPI_Request. Complete it with Wait, WaitRecv (typed)
+// or poll it with Test.
+type Request struct {
+	comm *Comm
+	kind reqKind
+	done bool
+
+	// send requests
+	seq int64 // rendezvous sequence; 0 for eager sends
+
+	// receive requests
+	pr  *pendingRecv
+	env *envelope
+	st  Status
+}
+
+// Wait blocks until the request completes (MPI_Wait). For receive
+// requests the returned bytes are the message payload; for send requests
+// the payload is nil.
+func (r *Request) Wait() ([]byte, Status, error) {
+	r.comm.world.stats.countCall(r.comm.worldRank, PrimWait)
+	return r.wait()
+}
+
+// wait completes the request without counting an MPI_Wait invocation. It
+// backs Wait, Waitall and the collectives' internal completion.
+func (r *Request) wait() ([]byte, Status, error) {
+	if r.done {
+		return r.payload(), r.st, nil
+	}
+	switch r.kind {
+	case reqSend:
+		if r.seq != 0 {
+			start := time.Now()
+			if err := r.comm.mb.waitAck(r.seq); err != nil {
+				return nil, Status{}, err
+			}
+			r.comm.traceComm("wait", start)
+		}
+		r.done = true
+		return nil, Status{}, nil
+	default: // reqRecv
+		env, err := r.comm.finishRecv(r.pr)
+		if err != nil {
+			return nil, Status{}, err
+		}
+		r.complete(env)
+		return env.data, r.st, nil
+	}
+}
+
+// Test reports whether the request has completed without blocking
+// (MPI_Test). When it returns true, the payload and status are final and
+// subsequent Wait calls return the same values.
+func (r *Request) Test() (bool, []byte, Status, error) {
+	if r.done {
+		return true, r.payload(), r.st, nil
+	}
+	switch r.kind {
+	case reqSend:
+		if r.seq == 0 || r.comm.mb.tryAck(r.seq) {
+			r.done = true
+			return true, nil, Status{}, nil
+		}
+		return false, nil, Status{}, nil
+	default: // reqRecv
+		env, ok := r.comm.mb.tryRecv(r.pr)
+		if !ok {
+			return false, nil, Status{}, nil
+		}
+		r.complete(env)
+		return true, env.data, r.st, nil
+	}
+}
+
+func (r *Request) complete(env *envelope) {
+	r.env = env
+	r.st = Status{Source: env.src, Tag: int(env.tag), Bytes: len(env.data)}
+	r.done = true
+	r.comm.world.stats.addUserRecv(r.comm.worldRank, len(env.data))
+}
+
+func (r *Request) payload() []byte {
+	if r.env != nil {
+		return r.env.data
+	}
+	return nil
+}
+
+// Waitall completes every request (MPI_Waitall), returning the first error
+// encountered after attempting all of them.
+func Waitall(reqs ...*Request) error {
+	var firstErr error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		r.comm.world.stats.countCall(r.comm.worldRank, PrimWait)
+		if _, _, err := r.wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// WaitRecv completes a typed nonblocking receive started with Irecv.
+func WaitRecv[T Scalar](r *Request) ([]T, Status, error) {
+	b, st, err := r.Wait()
+	if err != nil {
+		return nil, st, err
+	}
+	xs, err := Unmarshal[T](b)
+	return xs, st, err
+}

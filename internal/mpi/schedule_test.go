@@ -1,0 +1,175 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomSchedule builds a random but matched communication schedule:
+// a list of (src, dst, tag, payload) messages. Each rank sends its
+// messages in order and receives (src-named) in a deterministic order, so
+// the outcome is fully determined and comparable across transports.
+type scheduledMsg struct {
+	src, dst, tag int
+	payload       int64
+}
+
+func buildSchedule(rng *rand.Rand, np, nMsgs int) []scheduledMsg {
+	msgs := make([]scheduledMsg, nMsgs)
+	for i := range msgs {
+		msgs[i] = scheduledMsg{
+			src:     rng.Intn(np),
+			dst:     rng.Intn(np),
+			tag:     rng.Intn(4),
+			payload: rng.Int63n(1 << 40),
+		}
+	}
+	return msgs
+}
+
+// executeSchedule runs the schedule on a world and returns each rank's
+// received payloads in a canonical (sorted) order.
+func executeSchedule(np int, msgs []scheduledMsg, tcp bool) ([][]int64, error) {
+	received := make([][]int64, np)
+	fn := func(c *Comm) error {
+		r := c.Rank()
+		// Nonblocking sends of my messages, in schedule order.
+		var reqs []*Request
+		for _, m := range msgs {
+			if m.src != r {
+				continue
+			}
+			req, err := Isend(c, []int64{m.payload}, m.dst, m.tag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		// Receive everything addressed to me, naming each source and
+		// tag (counts derived from the shared schedule).
+		var mine []int64
+		for _, m := range msgs {
+			if m.dst != r {
+				continue
+			}
+			xs, _, err := Recv[int64](c, m.src, m.tag)
+			if err != nil {
+				return err
+			}
+			mine = append(mine, xs[0])
+		}
+		if err := Waitall(reqs...); err != nil {
+			return err
+		}
+		sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+		received[r] = mine
+		return nil
+	}
+	var err error
+	if tcp {
+		err = RunTCP(np, fn)
+	} else {
+		err = Run(np, fn)
+	}
+	return received, err
+}
+
+// TestRandomSchedulesDeliverExactly property-tests the runtime: for
+// random schedules, every payload arrives exactly once at its
+// destination, independent of transport.
+func TestRandomSchedulesDeliverExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		np := 2 + rng.Intn(5)
+		msgs := buildSchedule(rng, np, 20+rng.Intn(60))
+
+		want := make([][]int64, np)
+		for _, m := range msgs {
+			want[m.dst] = append(want[m.dst], m.payload)
+		}
+		for r := range want {
+			sort.Slice(want[r], func(i, j int) bool { return want[r][i] < want[r][j] })
+		}
+
+		got, err := executeSchedule(np, msgs, false)
+		if err != nil {
+			t.Fatalf("trial %d (channel): %v", trial, err)
+		}
+		compareSchedules(t, fmt.Sprintf("trial %d channel", trial), got, want)
+	}
+}
+
+// TestRandomScheduleChannelVsTCP runs the same schedule over both
+// transports and demands identical results.
+func TestRandomScheduleChannelVsTCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 3; trial++ {
+		np := 2 + rng.Intn(3)
+		msgs := buildSchedule(rng, np, 40)
+		chGot, err := executeSchedule(np, msgs, false)
+		if err != nil {
+			t.Fatalf("channel: %v", err)
+		}
+		tcpGot, err := executeSchedule(np, msgs, true)
+		if err != nil {
+			t.Fatalf("tcp: %v", err)
+		}
+		compareSchedules(t, fmt.Sprintf("trial %d tcp-vs-channel", trial), tcpGot, chGot)
+	}
+}
+
+func compareSchedules(t *testing.T, label string, got, want [][]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ranks, want %d", label, len(got), len(want))
+	}
+	for r := range want {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("%s: rank %d received %d payloads, want %d", label, r, len(got[r]), len(want[r]))
+		}
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("%s: rank %d payload %d: %d != %d", label, r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestPerPairOrderingProperty verifies non-overtaking on random schedules
+// restricted to one (src, dst, tag) class: arrival order must equal send
+// order without any sorting.
+func TestPerPairOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 5; trial++ {
+		n := 50 + rng.Intn(100)
+		payloads := make([]int64, n)
+		for i := range payloads {
+			payloads[i] = rng.Int63()
+		}
+		err := Run(2, func(c *Comm) error {
+			if c.Rank() == 0 {
+				for _, p := range payloads {
+					if err := Send(c, []int64{p}, 1, 2); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < n; i++ {
+				xs, _, err := Recv[int64](c, 0, 2)
+				if err != nil {
+					return err
+				}
+				if xs[0] != payloads[i] {
+					return fmt.Errorf("message %d out of order", i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Primitive identifies a user-facing communication primitive for the
+// accounting that regenerates Table II of the paper.
+type Primitive int
+
+const (
+	PrimSend Primitive = iota
+	PrimRecv
+	PrimIsend
+	PrimIrecv
+	PrimWait
+	PrimBcast
+	PrimScatter
+	PrimScatterv
+	PrimGather
+	PrimGatherv
+	PrimAllgather
+	PrimReduce
+	PrimAllreduce
+	PrimScan
+	PrimAlltoall
+	PrimAlltoallv
+	PrimBarrier
+	PrimSendrecv
+	PrimProbe
+	PrimIprobe
+	PrimGetCount
+	numPrimitives
+)
+
+var primitiveNames = [numPrimitives]string{
+	"MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv", "MPI_Wait",
+	"MPI_Bcast", "MPI_Scatter", "MPI_Scatterv", "MPI_Gather", "MPI_Gatherv",
+	"MPI_Allgather", "MPI_Reduce", "MPI_Allreduce", "MPI_Scan",
+	"MPI_Alltoall", "MPI_Alltoallv", "MPI_Barrier", "MPI_Sendrecv",
+	"MPI_Probe", "MPI_Iprobe", "MPI_Get_count",
+}
+
+// String returns the MPI-style name of the primitive.
+func (p Primitive) String() string {
+	if p < 0 || p >= numPrimitives {
+		return fmt.Sprintf("Primitive(%d)", int(p))
+	}
+	return primitiveNames[p]
+}
+
+// PrimitiveByName resolves an MPI-style name ("MPI_Send") to a Primitive.
+func PrimitiveByName(name string) (Primitive, bool) {
+	for i, n := range primitiveNames {
+		if n == name {
+			return Primitive(i), true
+		}
+	}
+	return 0, false
+}
+
+// rankStats holds one rank's counters. Fields are atomics because the
+// world aggregates while ranks run (e.g. a tracer snapshotting mid-run).
+type rankStats struct {
+	calls     [numPrimitives]atomic.Int64
+	userSent  atomic.Int64 // payload bytes passed to user-level sends
+	userRecv  atomic.Int64 // payload bytes returned by user-level receives
+	wireSent  atomic.Int64 // envelope bytes put on the transport
+	wireRecv  atomic.Int64 // envelope bytes taken off the transport
+	msgsSent  atomic.Int64
+	msgsRecvd atomic.Int64
+}
+
+// WorldStats aggregates communication accounting for a world.
+type WorldStats struct {
+	ranks []rankStats
+}
+
+func newWorldStats(np int) *WorldStats {
+	return &WorldStats{ranks: make([]rankStats, np)}
+}
+
+func (s *WorldStats) countCall(rank int, p Primitive) {
+	s.ranks[rank].calls[p].Add(1)
+}
+
+func (s *WorldStats) addUserSent(rank, n int) { s.ranks[rank].userSent.Add(int64(n)) }
+func (s *WorldStats) addUserRecv(rank, n int) { s.ranks[rank].userRecv.Add(int64(n)) }
+
+func (s *WorldStats) addWire(src, dst, n int) {
+	s.ranks[src].wireSent.Add(int64(n))
+	s.ranks[src].msgsSent.Add(1)
+	s.ranks[dst].wireRecv.Add(int64(n))
+	s.ranks[dst].msgsRecvd.Add(1)
+}
+
+// Snapshot is an immutable copy of the accounting, safe to read after (or
+// during) a run.
+type Snapshot struct {
+	Size  int
+	Calls []map[Primitive]int64 // per rank, only nonzero entries
+	// Per-rank byte and message counters, indexed by rank.
+	UserSent, UserRecv   []int64
+	WireSent, WireRecv   []int64
+	MsgsSent, MsgsRecvd  []int64
+	TotalWire, TotalMsgs int64
+}
+
+// Snapshot captures current counter values.
+func (s *WorldStats) Snapshot() Snapshot {
+	np := len(s.ranks)
+	snap := Snapshot{
+		Size:      np,
+		Calls:     make([]map[Primitive]int64, np),
+		UserSent:  make([]int64, np),
+		UserRecv:  make([]int64, np),
+		WireSent:  make([]int64, np),
+		WireRecv:  make([]int64, np),
+		MsgsSent:  make([]int64, np),
+		MsgsRecvd: make([]int64, np),
+	}
+	for r := range s.ranks {
+		rs := &s.ranks[r]
+		m := make(map[Primitive]int64)
+		for p := Primitive(0); p < numPrimitives; p++ {
+			if v := rs.calls[p].Load(); v > 0 {
+				m[p] = v
+			}
+		}
+		snap.Calls[r] = m
+		snap.UserSent[r] = rs.userSent.Load()
+		snap.UserRecv[r] = rs.userRecv.Load()
+		snap.WireSent[r] = rs.wireSent.Load()
+		snap.WireRecv[r] = rs.wireRecv.Load()
+		snap.MsgsSent[r] = rs.msgsSent.Load()
+		snap.MsgsRecvd[r] = rs.msgsRecvd.Load()
+		snap.TotalWire += snap.WireSent[r]
+		snap.TotalMsgs += snap.MsgsSent[r]
+	}
+	return snap
+}
+
+// PrimitivesUsed returns the set of primitives any rank invoked, sorted by
+// MPI name. This is what the Table II verification compares against the
+// paper's matrix.
+func (s Snapshot) PrimitivesUsed() []Primitive {
+	set := make(map[Primitive]bool)
+	for _, m := range s.Calls {
+		for p := range m {
+			set[p] = true
+		}
+	}
+	out := make([]Primitive, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalCalls sums invocations of p across ranks.
+func (s Snapshot) TotalCalls(p Primitive) int64 {
+	var n int64
+	for _, m := range s.Calls {
+		n += m[p]
+	}
+	return n
+}
+
+// String renders a compact per-rank accounting table.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "world size %d, %d messages, %d wire bytes\n", s.Size, s.TotalMsgs, s.TotalWire)
+	for r := 0; r < s.Size; r++ {
+		fmt.Fprintf(&b, "  rank %d: sent %d B (%d msgs), recv %d B (%d msgs)\n",
+			r, s.WireSent[r], s.MsgsSent[r], s.WireRecv[r], s.MsgsRecvd[r])
+	}
+	for _, p := range s.PrimitivesUsed() {
+		fmt.Fprintf(&b, "  %-14s × %d\n", p, s.TotalCalls(p))
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// RunTCP launches fn on np goroutine ranks connected by a full mesh of TCP
+// loopback sockets: every envelope crosses a real socket, exercising the
+// kernel network path the way a multi-node MPI job would. The precise
+// deadlock detector is unavailable over TCP (envelopes can be in flight);
+// a 30-second progress watchdog is installed unless the caller provides
+// one via WithWatchdog.
+func RunTCP(np int, fn func(*Comm) error, opts ...Option) error {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.watchdogTimeout == 0 {
+		opts = append(opts, WithWatchdog(30*time.Second))
+	}
+	return run(np, fn, newTCPTransport, opts...)
+}
+
+// tcpTransport is a full mesh of loopback connections. conns[i][j] is the
+// connection rank i uses to send to rank j; each rank runs one reader per
+// inbound connection that posts parsed envelopes to the rank's mailbox.
+type tcpTransport struct {
+	world     *World
+	listeners []net.Listener
+	conns     [][]*tcpConn // [src][dst]
+	readers   sync.WaitGroup
+	closed    chan struct{}
+}
+
+// tcpConn serializes concurrent senders onto one socket.
+type tcpConn struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+func (tc *tcpConn) writeEnvelope(e *envelope) error {
+	buf := e.appendWire(make([]byte, 4, 4+envelopeHeaderLen+len(e.data)))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.w.Write(buf); err != nil {
+		return err
+	}
+	return tc.w.Flush()
+}
+
+// newTCPTransport builds the mesh: one listener per rank, then rank i
+// dials every rank j > i; each established connection carries a one-byte
+// hello identifying the dialer so both sides agree on direction.
+func newTCPTransport(w *World) (transport, error) {
+	np := w.size
+	t := &tcpTransport{
+		world:     w,
+		listeners: make([]net.Listener, np),
+		conns:     make([][]*tcpConn, np),
+		closed:    make(chan struct{}),
+	}
+	for r := 0; r < np; r++ {
+		t.conns[r] = make([]*tcpConn, np)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.close()
+			return nil, fmt.Errorf("mpi: tcp listen for rank %d: %w", r, err)
+		}
+		t.listeners[r] = ln
+	}
+
+	type dialed struct {
+		from, to int
+		conn     net.Conn
+		err      error
+	}
+	results := make(chan dialed, np*np)
+	// Accept loops: rank j accepts np-1-j... actually rank j accepts one
+	// connection from every lower rank i < j.
+	var acceptWG sync.WaitGroup
+	for j := 0; j < np; j++ {
+		expect := j // ranks 0..j-1 dial rank j
+		if expect == 0 {
+			continue
+		}
+		acceptWG.Add(1)
+		go func(j, expect int) {
+			defer acceptWG.Done()
+			for k := 0; k < expect; k++ {
+				conn, err := t.listeners[j].Accept()
+				if err != nil {
+					results <- dialed{to: j, err: err}
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					results <- dialed{to: j, err: err}
+					return
+				}
+				from := int(binary.LittleEndian.Uint32(hello[:]))
+				results <- dialed{from: from, to: j, conn: conn}
+			}
+		}(j, expect)
+	}
+	// Dialers.
+	var dialWG sync.WaitGroup
+	for i := 0; i < np; i++ {
+		for j := i + 1; j < np; j++ {
+			dialWG.Add(1)
+			go func(i, j int) {
+				defer dialWG.Done()
+				conn, err := net.Dial("tcp", t.listeners[j].Addr().String())
+				if err != nil {
+					results <- dialed{from: i, to: j, err: err}
+					return
+				}
+				var hello [4]byte
+				binary.LittleEndian.PutUint32(hello[:], uint32(i))
+				if _, err := conn.Write(hello[:]); err != nil {
+					results <- dialed{from: i, to: j, err: err}
+					return
+				}
+				// The dialer records its side immediately; the acceptor
+				// side is recorded by the accept loop's result.
+				results <- dialed{from: i, to: j, conn: conn, err: errDialerSide}
+			}(i, j)
+		}
+	}
+
+	need := np * (np - 1) // one record per direction endpoint
+	for k := 0; k < need; k++ {
+		d := <-results
+		if d.err == errDialerSide {
+			t.conns[d.from][d.to] = &tcpConn{c: d.conn, w: bufio.NewWriter(d.conn)}
+			t.startReader(d.from, d.conn)
+			continue
+		}
+		if d.err != nil {
+			t.close()
+			return nil, fmt.Errorf("mpi: tcp mesh: %w", d.err)
+		}
+		t.conns[d.to][d.from] = &tcpConn{c: d.conn, w: bufio.NewWriter(d.conn)}
+		t.startReader(d.to, d.conn)
+	}
+	dialWG.Wait()
+	acceptWG.Wait()
+	return t, nil
+}
+
+// errDialerSide is an internal sentinel marking the dialer's half of a
+// connection handshake result.
+var errDialerSide = fmt.Errorf("mpi: internal: dialer side")
+
+// startReader consumes envelopes arriving on conn for owner and posts them
+// to the owner's mailbox. Which peer sent them is carried inside each
+// envelope, so one reader per connection suffices.
+func (t *tcpTransport) startReader(owner int, conn net.Conn) {
+	t.readers.Add(1)
+	go func() {
+		defer t.readers.Done()
+		r := bufio.NewReader(conn)
+		for {
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+				return // connection closed
+			}
+			n := binary.LittleEndian.Uint32(lenBuf[:])
+			frame := make([]byte, n)
+			if _, err := io.ReadFull(r, frame); err != nil {
+				return
+			}
+			env, err := parseWire(frame)
+			if err != nil {
+				t.world.abort(err)
+				return
+			}
+			t.world.mailboxes[env.wdst].post(env)
+		}
+	}()
+}
+
+func (t *tcpTransport) deliver(e *envelope) error {
+	if e.wdst == e.wsrc {
+		// Self-sends short-circuit the socket.
+		t.world.mailboxes[e.wdst].post(e)
+		return nil
+	}
+	tc := t.conns[e.wsrc][e.wdst]
+	if tc == nil {
+		return fmt.Errorf("mpi: no connection %d→%d", e.wsrc, e.wdst)
+	}
+	return tc.writeEnvelope(e)
+}
+
+func (t *tcpTransport) close() error {
+	select {
+	case <-t.closed:
+		return nil
+	default:
+		close(t.closed)
+	}
+	for _, ln := range t.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, row := range t.conns {
+		for _, tc := range row {
+			if tc != nil {
+				tc.c.Close()
+			}
+		}
+	}
+	t.readers.Wait()
+	return nil
+}
+
+func (t *tcpTransport) supportsDeadlockDetection() bool { return false }

@@ -1,0 +1,328 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// transport moves envelopes between ranks. Implementations must preserve
+// per-(src,dst) FIFO order, which the matching engine relies on for MPI's
+// non-overtaking guarantee.
+type transport interface {
+	deliver(e *envelope) error
+	close() error
+	// supportsDeadlockDetection reports whether delivery is synchronous
+	// enough for the precise detector to be sound (no envelopes can be
+	// invisible in transit while every rank is blocked).
+	supportsDeadlockDetection() bool
+}
+
+// channelTransport posts envelopes directly into the destination mailbox
+// under its lock; there is never an envelope in transit.
+type channelTransport struct {
+	mailboxes []*mailbox
+}
+
+func (t *channelTransport) deliver(e *envelope) error {
+	if e.wdst < 0 || e.wdst >= len(t.mailboxes) {
+		return fmt.Errorf("%w: destination %d of world size %d", ErrRankOutOfRange, e.wdst, len(t.mailboxes))
+	}
+	t.mailboxes[e.wdst].post(e)
+	return nil
+}
+
+func (t *channelTransport) close() error                    { return nil }
+func (t *channelTransport) supportsDeadlockDetection() bool { return true }
+
+// ctxKey identifies a communicator created by Split so every member rank
+// resolves the same context id.
+type ctxKey struct {
+	parentCtx int32
+	splitSeq  int64
+	color     int
+}
+
+// World owns the ranks, transport and shared accounting of one program run.
+type World struct {
+	size      int
+	opts      options
+	mailboxes []*mailbox
+	transport transport
+	stats     *WorldStats
+
+	aborted    atomic.Bool
+	deadlocked atomic.Bool
+	abortMu    sync.Mutex
+	abortErr   error
+
+	blockedCount  atomic.Int64
+	finishedCount atomic.Int64
+	progress      atomic.Int64 // bumped on every delivery; watchdog food
+	detectCh      chan struct{}
+	detectorDone  chan struct{}
+
+	seqCounter atomic.Int64 // rendezvous sequence allocator (starts at 1)
+
+	ctxMu      sync.Mutex
+	ctxNext    int32
+	ctxByKey   map[ctxKey]int32
+	watchdogCh chan struct{}
+}
+
+// Run launches fn on np goroutine ranks connected by the in-process channel
+// transport and blocks until every rank returns. Rank errors are joined;
+// deadlock surfaces as an error wrapping ErrDeadlock.
+func Run(np int, fn func(*Comm) error, opts ...Option) error {
+	return run(np, fn, nil, opts...)
+}
+
+// run is shared by Run and RunTCP. mkTransport, when non-nil, builds the
+// transport after mailboxes exist.
+func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, error), opts ...Option) error {
+	if np <= 0 {
+		return fmt.Errorf("mpi: world size %d must be positive", np)
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w := &World{
+		size:         np,
+		opts:         o,
+		stats:        newWorldStats(np),
+		detectCh:     make(chan struct{}, 1),
+		detectorDone: make(chan struct{}),
+		ctxNext:      2, // 0/1 are the world's user/collective contexts
+		ctxByKey:     make(map[ctxKey]int32),
+	}
+	w.seqCounter.Store(0)
+	w.mailboxes = make([]*mailbox, np)
+	for r := 0; r < np; r++ {
+		w.mailboxes[r] = newMailbox(r, w)
+	}
+	if mkTransport != nil {
+		t, err := mkTransport(w)
+		if err != nil {
+			return err
+		}
+		w.transport = t
+	} else {
+		w.transport = &channelTransport{mailboxes: w.mailboxes}
+	}
+	defer w.transport.close()
+
+	if o.detectDeadlock && w.transport.supportsDeadlockDetection() {
+		go w.detector()
+	} else {
+		close(w.detectorDone)
+	}
+	if o.watchdogTimeout > 0 {
+		w.watchdogCh = make(chan struct{})
+		go w.watchdog()
+	}
+
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := newWorldComm(w, rank)
+			err := fn(c)
+			w.mailboxes[rank].markFinished()
+			w.finishedCount.Add(1)
+			w.signalDetector()
+			if err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+				w.abort(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	w.stopDetector()
+	if w.watchdogCh != nil {
+		close(w.watchdogCh)
+	}
+	if w.deadlocked.Load() {
+		// Blocked ranks already returned wrapped ErrDeadlock errors;
+		// make sure at least one surfaces even if a rank swallowed it.
+		errs = append(errs, ErrDeadlock)
+	}
+	return errors.Join(compactErrs(errs)...)
+}
+
+// compactErrs drops nils and deduplicates the bare ErrDeadlock sentinel so
+// Join output stays readable.
+func compactErrs(errs []error) []error {
+	out := errs[:0]
+	seenDeadlock := false
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, ErrDeadlock) {
+			if seenDeadlock && e == ErrDeadlock {
+				continue
+			}
+			seenDeadlock = true
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// deliver routes an envelope through the transport with traffic accounting.
+func (w *World) deliver(e *envelope) error {
+	w.stats.addWire(e.wsrc, e.wdst, e.wireBytes())
+	w.progress.Add(1)
+	return w.transport.deliver(e)
+}
+
+// nextSeq allocates a rendezvous sequence number. Sequence 0 means "no ack
+// required", so allocation starts at 1.
+func (w *World) nextSeq() int64 { return w.seqCounter.Add(1) }
+
+// ctxFor returns the stable context id pair (user, collective) for a Split
+// product. Every member rank passes the same key and observes the same id.
+func (w *World) ctxFor(key ctxKey) int32 {
+	w.ctxMu.Lock()
+	defer w.ctxMu.Unlock()
+	if id, ok := w.ctxByKey[key]; ok {
+		return id
+	}
+	id := w.ctxNext
+	w.ctxNext += 2
+	w.ctxByKey[key] = id
+	return id
+}
+
+// abort stops the world: every blocked rank returns ErrAborted.
+func (w *World) abort(cause error) {
+	w.abortMu.Lock()
+	if w.abortErr == nil {
+		w.abortErr = cause
+	}
+	w.abortMu.Unlock()
+	w.aborted.Store(true)
+	w.broadcastAll()
+}
+
+// stopErr reports why blocked operations must give up, or nil.
+func (w *World) stopErr() error {
+	if w.deadlocked.Load() {
+		return ErrDeadlock
+	}
+	if w.aborted.Load() {
+		return ErrAborted
+	}
+	return nil
+}
+
+func (w *World) broadcastAll() {
+	for _, mb := range w.mailboxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// noteBlocked and noteUnblocked maintain the blocked-rank census and poke
+// the detector when every active rank is parked.
+func (w *World) noteBlocked() {
+	n := w.blockedCount.Add(1)
+	if n+w.finishedCount.Load() >= int64(w.size) {
+		w.signalDetector()
+	}
+}
+
+func (w *World) noteUnblocked() { w.blockedCount.Add(-1) }
+
+func (w *World) signalDetector() {
+	select {
+	case w.detectCh <- struct{}{}:
+	default:
+	}
+}
+
+// stopDetector wakes the detector so it observes that every rank has
+// finished and exits, then waits for it. Called after all ranks returned,
+// so finishedCount == size and the detector's first check fires.
+func (w *World) stopDetector() {
+	select {
+	case <-w.detectorDone:
+		return
+	default:
+	}
+	w.signalDetector()
+	<-w.detectorDone
+}
+
+// detector is the deadlock-detection goroutine. It wakes when the blocked
+// census suggests everyone is parked, then re-verifies under every mailbox
+// lock: the verdict is sound because any state transition requires the
+// owning mailbox's mutex, all of which the detector holds.
+func (w *World) detector() {
+	defer close(w.detectorDone)
+	for range w.detectCh {
+		if w.finishedCount.Load() >= int64(w.size) || w.aborted.Load() || w.deadlocked.Load() {
+			return
+		}
+		if w.blockedCount.Load()+w.finishedCount.Load() < int64(w.size) {
+			continue
+		}
+		if w.verifyDeadlock() {
+			w.deadlocked.Store(true)
+			w.broadcastAll()
+			return
+		}
+	}
+}
+
+// verifyDeadlock takes every mailbox lock in rank order and checks that at
+// least one rank is waiting and none can make progress.
+func (w *World) verifyDeadlock() bool {
+	for _, mb := range w.mailboxes {
+		mb.mu.Lock()
+	}
+	defer func() {
+		for _, mb := range w.mailboxes {
+			mb.mu.Unlock()
+		}
+	}()
+	anyWaiting := false
+	for _, mb := range w.mailboxes {
+		if mb.finished {
+			continue
+		}
+		if mb.waiting == nil || mb.satisfiableLocked() {
+			return false
+		}
+		anyWaiting = true
+	}
+	return anyWaiting
+}
+
+// watchdog aborts the world when no envelope is delivered for the
+// configured timeout. It is the TCP transport's coarse substitute for the
+// precise detector.
+func (w *World) watchdog() {
+	last := w.progress.Load()
+	ticker := time.NewTicker(w.opts.watchdogTimeout)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.watchdogCh:
+			return
+		case <-ticker.C:
+			cur := w.progress.Load()
+			if cur == last && w.blockedCount.Load() > 0 {
+				w.abort(fmt.Errorf("mpi: watchdog: no progress for %v", w.opts.watchdogTimeout))
+				return
+			}
+			last = cur
+		}
+	}
+}

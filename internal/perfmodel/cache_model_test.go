@@ -1,0 +1,114 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is an obviously-correct set-associative LRU cache used to
+// model-check the production implementation: each set is a slice scanned
+// linearly, with explicit timestamps instead of ordering tricks.
+type refCache struct {
+	lineSize, sets uint64
+	ways           int
+	sets_          []map[uint64]int64 // set -> tag -> last-use tick
+	tick           int64
+	misses         int64
+	accesses       int64
+}
+
+func newRefCache(sizeBytes, lineSize, ways int) *refCache {
+	sets := sizeBytes / (lineSize * ways)
+	r := &refCache{lineSize: uint64(lineSize), sets: uint64(sets), ways: ways}
+	r.sets_ = make([]map[uint64]int64, sets)
+	for i := range r.sets_ {
+		r.sets_[i] = make(map[uint64]int64)
+	}
+	return r
+}
+
+func (r *refCache) access(addr uint64) bool {
+	r.accesses++
+	r.tick++
+	line := addr / r.lineSize
+	set := line & (r.sets - 1)
+	tag := line / r.sets
+	m := r.sets_[set]
+	if _, ok := m[tag]; ok {
+		m[tag] = r.tick
+		return true
+	}
+	r.misses++
+	if len(m) >= r.ways {
+		// Evict the least recently used tag.
+		var lruTag uint64
+		lruTick := int64(1) << 62
+		for t, tk := range m {
+			if tk < lruTick {
+				lruTag, lruTick = t, tk
+			}
+		}
+		delete(m, lruTag)
+	}
+	m[tag] = r.tick
+	return false
+}
+
+// TestCacheMatchesReferenceModel model-checks the cache against the
+// reference on random access streams across several geometries.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	geometries := []struct{ size, line, ways int }{
+		{1024, 64, 2},
+		{4096, 64, 4},
+		{8192, 32, 8},
+		{2048, 128, 1}, // direct-mapped
+	}
+	for _, g := range geometries {
+		c, err := NewCache(g.size, g.line, g.ways)
+		if err != nil {
+			t.Fatalf("geometry %+v: %v", g, err)
+		}
+		ref := newRefCache(g.size, g.line, g.ways)
+		for i := 0; i < 50_000; i++ {
+			// A mix of hot, warm and cold addresses to exercise hits,
+			// LRU refreshes and evictions.
+			var addr uint64
+			switch rng.Intn(3) {
+			case 0:
+				addr = uint64(rng.Intn(g.size / 2)) // hot region
+			case 1:
+				addr = uint64(rng.Intn(g.size * 4)) // working set ≈ 4× cache
+			default:
+				addr = uint64(rng.Intn(1 << 24)) // cold
+			}
+			gotHit := c.Access(addr)
+			wantHit := ref.access(addr)
+			if gotHit != wantHit {
+				t.Fatalf("geometry %+v access %d (addr %#x): got hit=%v, reference %v",
+					g, i, addr, gotHit, wantHit)
+			}
+		}
+		if c.Misses() != ref.misses || c.Accesses() != ref.accesses {
+			t.Fatalf("geometry %+v counters diverge: %d/%d vs %d/%d",
+				g, c.Misses(), c.Accesses(), ref.misses, ref.accesses)
+		}
+	}
+}
+
+// TestCacheSequentialStreamMissRate checks the analytic expectation for a
+// pure streaming access pattern: one miss per line.
+func TestCacheSequentialStreamMissRate(t *testing.T) {
+	c, _ := NewCache(32*1024, 64, 8)
+	const bytes = 1 << 20
+	for addr := uint64(0); addr < bytes; addr += 8 {
+		c.Access(addr)
+	}
+	wantMisses := int64(bytes / 64)
+	if c.Misses() != wantMisses {
+		t.Fatalf("streaming misses %d, want %d", c.Misses(), wantMisses)
+	}
+	if got, want := c.MissRate(), 64.0/8.0; got != 1/want {
+		t.Fatalf("streaming miss rate %v, want %v", got, 1/want)
+	}
+}

@@ -1,0 +1,91 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RooflineChart renders the node's roofline on log₂ axes as ASCII: the
+// bandwidth slope and compute ceiling as '*', and each kernel plotted at
+// its arithmetic intensity as a letter (a, b, c, …). Students place their
+// kernels on this chart to see whether they are memory- or compute-bound
+// — the mental model behind Modules 2–5's scalability discussions.
+func (m Machine) RooflineChart(kernels []Kernel, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 8 {
+		height = 16
+	}
+	peak := float64(m.CoresPerNode) * m.FlopsPerCore // flops/s, whole node
+
+	// Axis ranges: AI from 2^-6 to 2^10 flops/byte; performance from
+	// peak/2^12 up to peak.
+	minAI, maxAI := -6.0, 10.0
+	maxPerf := math.Log2(peak)
+	minPerf := maxPerf - 12
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(logAI float64) int {
+		c := int((logAI - minAI) / (maxAI - minAI) * float64(width-1))
+		return clampInt(c, 0, width-1)
+	}
+	toRow := func(logPerf float64) int {
+		r := int((logPerf - minPerf) / (maxPerf - minPerf) * float64(height-1))
+		return height - 1 - clampInt(r, 0, height-1)
+	}
+	attainable := func(ai float64) float64 {
+		return math.Min(peak, ai*m.NodeBW)
+	}
+
+	// The roof.
+	for c := 0; c < width; c++ {
+		logAI := minAI + float64(c)/float64(width-1)*(maxAI-minAI)
+		perf := attainable(math.Exp2(logAI))
+		grid[toRow(math.Log2(perf))][c] = '*'
+	}
+	// The kernels.
+	for i, k := range kernels {
+		ai := k.ArithmeticIntensity()
+		if ai <= 0 {
+			continue
+		}
+		row := toRow(math.Log2(attainable(ai)))
+		col := toCol(math.Log2(ai))
+		grid[row][col] = byte('a' + i%26)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "roofline: %d cores × %.1f Gflop/s, %.0f GB/s node bandwidth (log-log)\n",
+		m.CoresPerNode, m.FlopsPerCore/1e9, m.NodeBW/1e9)
+	fmt.Fprintf(&b, "%8.1f ┐\n", peak/1e9)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%9s│%s\n", "", row)
+	}
+	fmt.Fprintf(&b, "%9s└%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10sAI = 2^%.0f%sAI = 2^%.0f flops/byte\n", "", minAI, strings.Repeat(" ", width-24), maxAI)
+	ridge := peak / m.NodeBW
+	fmt.Fprintf(&b, "ridge point at AI = %.2f flops/byte; kernels left of it are memory-bound\n", ridge)
+	for i, k := range kernels {
+		bound := "compute-bound"
+		if k.ArithmeticIntensity() < ridge {
+			bound = "memory-bound"
+		}
+		fmt.Fprintf(&b, "  %c: %-24s AI=%8.3f  %s\n", 'a'+i%26, k.Name, k.ArithmeticIntensity(), bound)
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

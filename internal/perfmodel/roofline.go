@@ -1,0 +1,179 @@
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Machine describes one compute node of the modeled cluster, in the style
+// of a roofline model: peak per-core arithmetic throughput, a per-core
+// bandwidth ceiling, and a node-wide memory-bandwidth ceiling that the
+// cores share. The defaults mirror the paper's Monsoon-era hardware:
+// 32-core nodes where a handful of cores saturate the memory bus.
+type Machine struct {
+	CoresPerNode int
+	FlopsPerCore float64 // peak floating-point ops per second per core
+	CoreBW       float64 // bytes/s one core can draw from memory
+	NodeBW       float64 // bytes/s the whole node can draw from memory
+	NetBW        float64 // bytes/s between a pair of nodes
+	NetLatency   time.Duration
+}
+
+// DefaultMachine is the reference node used by every modeled experiment:
+// 32 cores, 3 Gflop/s per core, 12 GB/s per core, 100 GB/s per node
+// (≈8 cores saturate the bus), 10 GB/s network links with 2 µs latency.
+func DefaultMachine() Machine {
+	return Machine{
+		CoresPerNode: 32,
+		FlopsPerCore: 3e9,
+		CoreBW:       12e9,
+		NodeBW:       100e9,
+		NetBW:        10e9,
+		NetLatency:   2 * time.Microsecond,
+	}
+}
+
+// Validate checks the machine description for physical plausibility.
+func (m Machine) Validate() error {
+	if m.CoresPerNode <= 0 {
+		return fmt.Errorf("perfmodel: cores per node %d", m.CoresPerNode)
+	}
+	if m.FlopsPerCore <= 0 || m.CoreBW <= 0 || m.NodeBW <= 0 {
+		return fmt.Errorf("perfmodel: non-positive machine rate")
+	}
+	if m.CoreBW > m.NodeBW {
+		return fmt.Errorf("perfmodel: per-core bandwidth %g exceeds node bandwidth %g", m.CoreBW, m.NodeBW)
+	}
+	return nil
+}
+
+// SaturationCores returns the core count past which a memory-bound kernel
+// stops scaling on one node: NodeBW/CoreBW.
+func (m Machine) SaturationCores() float64 { return m.NodeBW / m.CoreBW }
+
+// Kernel characterizes a program for the model. Flops and Bytes are
+// totals for the whole problem; SerialFraction is the Amdahl serial part.
+// CommBytes and CommMsgs describe per-iteration inter-rank traffic that
+// crosses the network when ranks span nodes.
+type Kernel struct {
+	Name           string
+	Flops          float64
+	Bytes          float64
+	SerialFraction float64
+	CommBytes      float64 // total bytes exchanged between ranks
+	CommMsgs       int     // total messages exchanged between ranks
+}
+
+// ArithmeticIntensity returns flops per byte, the roofline x-axis.
+func (k Kernel) ArithmeticIntensity() float64 {
+	if k.Bytes == 0 {
+		return 0
+	}
+	return k.Flops / k.Bytes
+}
+
+// Placement describes how ranks map onto nodes.
+type Placement struct {
+	Ranks int
+	Nodes int
+	// BandwidthShare scales the node bandwidth available to this job;
+	// co-scheduling sets it below 1. Zero means 1 (dedicated node).
+	BandwidthShare float64
+}
+
+func (p Placement) share() float64 {
+	if p.BandwidthShare <= 0 || p.BandwidthShare > 1 {
+		return 1
+	}
+	return p.BandwidthShare
+}
+
+// Time predicts wall-clock time for the kernel under the placement.
+//
+// The model: the serial fraction runs on one core at single-core speed;
+// the parallel fraction runs at the lesser of aggregate compute throughput
+// and aggregate achievable memory bandwidth (per-core ceilings capped by
+// per-node ceilings); communication adds bandwidth and latency terms when
+// ranks span nodes (intra-node traffic is charged at memory bandwidth).
+func (m Machine) Time(k Kernel, pl Placement) (time.Duration, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if pl.Ranks <= 0 || pl.Nodes <= 0 {
+		return 0, fmt.Errorf("perfmodel: placement %d ranks on %d nodes", pl.Ranks, pl.Nodes)
+	}
+	if pl.Ranks < pl.Nodes {
+		return 0, fmt.Errorf("perfmodel: fewer ranks (%d) than nodes (%d)", pl.Ranks, pl.Nodes)
+	}
+	perNode := (pl.Ranks + pl.Nodes - 1) / pl.Nodes
+	if perNode > m.CoresPerNode {
+		return 0, fmt.Errorf("perfmodel: %d ranks per node exceeds %d cores", perNode, m.CoresPerNode)
+	}
+
+	// Single-core reference time for the serial part.
+	serialSec := k.SerialFraction * singleCoreSeconds(m, k)
+
+	parFlops := (1 - k.SerialFraction) * k.Flops
+	parBytes := (1 - k.SerialFraction) * k.Bytes
+
+	computeSec := parFlops / (float64(pl.Ranks) * m.FlopsPerCore)
+	// Achievable bandwidth: per-core ceilings summed, capped per node,
+	// summed over nodes, scaled by the co-scheduling share.
+	perNodeBW := minf(float64(perNode)*m.CoreBW, m.NodeBW) * pl.share()
+	memSec := parBytes / (perNodeBW * float64(pl.Nodes))
+
+	commSec := 0.0
+	if pl.Nodes > 1 && (k.CommBytes > 0 || k.CommMsgs > 0) {
+		// The fraction of pairwise traffic that crosses node boundaries
+		// under a balanced random communication pattern.
+		crossFrac := 1 - 1/float64(pl.Nodes)
+		commSec = k.CommBytes*crossFrac/m.NetBW + float64(k.CommMsgs)*crossFrac*m.NetLatency.Seconds()
+	} else if k.CommBytes > 0 {
+		// Intra-node communication moves through memory.
+		commSec = k.CommBytes / (m.NodeBW * pl.share())
+	}
+
+	total := serialSec + maxf(computeSec, memSec) + commSec
+	return time.Duration(total * float64(time.Second)), nil
+}
+
+// singleCoreSeconds is the roofline time of the whole kernel on one core.
+func singleCoreSeconds(m Machine, k Kernel) float64 {
+	return maxf(k.Flops/m.FlopsPerCore, k.Bytes/m.CoreBW)
+}
+
+// Speedup returns the modeled speedup curve S(p) for p = 1..maxP ranks on
+// the given number of nodes, relative to one rank on one node.
+func (m Machine) Speedup(k Kernel, maxP, nodes int) ([]float64, error) {
+	t1, err := m.Time(k, Placement{Ranks: 1, Nodes: 1})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, maxP)
+	for p := 1; p <= maxP; p++ {
+		n := nodes
+		if p < n {
+			n = p
+		}
+		tp, err := m.Time(k, Placement{Ranks: p, Nodes: n})
+		if err != nil {
+			return nil, err
+		}
+		out[p-1] = float64(t1) / float64(tp)
+	}
+	return out, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,219 @@
+// Package quadtree implements a point-region quadtree (Finkel & Bentley
+// 1974) for 2-dimensional data, the third index the paper cites for
+// Module 4. Included in the range-query ablation bench.
+package quadtree
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// DefaultCapacity is the leaf bucket size before subdivision.
+const DefaultCapacity = 16
+
+// Tree is a PR quadtree over 2-d points within a fixed boundary.
+type Tree struct {
+	boundary data.Rect
+	capacity int
+	root     *qnode
+	size     int
+	stats    Stats
+}
+
+// Stats counts traversal work since the last ResetStats.
+type Stats struct {
+	NodesVisited int64
+	PointsTested int64
+	Results      int64
+}
+
+type qnode struct {
+	boundary data.Rect
+	points   []qpoint  // leaf bucket
+	children [4]*qnode // nil until subdivided
+	divided  bool
+}
+
+type qpoint struct {
+	x, y float64
+	id   int
+}
+
+// New creates a quadtree covering boundary with the given leaf capacity.
+func New(boundary data.Rect, capacity int) (*Tree, error) {
+	if len(boundary.Min) != 2 {
+		return nil, fmt.Errorf("quadtree: boundary must be 2-dimensional, got %d", len(boundary.Min))
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("quadtree: capacity %d must be positive", capacity)
+	}
+	return &Tree{
+		boundary: boundary.Clone(),
+		capacity: capacity,
+		root:     &qnode{boundary: boundary.Clone()},
+	}, nil
+}
+
+// Bulk builds a quadtree from a 2-d point set, sizing the boundary to the
+// data's bounding box.
+func Bulk(pts data.Points, capacity int) (*Tree, error) {
+	if pts.Dim != 2 {
+		return nil, fmt.Errorf("quadtree: need 2-d points, got %d-d", pts.Dim)
+	}
+	if pts.N() == 0 {
+		return New(data.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}, capacity)
+	}
+	box := data.PointRect(pts.At(0))
+	for i := 1; i < pts.N(); i++ {
+		box = box.Enlarged(data.PointRect(pts.At(i)))
+	}
+	t, err := New(box, capacity)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pts.N(); i++ {
+		if err := t.Insert(pts.At(i), i); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Stats returns cumulative traversal statistics.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// ResetStats clears traversal statistics.
+func (t *Tree) ResetStats() { t.stats = Stats{} }
+
+// Insert adds a point; it must lie within the tree's boundary.
+func (t *Tree) Insert(pt []float64, id int) error {
+	if !t.boundary.Contains(pt) {
+		return fmt.Errorf("quadtree: point (%v, %v) outside boundary", pt[0], pt[1])
+	}
+	t.insert(t.root, qpoint{x: pt[0], y: pt[1], id: id})
+	t.size++
+	return nil
+}
+
+func (t *Tree) insert(n *qnode, p qpoint) {
+	for {
+		if n.divided {
+			n = n.children[n.quadrant(p.x, p.y)]
+			continue
+		}
+		if len(n.points) < t.capacity {
+			n.points = append(n.points, p)
+			return
+		}
+		// A bucket of coincident points cannot be separated by
+		// subdivision; let it exceed capacity instead of recursing
+		// forever on a zero-area boundary.
+		if degenerate(n.points) && n.points[0].x == p.x && n.points[0].y == p.y {
+			n.points = append(n.points, p)
+			return
+		}
+		t.subdivide(n)
+	}
+}
+
+// quadrant returns the child index for a coordinate: 0=SW 1=SE 2=NW 3=NE.
+func (n *qnode) quadrant(x, y float64) int {
+	midX := (n.boundary.Min[0] + n.boundary.Max[0]) / 2
+	midY := (n.boundary.Min[1] + n.boundary.Max[1]) / 2
+	q := 0
+	if x > midX {
+		q |= 1
+	}
+	if y > midY {
+		q |= 2
+	}
+	return q
+}
+
+func (t *Tree) subdivide(n *qnode) {
+	mnX, mnY := n.boundary.Min[0], n.boundary.Min[1]
+	mxX, mxY := n.boundary.Max[0], n.boundary.Max[1]
+	midX, midY := (mnX+mxX)/2, (mnY+mxY)/2
+	bounds := [4]data.Rect{
+		{Min: []float64{mnX, mnY}, Max: []float64{midX, midY}}, // SW
+		{Min: []float64{midX, mnY}, Max: []float64{mxX, midY}}, // SE
+		{Min: []float64{mnX, midY}, Max: []float64{midX, mxY}}, // NW
+		{Min: []float64{midX, midY}, Max: []float64{mxX, mxY}}, // NE
+	}
+	for i := range bounds {
+		n.children[i] = &qnode{boundary: bounds[i]}
+	}
+	n.divided = true
+	pts := n.points
+	n.points = nil
+	for _, p := range pts {
+		ch := n.children[n.quadrant(p.x, p.y)]
+		ch.points = append(ch.points, p)
+	}
+}
+
+// degenerate reports whether all points share identical coordinates.
+func degenerate(pts []qpoint) bool {
+	for _, p := range pts[1:] {
+		if p.x != pts[0].x || p.y != pts[0].y {
+			return false
+		}
+	}
+	return true
+}
+
+// Search appends ids of points inside q to dst.
+func (t *Tree) Search(q data.Rect, dst []int) []int {
+	return t.search(t.root, q, dst)
+}
+
+func (t *Tree) search(n *qnode, q data.Rect, dst []int) []int {
+	t.stats.NodesVisited++
+	if !n.boundary.Intersects(q) {
+		return dst
+	}
+	if n.divided {
+		for _, ch := range n.children {
+			dst = t.search(ch, q, dst)
+		}
+		return dst
+	}
+	for _, p := range n.points {
+		t.stats.PointsTested++
+		if p.x >= q.Min[0] && p.x <= q.Max[0] && p.y >= q.Min[1] && p.y <= q.Max[1] {
+			t.stats.Results++
+			dst = append(dst, p.id)
+		}
+	}
+	return dst
+}
+
+// CheckInvariants verifies every stored point lies within its node's
+// boundary and subdivided nodes hold no points directly.
+func (t *Tree) CheckInvariants() error {
+	var walk func(n *qnode) error
+	walk = func(n *qnode) error {
+		if n.divided {
+			if len(n.points) != 0 {
+				return fmt.Errorf("quadtree: divided node still holds %d points", len(n.points))
+			}
+			for _, ch := range n.children {
+				if err := walk(ch); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, p := range n.points {
+			if !n.boundary.Contains([]float64{p.x, p.y}) {
+				return fmt.Errorf("quadtree: point (%v, %v) escaped node boundary", p.x, p.y)
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}

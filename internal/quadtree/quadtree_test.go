@@ -1,0 +1,150 @@
+package quadtree
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func bruteForce(pts data.Points, q data.Rect) []int {
+	var out []int
+	for i := 0; i < pts.N(); i++ {
+		if q.Contains(pts.At(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortedEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(data.Rect{Min: []float64{0}, Max: []float64{1}}, 4); err == nil {
+		t.Fatal("1-d boundary accepted")
+	}
+	if _, err := New(data.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestInsertOutsideBoundary(t *testing.T) {
+	tr, _ := New(data.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}, 4)
+	if err := tr.Insert([]float64{2, 2}, 0); err == nil {
+		t.Fatal("out-of-boundary point accepted")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	pts := data.UniformPoints(3000, 2, 0, 100, 14)
+	tr, err := Bulk(pts, DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, q := range data.UniformRects(200, 2, 0, 100, 10, 15) {
+		if !sortedEqual(tr.Search(q, nil), bruteForce(pts, q)) {
+			t.Fatal("quadtree search mismatch")
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoincidentPointsDoNotRecurseForever(t *testing.T) {
+	tr, _ := New(data.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}, 4)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert([]float64{0.5, 0.5}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Search(data.PointRect([]float64{0.5, 0.5}), nil)
+	if len(got) != 100 {
+		t.Fatalf("coincident search returned %d of 100", len(got))
+	}
+}
+
+func TestNearCoincidentPoints(t *testing.T) {
+	tr, _ := New(data.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}, 2)
+	pts := [][]float64{
+		{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5},
+		{0.5 + 1e-12, 0.5}, {0.25, 0.75},
+	}
+	for i, p := range pts {
+		if err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := tr.Search(data.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}, nil)
+	if len(all) != 5 {
+		t.Fatalf("got %d of 5", len(all))
+	}
+}
+
+func TestClusteredDataAndStats(t *testing.T) {
+	pts, _ := data.GaussianMixture(5000, 2, 4, 1.0, 100, 16)
+	tr, err := Bulk(pts, DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetStats()
+	q := data.Rect{Min: []float64{0, 0}, Max: []float64{5, 5}}
+	n := len(tr.Search(q, nil))
+	st := tr.Stats()
+	if int(st.Results) != n {
+		t.Fatalf("results %d != %d", st.Results, n)
+	}
+	if st.PointsTested >= 5000 {
+		t.Fatalf("no pruning: tested %d of 5000", st.PointsTested)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkEmpty(t *testing.T) {
+	tr, err := Bulk(data.Points{Dim: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestBulkRejectsWrongDim(t *testing.T) {
+	if _, err := Bulk(data.UniformPoints(10, 3, 0, 1, 1), 4); err == nil {
+		t.Fatal("3-d points accepted")
+	}
+}
+
+func TestBoundaryPointsIncluded(t *testing.T) {
+	tr, _ := New(data.Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}, 4)
+	corners := [][]float64{{0, 0}, {10, 10}, {0, 10}, {10, 0}, {5, 5}}
+	for i, c := range corners {
+		if err := tr.Insert(c, i); err != nil {
+			t.Fatalf("corner %v rejected: %v", c, err)
+		}
+	}
+	all := tr.Search(data.Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}, nil)
+	if len(all) != 5 {
+		t.Fatalf("boundary points lost: %d of 5", len(all))
+	}
+}

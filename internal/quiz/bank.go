@@ -1,0 +1,210 @@
+package quiz
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/modules/distmatrix"
+	"repro/internal/modules/distsort"
+	"repro/internal/modules/kmeans"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+)
+
+// Bank builds one representative question per quiz, in the spirit of the
+// paper's no-stakes quizzes. Every answer is derived mechanically from
+// the corresponding system — the deadlock detector, the cache simulator,
+// a real distributed sort, the co-scheduling model, and the roofline
+// model — so the bank doubles as an end-to-end cross-check of the whole
+// reproduction. An error means some subsystem contradicts the expected
+// pedagogy.
+func Bank(m perfmodel.Machine) ([]Question, error) {
+	var bank []Question
+
+	q1, err := deadlockQuestion()
+	if err != nil {
+		return nil, fmt.Errorf("quiz 1: %w", err)
+	}
+	bank = append(bank, q1)
+
+	q2, err := cacheQuestion()
+	if err != nil {
+		return nil, fmt.Errorf("quiz 2: %w", err)
+	}
+	bank = append(bank, q2)
+
+	q3, err := splitterQuestion()
+	if err != nil {
+		return nil, fmt.Errorf("quiz 3: %w", err)
+	}
+	bank = append(bank, q3)
+
+	q4, err := CoSchedulingQuestion(m)
+	if err != nil {
+		return nil, fmt.Errorf("quiz 4: %w", err)
+	}
+	bank = append(bank, q4)
+
+	q5, err := kmeansQuestion(m)
+	if err != nil {
+		return nil, fmt.Errorf("quiz 5: %w", err)
+	}
+	bank = append(bank, q5)
+	return bank, nil
+}
+
+// deadlockQuestion (Module 1): which exchange deadlocks? Answered by
+// actually running both on the runtime with synchronous sends.
+func deadlockQuestion() (Question, error) {
+	headToHead := func() error {
+		return mpi.Run(2, func(c *mpi.Comm) error {
+			peer := 1 - c.Rank()
+			if err := mpi.Ssend(c, []int{c.Rank()}, peer, 0); err != nil {
+				return err
+			}
+			_, _, err := mpi.Recv[int](c, peer, 0)
+			return err
+		})
+	}
+	ordered := func() error {
+		return mpi.Run(2, func(c *mpi.Comm) error {
+			peer := 1 - c.Rank()
+			if c.Rank() == 0 {
+				if err := mpi.Ssend(c, []int{0}, peer, 0); err != nil {
+					return err
+				}
+				_, _, err := mpi.Recv[int](c, peer, 0)
+				return err
+			}
+			if _, _, err := mpi.Recv[int](c, peer, 0); err != nil {
+				return err
+			}
+			return mpi.Ssend(c, []int{1}, peer, 0)
+		})
+	}
+	hhErr, ordErr := headToHead(), ordered()
+	if !errors.Is(hhErr, mpi.ErrDeadlock) {
+		return Question{}, fmt.Errorf("head-to-head exchange did not deadlock: %v", hhErr)
+	}
+	if ordErr != nil {
+		return Question{}, fmt.Errorf("ordered exchange failed: %v", ordErr)
+	}
+	return Question{
+		Quiz: 1,
+		Text: "Two ranks exchange one synchronous message each. Which program risks deadlock?",
+		Choices: []string{
+			"Both ranks Ssend first, then Recv",
+			"Rank 0 Ssends then Recvs; rank 1 Recvs then Ssends",
+		},
+		Answer: 0,
+	}, nil
+}
+
+// cacheQuestion (Module 2): which kernel has the lower miss rate?
+// Answered by the cache simulator on the module's workload.
+func cacheQuestion() (Question, error) {
+	cache, err := perfmodel.NewCache(256*1024, 64, 8)
+	if err != nil {
+		return Question{}, err
+	}
+	rep, err := distmatrix.SimulateCache(cache, 2000, distmatrix.DefaultDim, 32, distmatrix.DefaultTile)
+	if err != nil {
+		return Question{}, err
+	}
+	if rep.TiledMissRate >= rep.RowWiseMissRate {
+		return Question{}, fmt.Errorf("cache simulator contradicts the module: tiled %.3f ≥ row-wise %.3f",
+			rep.TiledMissRate, rep.RowWiseMissRate)
+	}
+	return Question{
+		Quiz: 2,
+		Text: "The 90-dimensional distance matrix is computed over a working set larger than cache. Which kernel suffers fewer cache misses?",
+		Choices: []string{
+			"The row-wise kernel (scan all points per row)",
+			"The tiled kernel (block the inner loop)",
+		},
+		Answer: 1,
+	}, nil
+}
+
+// splitterQuestion (Module 3): which splitter balances exponential data?
+// Answered by running both distributed sorts and comparing imbalance.
+func splitterQuestion() (Question, error) {
+	keys := data.ExponentialKeys(20_000, 1, 77)
+	imbalance := func(sp distsort.Splitter) (float64, error) {
+		var imb float64
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			var local []float64
+			for i := c.Rank(); i < len(keys); i += 4 {
+				local = append(local, keys[i])
+			}
+			_, res, err := distsort.Sort(c, local, sp)
+			if c.Rank() == 0 {
+				imb = res.Imbalance
+			}
+			return err
+		})
+		return imb, err
+	}
+	eq, err := imbalance(distsort.EqualWidth)
+	if err != nil {
+		return Question{}, err
+	}
+	hist, err := imbalance(distsort.Histogram)
+	if err != nil {
+		return Question{}, err
+	}
+	if hist >= eq {
+		return Question{}, fmt.Errorf("histogram (%.2f) did not beat equal-width (%.2f)", hist, eq)
+	}
+	return Question{
+		Quiz: 3,
+		Text: "Exponentially distributed keys are bucket-sorted across 4 ranks. Which bucket-boundary choice balances the load?",
+		Choices: []string{
+			"Equal-width buckets over the key range",
+			"Equi-depth buckets from a histogram of the data",
+		},
+		Answer: 1,
+	}, nil
+}
+
+// kmeansQuestion (Module 5): at which k does communication dominate?
+// Answered by the roofline model with realistic MPI latency.
+func kmeansQuestion(m perfmodel.Machine) (Question, error) {
+	m.NetLatency = 50 * time.Microsecond // gigabit-class MPI latency
+	commFraction := func(k int) (float64, error) {
+		kern := kmeans.IterationKernel(100_000, 2, k, 32, kmeans.WeightedMeans)
+		full, err := m.Time(kern, perfmodel.Placement{Ranks: 32, Nodes: 2})
+		if err != nil {
+			return 0, err
+		}
+		noComm := kern
+		noComm.CommBytes, noComm.CommMsgs = 0, 0
+		compute, err := m.Time(noComm, perfmodel.Placement{Ranks: 32, Nodes: 2})
+		if err != nil {
+			return 0, err
+		}
+		return float64(full-compute) / float64(full), nil
+	}
+	low, err := commFraction(2)
+	if err != nil {
+		return Question{}, err
+	}
+	high, err := commFraction(512)
+	if err != nil {
+		return Question{}, err
+	}
+	if low <= high {
+		return Question{}, fmt.Errorf("model contradicts the module: comm fraction k=2 %.2f ≤ k=512 %.2f", low, high)
+	}
+	return Question{
+		Quiz: 5,
+		Text: "Distributed k-means runs on 32 ranks across 2 nodes. For which k is total time dominated by communication?",
+		Choices: []string{
+			"Small k (e.g. k = 2)",
+			"Large k (e.g. k = 512)",
+		},
+		Answer: 0,
+	}, nil
+}

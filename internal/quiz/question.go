@@ -1,0 +1,80 @@
+package quiz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perfmodel"
+)
+
+// Question is one quiz question with discrete choices.
+type Question struct {
+	Quiz    int // 1-based quiz number
+	Text    string
+	Choices []string
+	Answer  int // index into Choices
+}
+
+// CoSchedulingQuestion is the Section IV-B example question from Quiz 4,
+// with the correct answer derived mechanically from the co-scheduling
+// model rather than hard-coded: the memory-bound Program 1 (whose speedup
+// saturates, Figure 1a) must not share a node with the other user's
+// memory-hungry job, so the student shares Program 2 / Compute Node 2.
+func CoSchedulingQuestion(m perfmodel.Machine) (Question, error) {
+	programs := [2]perfmodel.Job{
+		{Name: "Program 1", Kernel: perfmodel.MemoryBoundKernel("program1", 1e11, 0.1), Ranks: 20},
+		{Name: "Program 2", Kernel: perfmodel.ComputeBoundKernel("program2", 1e12, 100), Ranks: 20},
+	}
+	theirs := perfmodel.Job{Name: "other-user", Kernel: perfmodel.MemoryBoundKernel("other", 1e11, 0.1), Ranks: 10}
+	choice, slowdowns, err := m.CoScheduleChoice(programs, theirs)
+	if err != nil {
+		return Question{}, err
+	}
+	q := Question{
+		Quiz: 4,
+		Text: "Two MPI programs run continuously on 20 of 32 cores of two identical\n" +
+			"compute nodes; Program 1's speedup saturates around 8 cores (Figure 1a),\n" +
+			"Program 2 scales nearly linearly to 20 (Figure 1b). Another user must\n" +
+			"share one of your nodes. Select the program and compute node that is\n" +
+			"most likely to minimize performance degradation to your program.",
+		Choices: []string{"Program 1/Compute Node 1", "Program 2/Compute Node 2"},
+		Answer:  choice,
+	}
+	if q.Answer != 1 {
+		return q, fmt.Errorf("quiz: co-scheduling model chose %q (slowdowns %v); expected Program 2/Compute Node 2",
+			q.Choices[q.Answer], slowdowns)
+	}
+	return q, nil
+}
+
+// RenderFigure2 draws the pre (·) and post (█) scores per student per
+// quiz as horizontal bars, mirroring the layout of Figure 2 (quizzes
+// top-to-bottom, students left-to-right).
+func RenderFigure2(d Dataset) string {
+	var b strings.Builder
+	const width = 20
+	for q := 0; q < NumQuizzes; q++ {
+		fmt.Fprintf(&b, "Quiz %d (module %d)\n", q+1, q+1)
+		for s := 0; s < NumStudents; s++ {
+			p := d.Scores[s][q]
+			if !p.Valid {
+				fmt.Fprintf(&b, "  student %2d  %-*s excluded (missing pre or post)\n", s+1, 2*width+7, "")
+				continue
+			}
+			fmt.Fprintf(&b, "  student %2d  pre %s %5.1f%%  post %s %5.1f%%\n",
+				s+1, bar(p.Pre, width, '·'), p.Pre*100, bar(p.Post, width, '#'), p.Post*100)
+		}
+	}
+	return b.String()
+}
+
+func bar(v float64, width int, ch byte) string {
+	n := int(v*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat(string(ch), n) + strings.Repeat(" ", width-n)
+}

@@ -1,0 +1,193 @@
+package quiz
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The reconstruction works against every aggregate the paper publishes:
+//
+//   - 42 valid pairs split 17 equal / 19 increase / 6 decrease;
+//   - per-quiz pre/post means (Table IV), which pin the per-quiz pair
+//     counts to n = [9, 9, 9, 7, 8] — the only composition summing to 42
+//     whose means are simultaneously representable on a plausible score
+//     grid (9 students × sixths for quiz 1, × fifths for quiz 2, 7 ×
+//     quarters for quiz 4, 8 × twelfths for quiz 5);
+//   - seven of ten students completed all quizzes (Section IV-A), so the
+//     8 missing pairs concentrate on three students, consistent with the
+//     per-quiz counts: quizzes 1–3 miss one student each, quiz 4 misses
+//     three, quiz 5 misses two;
+//   - students 2, 5, 6, 8, 9, 10 never decreased; students 1, 3, 4, 7
+//     each decreased at least once (Section IV-C).
+//
+// The combinatorial layer (which pairs exist, which are equal, increase
+// or decrease) is fixed below so every count constraint holds by
+// construction; Solve then anneals the scores on a 1/600 lattice toward
+// the published means with type-preserving moves.
+
+// solverGrid is the score lattice: 1/600 covers sixths, fifths, quarters,
+// twelfths and half-percent scores simultaneously.
+const solverGrid = 600
+
+// pairType fixes the pre→post direction of a pair.
+type pairType int8
+
+const (
+	ptMissing pairType = iota
+	ptEqual
+	ptIncrease
+	ptDecrease
+)
+
+// pairTypes[s][q] assigns every 0-based (student, quiz) slot; row i is
+// student i+1. Column sums give each quiz 9, 9, 9, 7, 8 valid pairs;
+// students 3, 7 and 9 carry the 8 missing quizzes (the other seven are
+// complete); the 6 decreases sit only on students 1, 3, 4, 7; totals are
+// 17 equal / 19 increase / 6 decrease. Quiz 5 carries two decreases (its
+// mean falls) and quiz 1 none (its mean jumps).
+var pairTypes = [NumStudents][NumQuizzes]pairType{
+	{ptEqual, ptIncrease, ptIncrease, ptDecrease, ptDecrease}, // student 1: decreases on Q4, Q5
+	{ptIncrease, ptEqual, ptEqual, ptIncrease, ptEqual},       // student 2: never decreases
+	{ptMissing, ptDecrease, ptIncrease, ptMissing, ptMissing}, // student 3: dec on Q2; missed Q1, Q4, Q5
+	{ptEqual, ptIncrease, ptDecrease, ptIncrease, ptDecrease}, // student 4: decreases on Q3, Q5
+	{ptIncrease, ptEqual, ptIncrease, ptIncrease, ptIncrease}, // student 5
+	{ptEqual, ptIncrease, ptEqual, ptEqual, ptEqual},          // student 6
+	{ptIncrease, ptMissing, ptDecrease, ptMissing, ptMissing}, // student 7: dec on Q3; missed Q2, Q4, Q5
+	{ptEqual, ptEqual, ptIncrease, ptIncrease, ptIncrease},    // student 8
+	{ptIncrease, ptIncrease, ptMissing, ptMissing, ptEqual},   // student 9: missed Q3, Q4
+	{ptEqual, ptIncrease, ptEqual, ptEqual, ptEqual},          // student 10
+}
+
+// typeOf returns the assigned type for 0-based (student, quiz).
+func typeOf(s, q int) pairType {
+	return pairTypes[s][q]
+}
+
+// emptyDataset returns the validity skeleton with zero scores.
+func emptyDataset() Dataset {
+	var d Dataset
+	for s := 0; s < NumStudents; s++ {
+		for q := 0; q < NumQuizzes; q++ {
+			d.Scores[s][q].Valid = typeOf(s, q) != ptMissing
+		}
+	}
+	return d
+}
+
+// energy is the annealing objective: squared residuals of the published
+// means and relative-change aggregates (all hard count constraints hold
+// by construction).
+func energy(d *Dataset) float64 {
+	t := d.Stats()
+	p := PaperTableIV
+	e := 0.0
+	soft := func(x float64, w float64) { e += w * x * x }
+	for q := 0; q < NumQuizzes; q++ {
+		soft(t.QuizMeanPre[q]-p.QuizMeanPre[q], 100)
+		soft(t.QuizMeanPost[q]-p.QuizMeanPost[q], 100)
+	}
+	soft(t.MeanRelIncrease-p.MeanRelIncrease, 30)
+	soft(t.MeanRelDecrease-p.MeanRelDecrease, 30)
+	return e
+}
+
+// Solve reconstructs the dataset by simulated annealing from the given
+// seed. Deterministic for a fixed seed and iteration budget.
+func Solve(seed int64, iters int) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := emptyDataset()
+	for s := 0; s < NumStudents; s++ {
+		for q := 0; q < NumQuizzes; q++ {
+			initPair(&d.Scores[s][q], typeOf(s, q), q, rng)
+		}
+	}
+	cur := energy(&d)
+	for it := 0; it < iters; it++ {
+		temp := 0.5 * math.Exp(-6*float64(it)/float64(iters))
+		s := rng.Intn(NumStudents)
+		q := rng.Intn(NumQuizzes)
+		pt := typeOf(s, q)
+		if pt == ptMissing {
+			continue
+		}
+		pair := &d.Scores[s][q]
+		oldPre, oldPost := pair.Pre, pair.Post
+		mutatePair(pair, pt, rng)
+		next := energy(&d)
+		if next <= cur || rng.Float64() < math.Exp((cur-next)/math.Max(temp, 1e-6)) {
+			cur = next
+		} else {
+			pair.Pre, pair.Post = oldPre, oldPost
+		}
+	}
+	return d
+}
+
+// initPair seeds a pair near the quiz means, respecting its type.
+func initPair(p *ScorePair, pt pairType, q int, rng *rand.Rand) {
+	if pt == ptMissing {
+		return
+	}
+	pre := snap(PaperTableIV.QuizMeanPre[q] + 0.1*(rng.Float64()-0.5))
+	switch pt {
+	case ptEqual:
+		p.Pre, p.Post = pre, pre
+	case ptIncrease:
+		p.Pre = pre
+		p.Post = snap(pre + 0.1 + 0.2*rng.Float64())
+		if p.Post <= p.Pre {
+			p.Pre = snap(p.Post - 1.0/solverGrid)
+		}
+	case ptDecrease:
+		p.Pre = pre
+		p.Post = snap(pre - 0.1 - 0.1*rng.Float64())
+		if p.Post >= p.Pre {
+			p.Post = snap(p.Pre - 1.0/solverGrid)
+		}
+	}
+}
+
+// mutatePair perturbs a pair without changing its type.
+func mutatePair(p *ScorePair, pt pairType, rng *rand.Rand) {
+	delta := float64(rng.Intn(41)-20) / solverGrid
+	switch pt {
+	case ptEqual:
+		v := snap(p.Pre + delta)
+		p.Pre, p.Post = v, v
+	case ptIncrease:
+		if rng.Intn(2) == 0 {
+			p.Pre = snap(p.Pre + delta)
+			if p.Pre >= p.Post {
+				p.Pre = snap(p.Post - 1.0/solverGrid)
+			}
+		} else {
+			p.Post = snap(p.Post + delta)
+			if p.Post <= p.Pre {
+				p.Post = snap(p.Pre + 1.0/solverGrid)
+			}
+		}
+	case ptDecrease:
+		if rng.Intn(2) == 0 {
+			p.Pre = snap(p.Pre + delta)
+			if p.Pre <= p.Post {
+				p.Pre = snap(p.Post + 1.0/solverGrid)
+			}
+		} else {
+			p.Post = snap(p.Post + delta)
+			if p.Post >= p.Pre {
+				p.Post = snap(p.Pre - 1.0/solverGrid)
+			}
+		}
+	}
+}
+
+// snap clamps to [0, 1] and rounds to the score lattice.
+func snap(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return math.Round(x*solverGrid) / solverGrid
+}

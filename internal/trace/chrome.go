@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event). Durations and timestamps are microseconds; pid/tid map
+// to world/rank.
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Phase string  `json:"ph"`
+	TsUS  float64 `json:"ts"`
+	DurUS float64 `json:"dur"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the recorded intervals in the Chrome
+// trace-event JSON format: load the output in chrome://tracing or
+// https://ui.perfetto.dev to inspect the per-rank timeline interactively —
+// the graphical counterpart of the ASCII Gantt chart.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	epoch := t.epoch
+	ivs := append([]Interval(nil), t.intervals...)
+	t.mu.Unlock()
+
+	events := make([]chromeEvent, 0, len(ivs))
+	for _, iv := range ivs {
+		events = append(events, chromeEvent{
+			Name:  iv.Label,
+			Cat:   string(iv.Kind),
+			Phase: "X",
+			TsUS:  float64(iv.Start.Sub(epoch).Microseconds()),
+			DurUS: float64(iv.Dur.Microseconds()),
+			PID:   0,
+			TID:   iv.Rank,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]any{"traceEvents": events}); err != nil {
+		return fmt.Errorf("trace: encoding chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+// Package trace records the alternating computation/communication phases
+// of a distributed program, the pattern learning outcome 11 of the paper
+// asks students to recognize. A Tracer collects per-rank intervals; the
+// renderer produces an ASCII Gantt chart and a compute/communication time
+// split, which Module 5 uses to show when k-means flips from
+// communication-bound (small k) to compute-bound (large k).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind labels an interval.
+type Kind string
+
+const (
+	Compute Kind = "compute"
+	Comm    Kind = "comm"
+)
+
+// Interval is one traced span on one rank.
+type Interval struct {
+	Rank  int
+	Kind  Kind
+	Label string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Tracer collects intervals from concurrently running ranks. The zero
+// value is not usable; call New.
+type Tracer struct {
+	mu        sync.Mutex
+	epoch     time.Time
+	intervals []Interval
+}
+
+// New creates a Tracer whose chart time axis starts now.
+func New() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span runs fn and records its duration under (rank, kind, label).
+func (t *Tracer) Span(rank int, kind Kind, label string, fn func()) {
+	start := time.Now()
+	fn()
+	t.Record(rank, kind, label, start, time.Since(start))
+}
+
+// Record adds a completed interval.
+func (t *Tracer) Record(rank int, kind Kind, label string, start time.Time, d time.Duration) {
+	t.mu.Lock()
+	t.intervals = append(t.intervals, Interval{Rank: rank, Kind: kind, Label: label, Start: start, Dur: d})
+	t.mu.Unlock()
+}
+
+// RecordComm satisfies the mpi.Tracer interface: the runtime reports time
+// ranks spend blocked in communication.
+func (t *Tracer) RecordComm(rank int, op string, start time.Time, d time.Duration) {
+	t.Record(rank, Comm, op, start, d)
+}
+
+// Intervals returns a copy of everything recorded so far.
+func (t *Tracer) Intervals() []Interval {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Interval(nil), t.intervals...)
+}
+
+// Reset clears recorded intervals and restarts the time axis.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.intervals = t.intervals[:0]
+	t.epoch = time.Now()
+	t.mu.Unlock()
+}
+
+// Split sums compute and communication time per rank.
+type Split struct {
+	Rank    int
+	Compute time.Duration
+	Comm    time.Duration
+}
+
+// CommFraction returns comm / (comm + compute), or 0 for an idle rank.
+func (s Split) CommFraction() float64 {
+	total := s.Compute + s.Comm
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Comm) / float64(total)
+}
+
+// Splits aggregates per-rank compute/communication totals, sorted by rank.
+func (t *Tracer) Splits() []Split {
+	byRank := make(map[int]*Split)
+	for _, iv := range t.Intervals() {
+		s, ok := byRank[iv.Rank]
+		if !ok {
+			s = &Split{Rank: iv.Rank}
+			byRank[iv.Rank] = s
+		}
+		switch iv.Kind {
+		case Compute:
+			s.Compute += iv.Dur
+		case Comm:
+			s.Comm += iv.Dur
+		}
+	}
+	out := make([]Split, 0, len(byRank))
+	for _, s := range byRank {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// TotalSplit sums compute and communication across every rank.
+func (t *Tracer) TotalSplit() Split {
+	var total Split
+	for _, s := range t.Splits() {
+		total.Compute += s.Compute
+		total.Comm += s.Comm
+	}
+	return total
+}
+
+// Gantt renders an ASCII chart, one row per rank, width columns wide.
+// Compute intervals print as '#', communication as '~', idle as '.'.
+func (t *Tracer) Gantt(width int) string {
+	ivs := t.Intervals()
+	if len(ivs) == 0 || width <= 0 {
+		return "(no trace)\n"
+	}
+	start := ivs[0].Start
+	end := ivs[0].Start.Add(ivs[0].Dur)
+	maxRank := 0
+	for _, iv := range ivs {
+		if iv.Start.Before(start) {
+			start = iv.Start
+		}
+		if e := iv.Start.Add(iv.Dur); e.After(end) {
+			end = e
+		}
+		if iv.Rank > maxRank {
+			maxRank = iv.Rank
+		}
+	}
+	span := end.Sub(start)
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+	rows := make([][]byte, maxRank+1)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(".", width))
+	}
+	for _, iv := range ivs {
+		lo := int(float64(iv.Start.Sub(start)) / float64(span) * float64(width))
+		hi := int(float64(iv.Start.Add(iv.Dur).Sub(start)) / float64(span) * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		ch := byte('#')
+		if iv.Kind == Comm {
+			ch = '~'
+		}
+		for i := lo; i < hi; i++ {
+			// Communication never overwrites compute drawn at the same
+			// column; compute is the rarer, more informative mark.
+			if ch == '~' && rows[iv.Rank][i] == '#' {
+				continue
+			}
+			rows[iv.Rank][i] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace over %v  (#=compute  ~=comm  .=idle)\n", span.Round(time.Microsecond))
+	for r, row := range rows {
+		fmt.Fprintf(&b, "rank %2d |%s|\n", r, row)
+	}
+	return b.String()
+}
+
+// Summary renders the per-rank compute/communication split as text.
+func (t *Tracer) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %14s %14s %8s\n", "rank", "compute", "comm", "comm%")
+	for _, s := range t.Splits() {
+		fmt.Fprintf(&b, "%6d %14v %14v %7.1f%%\n",
+			s.Rank, s.Compute.Round(time.Microsecond), s.Comm.Round(time.Microsecond), s.CommFraction()*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSplitsAggregate(t *testing.T) {
+	tr := New()
+	now := time.Now()
+	tr.Record(0, Compute, "work", now, 30*time.Millisecond)
+	tr.Record(0, Comm, "send", now.Add(30*time.Millisecond), 10*time.Millisecond)
+	tr.Record(1, Compute, "work", now, 20*time.Millisecond)
+	splits := tr.Splits()
+	if len(splits) != 2 {
+		t.Fatalf("got %d splits", len(splits))
+	}
+	if splits[0].Rank != 0 || splits[0].Compute != 30*time.Millisecond || splits[0].Comm != 10*time.Millisecond {
+		t.Fatalf("rank 0 split %+v", splits[0])
+	}
+	if f := splits[0].CommFraction(); f < 0.24 || f > 0.26 {
+		t.Fatalf("comm fraction %v, want 0.25", f)
+	}
+	if splits[1].Comm != 0 {
+		t.Fatalf("rank 1 comm %v", splits[1].Comm)
+	}
+	total := tr.TotalSplit()
+	if total.Compute != 50*time.Millisecond || total.Comm != 10*time.Millisecond {
+		t.Fatalf("total %+v", total)
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	tr := New()
+	tr.Span(2, Compute, "slow", func() { time.Sleep(5 * time.Millisecond) })
+	ivs := tr.Intervals()
+	if len(ivs) != 1 || ivs[0].Rank != 2 || ivs[0].Dur < 4*time.Millisecond {
+		t.Fatalf("span interval %+v", ivs)
+	}
+}
+
+func TestRecordCommInterface(t *testing.T) {
+	tr := New()
+	tr.RecordComm(3, "recv", time.Now(), time.Millisecond)
+	splits := tr.Splits()
+	if len(splits) != 1 || splits[0].Comm != time.Millisecond {
+		t.Fatalf("RecordComm splits %+v", splits)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(r, Compute, "x", time.Now(), time.Microsecond)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := len(tr.Intervals()); got != 800 {
+		t.Fatalf("recorded %d intervals, want 800", got)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := New()
+	now := time.Now()
+	tr.Record(0, Compute, "a", now, 50*time.Millisecond)
+	tr.Record(1, Comm, "b", now.Add(50*time.Millisecond), 50*time.Millisecond)
+	g := tr.Gantt(40)
+	if !strings.Contains(g, "rank  0") || !strings.Contains(g, "rank  1") {
+		t.Fatalf("gantt missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "#") || !strings.Contains(g, "~") {
+		t.Fatalf("gantt missing marks:\n%s", g)
+	}
+	// Rank 0's compute occupies the first half, rank 1's comm the second.
+	lines := strings.Split(g, "\n")
+	row0 := lines[1]
+	if !strings.Contains(row0[:len(row0)/2], "#") {
+		t.Fatalf("rank 0 compute not in first half: %s", row0)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if g := New().Gantt(20); !strings.Contains(g, "no trace") {
+		t.Fatalf("empty gantt: %q", g)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Record(0, Compute, "x", time.Now(), time.Second)
+	tr.Reset()
+	if len(tr.Intervals()) != 0 {
+		t.Fatal("reset did not clear intervals")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := New()
+	tr.Record(0, Compute, "x", time.Now(), 10*time.Millisecond)
+	s := tr.Summary()
+	if !strings.Contains(s, "comm%") || !strings.Contains(s, "compute") {
+		t.Fatalf("summary: %q", s)
+	}
+}
+
+func TestCommFractionIdle(t *testing.T) {
+	var s Split
+	if s.CommFraction() != 0 {
+		t.Fatal("idle rank comm fraction should be 0")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New()
+	now := time.Now()
+	tr.Record(0, Compute, "assign", now, 5*time.Millisecond)
+	tr.Record(1, Comm, "allreduce", now.Add(5*time.Millisecond), 2*time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Cat   string  `json:"cat"`
+			Phase string  `json:"ph"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d events", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[1]
+	if ev.Name != "allreduce" || ev.Cat != "comm" || ev.Phase != "X" || ev.TID != 1 {
+		t.Fatalf("event %+v", ev)
+	}
+	if ev.Dur < 1900 || ev.Dur > 2100 {
+		t.Fatalf("duration %v µs", ev.Dur)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("output %q", buf.String())
+	}
+}

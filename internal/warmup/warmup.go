@@ -1,0 +1,213 @@
+// Package warmup implements the paper's second ancillary module: warmup
+// exercises that gently introduce MPI primitives, intended as in-class
+// activities. Each exercise carries a statement, a deterministic input
+// generator, a sequentially-computed expected answer, and a reference
+// solution; Grade runs any candidate solution on the runtime and checks
+// every rank's output — the instructor's auto-grader.
+package warmup
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Solution is a candidate answer: given the communicator and this rank's
+// input, produce this rank's output.
+type Solution func(c *mpi.Comm, input []int64) ([]int64, error)
+
+// Exercise is one warmup activity.
+type Exercise struct {
+	Name      string
+	Statement string
+	DefaultNP int
+	// MakeInput builds rank r's deterministic input.
+	MakeInput func(rank, np int) []int64
+	// Expected computes rank r's correct output from all inputs,
+	// sequentially — the grading oracle.
+	Expected func(inputs [][]int64, rank int) []int64
+	// Reference is the instructor's solution.
+	Reference Solution
+}
+
+// Exercises returns the module's exercise set, ordered from gentle to
+// less gentle.
+func Exercises() []Exercise {
+	return []Exercise{
+		{
+			Name:      "global-sum",
+			Statement: "Every rank holds one number. Make every rank learn the global sum.",
+			DefaultNP: 4,
+			MakeInput: func(rank, np int) []int64 { return []int64{int64(rank + 1)} },
+			Expected: func(inputs [][]int64, rank int) []int64 {
+				var s int64
+				for _, in := range inputs {
+					s += in[0]
+				}
+				return []int64{s}
+			},
+			Reference: func(c *mpi.Comm, input []int64) ([]int64, error) {
+				return mpi.Allreduce(c, input, mpi.OpSum)
+			},
+		},
+		{
+			Name:      "right-shift",
+			Statement: "Send your number to the right neighbour (with wraparound); output what you received from the left.",
+			DefaultNP: 5,
+			MakeInput: func(rank, np int) []int64 { return []int64{int64(rank * 10)} },
+			Expected: func(inputs [][]int64, rank int) []int64 {
+				left := (rank - 1 + len(inputs)) % len(inputs)
+				return []int64{inputs[left][0]}
+			},
+			Reference: func(c *mpi.Comm, input []int64) ([]int64, error) {
+				right := (c.Rank() + 1) % c.Size()
+				left := (c.Rank() - 1 + c.Size()) % c.Size()
+				got, _, err := mpi.Sendrecv(c, input, right, 0, left, 0)
+				return got, err
+			},
+		},
+		{
+			Name:      "max-and-owner",
+			Statement: "Find the global maximum and the rank that holds it; every rank outputs [max, owner].",
+			DefaultNP: 6,
+			MakeInput: func(rank, np int) []int64 {
+				// A deterministic scramble so the max is not at rank 0.
+				return []int64{int64((rank*7 + 3) % (np*7 + 1))}
+			},
+			Expected: func(inputs [][]int64, rank int) []int64 {
+				best, owner := inputs[0][0], 0
+				for r, in := range inputs {
+					if in[0] > best {
+						best, owner = in[0], r
+					}
+				}
+				return []int64{best, int64(owner)}
+			},
+			Reference: func(c *mpi.Comm, input []int64) ([]int64, error) {
+				// Encode (value, rank) so one max-reduction finds both:
+				// value is scaled far above the rank component. Ties
+				// resolve to the highest rank, matching Expected's
+				// first-wins order only when values are distinct — the
+				// generator guarantees distinct values.
+				encoded := input[0]*1_000_000 + int64(c.Rank())
+				out, err := mpi.Allreduce(c, []int64{encoded}, mpi.OpMax)
+				if err != nil {
+					return nil, err
+				}
+				return []int64{out[0] / 1_000_000, out[0] % 1_000_000}, nil
+			},
+		},
+		{
+			Name:      "broadcast-by-hand",
+			Statement: "Rank 0 holds a secret; deliver it to everyone using only MPI_Send and MPI_Recv.",
+			DefaultNP: 6,
+			MakeInput: func(rank, np int) []int64 {
+				if rank == 0 {
+					return []int64{424242}
+				}
+				return []int64{0}
+			},
+			Expected: func(inputs [][]int64, rank int) []int64 {
+				return []int64{inputs[0][0]}
+			},
+			Reference: func(c *mpi.Comm, input []int64) ([]int64, error) {
+				// Chain: 0 → 1 → 2 → … (students later compare against
+				// the binomial tree of MPI_Bcast).
+				if c.Rank() == 0 {
+					if c.Size() > 1 {
+						if err := mpi.Send(c, input, 1, 0); err != nil {
+							return nil, err
+						}
+					}
+					return input, nil
+				}
+				got, _, err := mpi.Recv[int64](c, c.Rank()-1, 0)
+				if err != nil {
+					return nil, err
+				}
+				if c.Rank() < c.Size()-1 {
+					if err := mpi.Send(c, got, c.Rank()+1, 0); err != nil {
+						return nil, err
+					}
+				}
+				return got, nil
+			},
+		},
+		{
+			Name:      "odd-even-sums",
+			Statement: "Split the world by rank parity; every rank outputs the sum over its own parity group.",
+			DefaultNP: 6,
+			MakeInput: func(rank, np int) []int64 { return []int64{int64(rank + 1)} },
+			Expected: func(inputs [][]int64, rank int) []int64 {
+				var s int64
+				for r, in := range inputs {
+					if r%2 == rank%2 {
+						s += in[0]
+					}
+				}
+				return []int64{s}
+			},
+			Reference: func(c *mpi.Comm, input []int64) ([]int64, error) {
+				sub, err := c.Split(c.Rank()%2, c.Rank())
+				if err != nil {
+					return nil, err
+				}
+				return mpi.Allreduce(sub, input, mpi.OpSum)
+			},
+		},
+	}
+}
+
+// Find returns the exercise with the given name.
+func Find(name string) (Exercise, bool) {
+	for _, ex := range Exercises() {
+		if ex.Name == name {
+			return ex, true
+		}
+	}
+	return Exercise{}, false
+}
+
+// Grade runs the candidate solution at np ranks (0 = exercise default)
+// and compares every rank's output against the oracle. A nil error means
+// full marks.
+func Grade(ex Exercise, soln Solution, np int) error {
+	if np <= 0 {
+		np = ex.DefaultNP
+	}
+	inputs := make([][]int64, np)
+	for r := 0; r < np; r++ {
+		inputs[r] = ex.MakeInput(r, np)
+	}
+	outputs := make([][]int64, np)
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		out, err := soln(c, append([]int64(nil), inputs[c.Rank()]...))
+		if err != nil {
+			return err
+		}
+		outputs[c.Rank()] = out
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("warmup %s: solution failed: %w", ex.Name, err)
+	}
+	for r := 0; r < np; r++ {
+		want := ex.Expected(inputs, r)
+		got := outputs[r]
+		if len(got) != len(want) {
+			return fmt.Errorf("warmup %s: rank %d produced %d values, want %d", ex.Name, r, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("warmup %s: rank %d output[%d] = %d, want %d", ex.Name, r, i, got[i], want[i])
+			}
+		}
+	}
+	return nil
+}
+
+// GradeReference grades the built-in reference solution — the module's
+// self-test.
+func GradeReference(ex Exercise, np int) error {
+	return Grade(ex, ex.Reference, np)
+}

@@ -1,0 +1,147 @@
+package warmup
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestReferenceSolutionsPass(t *testing.T) {
+	for _, ex := range Exercises() {
+		ex := ex
+		t.Run(ex.Name, func(t *testing.T) {
+			if err := GradeReference(ex, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReferenceSolutionsAtOtherSizes(t *testing.T) {
+	for _, ex := range Exercises() {
+		for _, np := range []int{1, 2, 3, 8} {
+			if ex.Name == "odd-even-sums" && np == 1 {
+				continue // a single odd group is fine, but keep parity groups non-empty
+			}
+			if err := GradeReference(ex, np); err != nil {
+				t.Fatalf("%s at np=%d: %v", ex.Name, np, err)
+			}
+		}
+	}
+}
+
+func TestGradeRejectsWrongSolution(t *testing.T) {
+	ex, ok := Find("global-sum")
+	if !ok {
+		t.Fatal("global-sum missing")
+	}
+	wrong := func(c *mpi.Comm, input []int64) ([]int64, error) {
+		return input, nil // never communicates: wrong on np > 1
+	}
+	err := Grade(ex, wrong, 4)
+	if err == nil {
+		t.Fatal("wrong solution got full marks")
+	}
+	if !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("unhelpful grading error: %v", err)
+	}
+}
+
+func TestGradeRejectsWrongShape(t *testing.T) {
+	ex, _ := Find("global-sum")
+	tooMany := func(c *mpi.Comm, input []int64) ([]int64, error) {
+		out, err := mpi.Allreduce(c, input, mpi.OpSum)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, 0), nil
+	}
+	if err := Grade(ex, tooMany, 4); err == nil {
+		t.Fatal("wrong-shape solution got full marks")
+	}
+}
+
+func TestGradeSurfacesSolutionErrors(t *testing.T) {
+	ex, _ := Find("right-shift")
+	broken := func(c *mpi.Comm, input []int64) ([]int64, error) {
+		return nil, fmt.Errorf("student bug")
+	}
+	err := Grade(ex, broken, 0)
+	if err == nil || !strings.Contains(err.Error(), "student bug") {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+}
+
+func TestGradeCatchesDeadlockingSolution(t *testing.T) {
+	// A classic student bug: everyone receives before sending. The
+	// runtime's deadlock detector turns the hang into a graded failure.
+	ex, _ := Find("right-shift")
+	deadlocked := func(c *mpi.Comm, input []int64) ([]int64, error) {
+		left := (c.Rank() - 1 + c.Size()) % c.Size()
+		right := (c.Rank() + 1) % c.Size()
+		got, _, err := mpi.Recv[int64](c, left, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := mpi.Send(c, input, right, 0); err != nil {
+			return nil, err
+		}
+		return got, nil
+	}
+	err := Grade(ex, deadlocked, 5)
+	if err == nil {
+		t.Fatal("deadlocking solution got full marks")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("deadlock not diagnosed: %v", err)
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("no-such-exercise"); ok {
+		t.Fatal("bogus exercise found")
+	}
+	for _, ex := range Exercises() {
+		if ex.Statement == "" || ex.DefaultNP < 1 || ex.MakeInput == nil || ex.Expected == nil || ex.Reference == nil {
+			t.Fatalf("incomplete exercise %q", ex.Name)
+		}
+		found, ok := Find(ex.Name)
+		if !ok || found.Name != ex.Name {
+			t.Fatalf("Find(%q) failed", ex.Name)
+		}
+	}
+}
+
+func TestAlternativeStudentSolutions(t *testing.T) {
+	// Different-but-correct approaches must also pass: the grader
+	// checks answers, not implementations.
+	ex, _ := Find("global-sum")
+	viaGatherBcast := func(c *mpi.Comm, input []int64) ([]int64, error) {
+		all, err := mpi.Gather(c, input, 0)
+		if err != nil {
+			return nil, err
+		}
+		var total int64
+		if c.Rank() == 0 {
+			for _, v := range all {
+				total += v
+			}
+		}
+		out, err := mpi.Bcast(c, []int64{total}, 0)
+		return out, err
+	}
+	if err := Grade(ex, viaGatherBcast, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	bx, _ := Find("broadcast-by-hand")
+	viaTree := func(c *mpi.Comm, input []int64) ([]int64, error) {
+		// The student discovered Bcast exists.
+		return mpi.Bcast(c, input, 0)
+	}
+	if err := Grade(bx, viaTree, 6); err != nil {
+		t.Fatal(err)
+	}
+}
