@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz report examples clean
+.PHONY: all build test race bench check fuzz report examples clean
 
 all: build test
+
+# The full static + dynamic gate: vet plus the race-enabled test suite.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

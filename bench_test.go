@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -648,6 +649,40 @@ func BenchmarkAblation_KMeansInit(b *testing.B) {
 			inertia = res.Inertia
 		}
 		b.ReportMetric(inertia, "inertia")
+	})
+}
+
+// countingHook is the cheapest possible mpi.Hook: one atomic add per
+// event. It isolates the runtime's interposition cost from any real
+// collector's work.
+type countingHook struct{ n atomic.Int64 }
+
+func (h *countingHook) Event(mpi.Event) { h.n.Add(1) }
+
+// BenchmarkAblation_ProfilingOverhead runs the same distributed k-means
+// uninstrumented and under a minimal hook. The "off" case exercises the
+// nil-hook fast path (a single nil check per primitive), so off vs the
+// historical un-hooked runtime should be indistinguishable, and "on"
+// shows the full per-event interposition cost.
+func BenchmarkAblation_ProfilingOverhead(b *testing.B) {
+	pts, _ := data.GaussianMixture(4096, 2, 4, 1.0, 100, 3)
+	cfg := kmeans.Config{K: 4, MaxIter: 8, Seed: 1, Tol: -1, Option: kmeans.WeightedMeans}
+	run := func(b *testing.B, opts ...mpi.Option) {
+		for i := 0; i < b.N; i++ {
+			err := mpi.Run(4, func(c *mpi.Comm) error {
+				_, _, _, err := kmeans.Distributed(c, pts, cfg)
+				return err
+			}, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("on", func(b *testing.B) {
+		h := &countingHook{}
+		run(b, mpi.WithHook(h))
+		b.ReportMetric(float64(h.n.Load())/float64(b.N), "events/op")
 	})
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/modules/comm"
 	"repro/internal/mpi"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/warmup"
 )
@@ -37,19 +38,20 @@ func main() {
 	stats := flag.Bool("stats", false, "print the communication accounting after each run")
 	deadlock := flag.Bool("deadlock-demo", false, "run Module 1's intentional deadlock (and its fix)")
 	warmupName := flag.String("warmup", "", "grade the reference solution of one warmup exercise")
-	showTrace := flag.Bool("trace", false, "render a Gantt chart of per-rank communication blocking")
+	showTrace := flag.Bool("trace", false, "render a Gantt chart of compute/communication phases (profiler-derived)")
+	profile := flag.Bool("profile", false, "print the PMPI-style wait-state profile after each run")
 	scale := flag.String("scale", "", "comma-separated rank counts: run a strong-scaling study of -activity")
-	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this file (view in chrome://tracing)")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON with message-flow arrows to this file (view in ui.perfetto.dev)")
 	weak := flag.String("weak", "", "run a weak-scaling study of a sized workload (see -list)")
 	flag.Parse()
 
-	if err := run(*list, *module, *activity, *np, *transport, *stats, *deadlock, *warmupName, *showTrace, *scale, *chrome, *weak); err != nil {
+	if err := run(*list, *module, *activity, *np, *transport, *stats, *deadlock, *warmupName, *showTrace, *profile, *scale, *chrome, *weak); err != nil {
 		fmt.Fprintln(os.Stderr, "modulerun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, module int, activity string, np int, transport string, stats, deadlock bool, warmupName string, showTrace bool, scale, chrome, weak string) error {
+func run(list bool, module int, activity string, np int, transport string, stats, deadlock bool, warmupName string, showTrace, profile bool, scale, chrome, weak string) error {
 	tcp := false
 	switch transport {
 	case "channel":
@@ -134,7 +136,7 @@ func run(list bool, module int, activity string, np int, transport string, stats
 		if !ok {
 			return fmt.Errorf("no activity %q (try -list)", activity)
 		}
-		return launch(a, np, tcp, stats, showTrace, chrome)
+		return launch(a, np, tcp, stats, showTrace, profile, chrome, 1)
 
 	case warmupName != "":
 		ex, ok := warmup.Find(warmupName)
@@ -149,11 +151,13 @@ func run(list bool, module int, activity string, np int, transport string, stats
 		return nil
 
 	case module >= 1 && module <= 7:
+		job := 0
 		for _, a := range core.All() {
 			if a.Module != module {
 				continue
 			}
-			if err := launch(a, np, tcp, stats, showTrace, chrome); err != nil {
+			job++
+			if err := launch(a, np, tcp, stats, showTrace, profile, chrome, job); err != nil {
 				return err
 			}
 		}
@@ -181,12 +185,16 @@ func parseRanks(scale string) ([]int, error) {
 	return ranks, nil
 }
 
-func launch(a core.Activity, np int, tcp, stats, showTrace bool, chrome string) error {
+// launch runs one activity, auto-instrumented through the runtime's hook
+// layer when any observability output is requested. job becomes the
+// Chrome-trace pid, so traces from several activities can be merged in
+// Perfetto without rank timelines colliding.
+func launch(a core.Activity, np int, tcp, stats, showTrace, profile bool, chrome string, job int) error {
 	var opts []mpi.Option
-	var tr *trace.Tracer
-	if showTrace || chrome != "" {
-		tr = trace.New()
-		opts = append(opts, mpi.WithTracer(tr))
+	var pc *prof.Collector
+	if showTrace || profile || chrome != "" {
+		pc = prof.New()
+		opts = append(opts, mpi.WithHook(pc))
 	}
 	summary, snap, err := a.Launch(np, tcp, opts...)
 	if err != nil {
@@ -196,17 +204,27 @@ func launch(a core.Activity, np int, tcp, stats, showTrace bool, chrome string) 
 	if stats {
 		fmt.Print(snap.String())
 	}
-	if tr != nil && showTrace {
-		fmt.Print(tr.Gantt(72))
-		fmt.Print(tr.Summary())
+	if pc == nil {
+		return nil
+	}
+	if showTrace {
+		ivs := pc.Intervals()
+		fmt.Print(trace.GanttOf(ivs, 72))
+		fmt.Print(trace.SummaryOf(ivs))
+	}
+	if profile {
+		fmt.Print(prof.Report(pc.Events()))
 	}
 	if chrome != "" {
 		f, err := os.Create(chrome)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := tr.WriteChromeTrace(f); err != nil {
+		if err := pc.WriteChromeTrace(f, job, a.Name); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", chrome)

@@ -8,6 +8,8 @@
 //	mpirun -np 8 allreduce
 //	mpirun -np 8 pi
 //	mpirun -np 4 -procs hello    # each rank in its own OS process
+//	mpirun -np 8 -profile allreduce              # wait-state profile
+//	mpirun -np 2 -trace-out lat.json latency     # Perfetto trace with flows
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/prof"
 )
 
 type program struct {
@@ -42,6 +45,8 @@ func main() {
 	np := flag.Int("np", 0, "rank count (0 = program default)")
 	transport := flag.String("transport", "channel", "transport: channel or tcp")
 	procs := flag.Bool("procs", false, "run each rank in its own OS process (true mpirun semantics)")
+	profile := flag.Bool("profile", false, "attach the PMPI-style profiler and print the wait-state profile")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace with message-flow arrows to FILE")
 	flag.Parse()
 
 	name := flag.Arg(0)
@@ -67,6 +72,14 @@ func main() {
 	if *np > 0 {
 		ranks = *np
 	}
+	var collector *prof.Collector
+	if *profile || *traceOut != "" {
+		if *procs {
+			fmt.Fprintln(os.Stderr, "mpirun: -profile/-trace-out are unavailable with -procs (no shared event stream across OS processes)")
+			os.Exit(1)
+		}
+		collector = prof.New()
+	}
 	var err error
 	if *procs {
 		ps := make(mpi.Programs)
@@ -82,11 +95,15 @@ func main() {
 			return
 		}
 	} else {
+		var opts []mpi.Option
+		if collector != nil {
+			opts = append(opts, mpi.WithHook(collector))
+		}
 		switch *transport {
 		case "channel":
-			err = mpi.Run(ranks, prog.run)
+			err = mpi.Run(ranks, prog.run, opts...)
 		case "tcp":
-			err = mpi.RunTCP(ranks, prog.run)
+			err = mpi.RunTCP(ranks, prog.run, opts...)
 		default:
 			err = fmt.Errorf("unknown transport %q", *transport)
 		}
@@ -95,6 +112,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpirun:", err)
 		os.Exit(1)
 	}
+	if collector != nil {
+		if *profile {
+			fmt.Println()
+			fmt.Print(prof.Report(collector.Events()))
+		}
+		if *traceOut != "" {
+			if err := writeTrace(collector, *traceOut, name); err != nil {
+				fmt.Fprintln(os.Stderr, "mpirun:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (open in https://ui.perfetto.dev)\n", *traceOut)
+		}
+	}
+}
+
+func writeTrace(collector *prof.Collector, path, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := collector.WriteChromeTrace(f, 1, name); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func hello(c *mpi.Comm) error {

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Accounting is per-job communication accounting attached from a
+// profiled run — the figures `sacct` reports beyond scheduler state.
+type Accounting struct {
+	CommBytes int64   // user payload bytes through communication primitives
+	WaitFrac  float64 // blocked share of rank time inside the runtime
+}
+
+// AttachAccounting records profiling-derived accounting for a job. It
+// may be called at any point in the job's lifecycle; Sacct reports
+// whatever has been attached by render time.
+func (c *Cluster) AttachAccounting(id int, a Accounting) error {
+	j, ok := c.jobs[id]
+	if !ok {
+		return fmt.Errorf("cluster: no job %d", id)
+	}
+	j.Acct = &a
+	return nil
+}
+
+// Sacct renders the accounting ledger like `sacct`: one row per job that
+// has left the queue, with elapsed time, allocation width and — for jobs
+// with attached profiling accounting — communication volume and wait
+// fraction.
+func (c *Cluster) Sacct() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %-16s %5s %10s %7s %12s %6s\n",
+		"JOBID", "JOBNAME", "STATE", "ELAPSED", "NNODES", "COMMBYTES", "WAIT%")
+	jobs := c.Jobs()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	for _, j := range jobs {
+		if j.State == Pending {
+			continue
+		}
+		elapsed := time.Duration(0)
+		switch j.State {
+		case Running:
+			elapsed = c.now - j.StartTime
+		case Completed, TimedOut, Cancelled:
+			if j.EndTime >= j.StartTime {
+				elapsed = j.EndTime - j.StartTime
+			}
+		}
+		comm, wait := "-", "-"
+		if j.Acct != nil {
+			comm = fmt.Sprintf("%d", j.Acct.CommBytes)
+			wait = fmt.Sprintf("%.1f", j.Acct.WaitFrac*100)
+		}
+		fmt.Fprintf(&b, "%6d %-16s %5s %10s %7d %12s %6s\n",
+			j.ID, truncate(j.Spec.Name, 16), j.State, elapsed.Round(time.Millisecond),
+			j.NumNodes, comm, wait)
+	}
+	return b.String()
+}

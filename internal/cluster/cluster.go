@@ -80,6 +80,10 @@ type Job struct {
 	StartTime  time.Duration
 	EndTime    time.Duration
 
+	// Acct holds profiling-derived accounting attached via
+	// AttachAccounting; nil when the job was never profiled.
+	Acct *Accounting
+
 	// Nodes holds the ids of allocated nodes while running.
 	Nodes []int
 	// NumNodes records the allocation width for completed jobs (Nodes

@@ -17,7 +17,6 @@ import (
 	"repro/internal/data"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
-	"repro/internal/trace"
 )
 
 // CommOption selects the module's centroid-update communication scheme.
@@ -54,9 +53,6 @@ type Config struct {
 	Tol float64
 	// Option selects the communication scheme (default WeightedMeans).
 	Option CommOption
-	// Tracer, when set, records per-iteration compute and communication
-	// phases (rank-resolved).
-	Tracer *trace.Tracer
 	// Seed drives the deterministic initial centroid choice.
 	Seed int64
 }
@@ -146,11 +142,7 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 		computeStart := time.Now()
 		assignPoints(local, cent, assign)
 		sums, counts := partialSums(local, assign, cfg.K)
-		d := time.Since(computeStart)
-		computeDur += d
-		if cfg.Tracer != nil {
-			cfg.Tracer.Record(c.WorldRank(), trace.Compute, "assign", computeStart, d)
-		}
+		computeDur += time.Since(computeStart)
 
 		commStart := time.Now()
 		var moved bool
@@ -165,11 +157,7 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 		if err != nil {
 			return Result{}, nil, 0, err
 		}
-		d = time.Since(commStart)
-		commDur += d
-		if cfg.Tracer != nil {
-			cfg.Tracer.Record(c.WorldRank(), trace.Comm, "update", commStart, d)
-		}
+		commDur += time.Since(commStart)
 		if !moved {
 			res.Converged = true
 			break

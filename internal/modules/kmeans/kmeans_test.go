@@ -9,6 +9,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -237,17 +238,20 @@ func TestDistributedRequiresDivisibleN(t *testing.T) {
 	_ = err
 }
 
-func TestTracerRecordsPhases(t *testing.T) {
+// TestProfilerRecordsPhases checks that the runtime's hook layer alone —
+// no module instrumentation — yields per-rank compute and communication
+// phases for the k-means module.
+func TestProfilerRecordsPhases(t *testing.T) {
 	pts, _ := data.GaussianMixture(800, 2, 4, 1.0, 50, 7)
-	tr := trace.New()
+	pc := prof.New()
 	err := mpi.Run(4, func(c *mpi.Comm) error {
-		_, _, _, err := Distributed(c, pts, Config{K: 4, MaxIter: 20, Seed: 1, Tracer: tr})
+		_, _, _, err := Distributed(c, pts, Config{K: 4, MaxIter: 20, Seed: 1})
 		return err
-	})
+	}, mpi.WithHook(pc))
 	if err != nil {
 		t.Fatal(err)
 	}
-	splits := tr.Splits()
+	splits := trace.SplitsOf(pc.Intervals())
 	if len(splits) != 4 {
 		t.Fatalf("traced %d ranks", len(splits))
 	}

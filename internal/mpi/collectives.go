@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"time"
 )
 
 // Collective operations. All of them are implemented on top of the
@@ -43,7 +44,10 @@ func (c *Comm) collSend(data []byte, dest, tag int) error {
 		return err
 	}
 	if seq != 0 {
-		return c.mb.waitAck(seq)
+		start := time.Now()
+		err := c.mb.waitAck(seq)
+		c.traceComm("send", start)
+		return err
 	}
 	return nil
 }
@@ -64,7 +68,14 @@ func (c *Comm) collIrecv(src, tag int) *pendingRecv {
 // Barrier blocks until every rank of the communicator has entered it
 // (MPI_Barrier). Dissemination algorithm: ceil(log2 p) rounds.
 func (c *Comm) Barrier() error {
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimBarrier)
+	err := c.barrier()
+	c.profExit(tok, PrimBarrier, -1, -1, 0, 0, 0, 0)
+	return err
+}
+
+func (c *Comm) barrier() error {
 	tag := c.nextCollTag()
 	p, r := len(c.members), c.rank
 	for k := 1; k < p; k <<= 1 {
@@ -88,7 +99,14 @@ func Bcast[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 	if err := c.checkPeer(root, false); err != nil {
 		return nil, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimBcast)
+	out, err := bcastTree(c, data, root)
+	c.profExit(tok, PrimBcast, c.members[root], -1, len(out)*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func bcastTree[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 	tag := c.nextCollTag()
 	p, r := len(c.members), c.rank
 	rel := (r - root + p) % p
@@ -137,7 +155,19 @@ func Scatter[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 	if c.rank == root && len(data)%p != 0 {
 		return nil, fmt.Errorf("%w: Scatter buffer of %d elements across %d ranks", ErrLengthMismatch, len(data), p)
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimScatter)
+	out, err := scatterLinear(c, data, root)
+	bytes := len(out)
+	if c.rank == root {
+		bytes = len(data)
+	}
+	c.profExit(tok, PrimScatter, c.members[root], -1, bytes*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func scatterLinear[T Scalar](c *Comm, data []T, root int) ([]T, error) {
+	p := len(c.members)
 	tag := c.nextCollTag()
 	if c.rank == root {
 		chunk := len(data) / p
@@ -167,8 +197,19 @@ func Scatterv[T Scalar](c *Comm, data []T, counts []int, root int) ([]T, error) 
 	if err := c.checkPeer(root, false); err != nil {
 		return nil, err
 	}
-	p := len(c.members)
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimScatterv)
+	out, err := scattervLinear(c, data, counts, root)
+	bytes := len(out)
+	if c.rank == root {
+		bytes = len(data)
+	}
+	c.profExit(tok, PrimScatterv, c.members[root], -1, bytes*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func scattervLinear[T Scalar](c *Comm, data []T, counts []int, root int) ([]T, error) {
+	p := len(c.members)
 	tag := c.nextCollTag()
 	if c.rank == root {
 		if len(counts) != p {
@@ -211,7 +252,18 @@ func Gather[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 	if err := c.checkPeer(root, false); err != nil {
 		return nil, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimGather)
+	out, err := gatherLinear(c, data, root)
+	bytes := len(data)
+	if c.rank == root {
+		bytes = len(out)
+	}
+	c.profExit(tok, PrimGather, c.members[root], -1, bytes*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func gatherLinear[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 	blocks, err := c.gatherBlocks(Marshal(data), root)
 	if err != nil {
 		return nil, err
@@ -240,7 +292,21 @@ func Gatherv[T Scalar](c *Comm, data []T, root int) ([][]T, error) {
 	if err := c.checkPeer(root, false); err != nil {
 		return nil, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimGatherv)
+	out, err := gathervLinear(c, data, root)
+	bytes := len(data)
+	if c.rank == root {
+		bytes = 0
+		for _, b := range out {
+			bytes += len(b)
+		}
+	}
+	c.profExit(tok, PrimGatherv, c.members[root], -1, bytes*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func gathervLinear[T Scalar](c *Comm, data []T, root int) ([][]T, error) {
 	blocks, err := c.gatherBlocks(Marshal(data), root)
 	if err != nil {
 		return nil, err
@@ -292,7 +358,14 @@ func (c *Comm) gatherBlocks(payload []byte, root int) ([][]byte, error) {
 // rank (MPI_Allgather), using the ring algorithm: p-1 steps, each moving
 // one block to the right neighbour.
 func Allgather[T Scalar](c *Comm, data []T) ([]T, error) {
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimAllgather)
+	out, err := allgatherRing(c, data)
+	c.profExit(tok, PrimAllgather, -1, -1, len(out)*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func allgatherRing[T Scalar](c *Comm, data []T) ([]T, error) {
 	tag := c.nextCollTag()
 	p, r := len(c.members), c.rank
 	n := len(data)
@@ -331,8 +404,11 @@ func Reduce[T Scalar](c *Comm, data []T, op Op[T], root int) ([]T, error) {
 	if err := c.checkPeer(root, false); err != nil {
 		return nil, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimReduce)
-	return reduceTree(c, data, op, root)
+	out, err := reduceTree(c, data, op, root)
+	c.profExit(tok, PrimReduce, c.members[root], -1, len(data)*scalarSize[T](), 0, 0, 0)
+	return out, err
 }
 
 // reduceTree is the binomial-tree reduction shared by Reduce and
@@ -373,7 +449,14 @@ func reduceTree[T Scalar](c *Comm, data []T, op Op[T], root int) ([]T, error) {
 // binomial reduce to rank 0 followed by a binomial broadcast; see
 // AllreduceRing for the bandwidth-optimal alternative.
 func Allreduce[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimAllreduce)
+	out, err := allreduceTree(c, data, op)
+	c.profExit(tok, PrimAllreduce, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func allreduceTree[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	acc, err := reduceTree(c, data, op, 0)
 	if err != nil {
 		return nil, err
@@ -431,7 +514,14 @@ func bcastInternal[T Scalar](c *Comm, data []T, n int, root int) ([]T, error) {
 // rank versus log2(p) full buffers for the tree algorithm, which the
 // ablation bench quantifies.
 func AllreduceRing[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimAllreduce)
+	out, err := allreduceRing(c, data, op)
+	c.profExit(tok, PrimAllreduce, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func allreduceRing[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	p, r := len(c.members), c.rank
 	if p == 1 {
 		return append([]T(nil), data...), nil
@@ -493,7 +583,14 @@ func AllreduceRing[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 // Scan computes the inclusive prefix reduction (MPI_Scan): rank r receives
 // op-fold of the buffers of ranks 0..r. Linear chain algorithm.
 func Scan[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimScan)
+	out, err := scanChain(c, data, op)
+	c.profExit(tok, PrimScan, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func scanChain[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	tag := c.nextCollTag()
 	p, r := len(c.members), c.rank
 	acc := append([]T(nil), data...)
@@ -526,11 +623,19 @@ func Scan[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 // the blocks received from every rank, concatenated in rank order
 // (MPI_Alltoall). len(data) must be a multiple of the communicator size.
 func Alltoall[T Scalar](c *Comm, data []T) ([]T, error) {
-	p, r := len(c.members), c.rank
+	p := len(c.members)
 	if len(data)%p != 0 {
 		return nil, fmt.Errorf("%w: Alltoall buffer of %d elements across %d ranks", ErrLengthMismatch, len(data), p)
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimAlltoall)
+	out, err := alltoallPairwise(c, data)
+	c.profExit(tok, PrimAlltoall, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func alltoallPairwise[T Scalar](c *Comm, data []T) ([]T, error) {
+	p, r := len(c.members), c.rank
 	tag := c.nextCollTag()
 	n := len(data) / p
 	out := make([]T, len(data))
@@ -563,11 +668,23 @@ func Alltoall[T Scalar](c *Comm, data []T) ([]T, error) {
 // value holds one received block per source rank. It is the shuffle
 // primitive of the MapReduce substrate and of Module 3's bucket exchange.
 func Alltoallv[T Scalar](c *Comm, blocks [][]T) ([][]T, error) {
-	p, r := len(c.members), c.rank
+	p := len(c.members)
 	if len(blocks) != p {
 		return nil, fmt.Errorf("%w: Alltoallv got %d blocks for %d ranks", ErrLengthMismatch, len(blocks), p)
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimAlltoallv)
+	out, err := alltoallvPairwise(c, blocks)
+	bytes := 0
+	for _, b := range blocks {
+		bytes += len(b)
+	}
+	c.profExit(tok, PrimAlltoallv, -1, -1, bytes*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func alltoallvPairwise[T Scalar](c *Comm, blocks [][]T) ([][]T, error) {
+	p, r := len(c.members), c.rank
 	tag := c.nextCollTag()
 	out := make([][]T, p)
 	out[r] = append([]T(nil), blocks[r]...)
@@ -595,7 +712,18 @@ func Alltoallv[T Scalar](c *Comm, blocks [][]T) ([][]T, error) {
 // (MPI_Allgatherv): a linear gather onto rank 0 followed by a binomial
 // broadcast of the counts and the flattened payload.
 func Allgatherv[T Scalar](c *Comm, data []T) ([][]T, error) {
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimAllgather)
+	out, err := allgathervLinear(c, data)
+	bytes := 0
+	for _, b := range out {
+		bytes += len(b)
+	}
+	c.profExit(tok, PrimAllgather, -1, -1, bytes*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func allgathervLinear[T Scalar](c *Comm, data []T) ([][]T, error) {
 	blocks, err := c.gatherBlocks(Marshal(data), 0)
 	if err != nil {
 		return nil, err
@@ -638,7 +766,14 @@ func Allgatherv[T Scalar](c *Comm, data []T) ([][]T, error) {
 // receives the op-fold of ranks 0..r-1; rank 0's result is the zero-value
 // slice (MPI leaves it undefined; zeros are the defined choice here).
 func Exscan[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimScan)
+	out, err := exscanChain(c, data, op)
+	c.profExit(tok, PrimScan, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
+	return out, err
+}
+
+func exscanChain[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	tag := c.nextCollTag()
 	p, r := len(c.members), c.rank
 	// Chain: receive the running prefix from the left, forward

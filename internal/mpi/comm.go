@@ -19,6 +19,13 @@ type Comm struct {
 	collSeq   int64 // lockstep collective sequence number
 	splitSeq  int64 // lockstep Split sequence number
 	mb        *mailbox
+
+	// blockedAcc accumulates time this rank has spent blocked inside the
+	// runtime (match waits, rendezvous acks, collective partners). Only
+	// the owning rank goroutine touches it, so no synchronisation is
+	// needed; profEnter/profExit difference it to attribute blocking to
+	// individual primitives.
+	blockedAcc time.Duration
 }
 
 func newWorldComm(w *World, rank int) *Comm {
@@ -73,8 +80,9 @@ func checkTag(tag int, wildcard bool) error {
 
 // sendEnvelope builds, accounts and delivers one data envelope on ctx, and
 // runs the rendezvous protocol when required. data is owned by the caller;
-// it is copied before delivery.
-func (c *Comm) sendEnvelope(ctx int32, data []byte, dest, tag int, sync bool) error {
+// it is copied before delivery. The returned msgid identifies the message
+// for flow tracing; it is zero when no hook is attached.
+func (c *Comm) sendEnvelope(ctx int32, data []byte, dest, tag int, sync bool) (int64, error) {
 	payload := append([]byte(nil), data...)
 	env := &envelope{
 		kind: kindData,
@@ -89,19 +97,24 @@ func (c *Comm) sendEnvelope(ctx int32, data []byte, dest, tag int, sync bool) er
 		seq = c.world.nextSeq()
 		env.seq = seq
 	}
+	var msgid int64
+	if c.world.opts.hook != nil {
+		msgid = c.world.nextMsgID()
+		env.msgid = msgid
+	}
 	env.data = payload
 	// The receiver may consume env.seq concurrently once delivered, so
 	// the local copy taken above is the only safe handle afterwards.
 	if err := c.world.deliver(env); err != nil {
-		return err
+		return msgid, err
 	}
 	if seq != 0 {
 		start := time.Now()
 		err := c.mb.waitAck(seq)
 		c.traceComm("send", start)
-		return err
+		return msgid, err
 	}
-	return nil
+	return msgid, nil
 }
 
 // isendEnvelope is the nonblocking variant; the returned request completes
@@ -121,11 +134,16 @@ func (c *Comm) isendEnvelope(ctx int32, data []byte, dest, tag int) (*Request, e
 		seq = c.world.nextSeq()
 		env.seq = seq
 	}
+	var msgid int64
+	if c.world.opts.hook != nil {
+		msgid = c.world.nextMsgID()
+		env.msgid = msgid
+	}
 	env.data = payload
 	if err := c.world.deliver(env); err != nil {
 		return nil, err
 	}
-	return &Request{comm: c, kind: reqSend, seq: seq, done: seq == 0}, nil
+	return &Request{comm: c, kind: reqSend, seq: seq, done: seq == 0, peer: c.members[dest], tag: tag, msgid: msgid}, nil
 }
 
 // recvEnvelope blocks for a matching envelope on ctx and acknowledges
@@ -148,8 +166,10 @@ func (c *Comm) recvEnvelope(ctx int32, src, tag int) (*envelope, Status, error) 
 }
 
 func (c *Comm) traceComm(op string, start time.Time) {
+	d := time.Since(start)
+	c.blockedAcc += d
 	if t := c.world.opts.tracer; t != nil {
-		t.RecordComm(c.worldRank, op, start, time.Since(start))
+		t.RecordComm(c.worldRank, op, start, d)
 	}
 }
 
@@ -163,9 +183,12 @@ func (c *Comm) SendBytes(data []byte, dest, tag int) error {
 	if err := checkTag(tag, false); err != nil {
 		return err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimSend)
 	c.world.stats.addUserSent(c.worldRank, len(data))
-	return c.sendEnvelope(c.ctx, data, dest, tag, false)
+	msgid, err := c.sendEnvelope(c.ctx, data, dest, tag, false)
+	c.profExit(tok, PrimSend, c.members[dest], tag, len(data), msgid, 0, 0)
+	return err
 }
 
 // SsendBytes is the explicitly synchronous send (MPI_Ssend): it always
@@ -177,9 +200,12 @@ func (c *Comm) SsendBytes(data []byte, dest, tag int) error {
 	if err := checkTag(tag, false); err != nil {
 		return err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimSend)
 	c.world.stats.addUserSent(c.worldRank, len(data))
-	return c.sendEnvelope(c.ctx, data, dest, tag, true)
+	msgid, err := c.sendEnvelope(c.ctx, data, dest, tag, true)
+	c.profExit(tok, PrimSend, c.members[dest], tag, len(data), msgid, 0, 0)
+	return err
 }
 
 // RecvBytes receives a message matching (src, tag), which may use
@@ -191,12 +217,15 @@ func (c *Comm) RecvBytes(src, tag int) ([]byte, Status, error) {
 	if err := checkTag(tag, true); err != nil {
 		return nil, Status{}, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimRecv)
 	env, st, err := c.recvEnvelope(c.ctx, src, tag)
 	if err != nil {
+		c.profExit(tok, PrimRecv, -1, tag, 0, 0, 0, 0)
 		return nil, Status{}, err
 	}
 	c.world.stats.addUserRecv(c.worldRank, len(env.data))
+	c.profExit(tok, PrimRecv, env.wsrc, int(env.tag), len(env.data), 0, env.msgid, queuedFor(env))
 	return env.data, st, nil
 }
 
@@ -210,9 +239,16 @@ func (c *Comm) IsendBytes(data []byte, dest, tag int) (*Request, error) {
 	if err := checkTag(tag, false); err != nil {
 		return nil, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimIsend)
 	c.world.stats.addUserSent(c.worldRank, len(data))
-	return c.isendEnvelope(c.ctx, data, dest, tag)
+	r, err := c.isendEnvelope(c.ctx, data, dest, tag)
+	var msgid int64
+	if r != nil {
+		msgid = r.msgid
+	}
+	c.profExit(tok, PrimIsend, c.members[dest], tag, len(data), msgid, 0, 0)
+	return r, err
 }
 
 // IrecvBytes starts a nonblocking receive (MPI_Irecv).
@@ -223,9 +259,15 @@ func (c *Comm) IrecvBytes(src, tag int) (*Request, error) {
 	if err := checkTag(tag, true); err != nil {
 		return nil, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimIrecv)
 	pr := c.mb.postRecv(c.ctx, src, tag)
-	return &Request{comm: c, kind: reqRecv, pr: pr}, nil
+	peer := -1
+	if src != AnySource {
+		peer = c.members[src]
+	}
+	c.profExit(tok, PrimIrecv, peer, tag, 0, 0, 0, 0)
+	return &Request{comm: c, kind: reqRecv, pr: pr, peer: peer, tag: tag}, nil
 }
 
 // SendrecvBytes performs a combined send and receive (MPI_Sendrecv),
@@ -244,17 +286,22 @@ func (c *Comm) SendrecvBytes(data []byte, dest, sendTag, src, recvTag int) ([]by
 	if err := checkTag(recvTag, true); err != nil {
 		return nil, Status{}, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimSendrecv)
 	c.world.stats.addUserSent(c.worldRank, len(data))
 	pr := c.mb.postRecv(c.ctx, src, recvTag)
-	if err := c.sendEnvelope(c.ctx, data, dest, sendTag, false); err != nil {
+	msgid, err := c.sendEnvelope(c.ctx, data, dest, sendTag, false)
+	if err != nil {
+		c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, len(data), msgid, 0, 0)
 		return nil, Status{}, err
 	}
 	env, err := c.finishRecv(pr)
 	if err != nil {
+		c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, len(data), msgid, 0, 0)
 		return nil, Status{}, err
 	}
 	c.world.stats.addUserRecv(c.worldRank, len(env.data))
+	c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, len(data)+len(env.data), msgid, env.msgid, queuedFor(env))
 	return env.data, Status{Source: env.src, Tag: int(env.tag), Bytes: len(env.data)}, nil
 }
 
@@ -290,10 +337,16 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	if err := checkTag(tag, true); err != nil {
 		return Status{}, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimProbe)
 	start := time.Now()
 	st, err := c.mb.probe(c.ctx, src, tag)
 	c.traceComm("probe", start)
+	peer := -1
+	if err == nil {
+		peer = c.members[st.Source]
+	}
+	c.profExit(tok, PrimProbe, peer, tag, st.Bytes, 0, 0, 0)
 	return st, err
 }
 
@@ -305,16 +358,25 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 	if err := checkTag(tag, true); err != nil {
 		return Status{}, false, err
 	}
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimIprobe)
 	st, ok := c.mb.iprobe(c.ctx, src, tag)
+	peer := -1
+	if ok {
+		peer = c.members[st.Source]
+	}
+	c.profExit(tok, PrimIprobe, peer, tag, st.Bytes, 0, 0, 0)
 	return st, ok, nil
 }
 
 // GetCount returns the element count of a received message, mirroring
 // MPI_Get_count, and records the primitive use for Table II accounting.
 func (c *Comm) GetCount(st Status, elemSize int) (int, error) {
+	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimGetCount)
-	return st.Count(elemSize)
+	n, err := st.Count(elemSize)
+	c.profExit(tok, PrimGetCount, -1, st.Tag, st.Bytes, 0, 0, 0)
+	return n, err
 }
 
 // Abort stops the whole world with the given error (MPI_Abort).

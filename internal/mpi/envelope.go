@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 )
 
 // envelope kinds.
@@ -19,17 +20,23 @@ const (
 // seq is nonzero when the sender awaits a rendezvous acknowledgement; the
 // receiver replies with a kindAck envelope carrying the same seq.
 type envelope struct {
-	kind int8
-	src  int   // communicator-relative sender rank
-	wsrc int   // world rank of the sender
-	wdst int   // world rank of the destination
-	ctx  int32 // communicator context (even: user, odd: collective shadow)
-	tag  int32
-	seq  int64 // rendezvous sequence; 0 when no ack is required
-	data []byte
+	kind  int8
+	src   int   // communicator-relative sender rank
+	wsrc  int   // world rank of the sender
+	wdst  int   // world rank of the destination
+	ctx   int32 // communicator context (even: user, odd: collective shadow)
+	tag   int32
+	seq   int64 // rendezvous sequence; 0 when no ack is required
+	msgid int64 // profiling flow id; 0 unless a Hook is attached
+	data  []byte
+
+	// arrived is the receiver-side arrival stamp, set by the destination
+	// mailbox when a Hook is attached. It never crosses the wire, so the
+	// queue-latency measurement is immune to cross-host clock skew.
+	arrived time.Time
 }
 
-const envelopeHeaderLen = 1 + 4 + 4 + 4 + 4 + 4 + 8 + 4 // kind, src, wsrc, wdst, ctx, tag, seq, len
+const envelopeHeaderLen = 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 4 // kind, src, wsrc, wdst, ctx, tag, seq, msgid, len
 
 // appendWire serializes the envelope for the TCP transport.
 func (e *envelope) appendWire(b []byte) []byte {
@@ -40,6 +47,7 @@ func (e *envelope) appendWire(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(e.ctx))
 	b = binary.LittleEndian.AppendUint32(b, uint32(e.tag))
 	b = binary.LittleEndian.AppendUint64(b, uint64(e.seq))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.msgid))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.data)))
 	return append(b, e.data...)
 }
@@ -59,7 +67,8 @@ func parseWire(b []byte) (*envelope, error) {
 		tag:  int32(binary.LittleEndian.Uint32(b[17:])),
 		seq:  int64(binary.LittleEndian.Uint64(b[21:])),
 	}
-	n := int(binary.LittleEndian.Uint32(b[29:]))
+	e.msgid = int64(binary.LittleEndian.Uint64(b[29:]))
+	n := int(binary.LittleEndian.Uint32(b[37:]))
 	if len(b) != envelopeHeaderLen+n {
 		return nil, fmt.Errorf("mpi: envelope length mismatch: header says %d payload bytes, have %d", n, len(b)-envelopeHeaderLen)
 	}

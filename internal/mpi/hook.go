@@ -1,0 +1,98 @@
+package mpi
+
+import "time"
+
+// Event is the structured record handed to a Hook when a communication
+// primitive exits. It is the PMPI-style interposition point of the
+// runtime: every user-facing primitive — blocking and nonblocking
+// point-to-point, collectives, probe and wait — emits exactly one Event
+// per invocation, identically over the channel and TCP transports.
+type Event struct {
+	Rank  int       // world rank of the reporting process
+	Prim  Primitive // which primitive was invoked
+	Peer  int       // world rank of the peer, or the root for rooted collectives; -1 when not applicable
+	Tag   int       // message tag; -1 when not applicable
+	Bytes int       // user payload bytes moved by this call (best effort for collectives)
+
+	Start   time.Time     // primitive entry time
+	Dur     time.Duration // wall time spent inside the primitive
+	Blocked time.Duration // of Dur, time spent blocked waiting on the runtime (match, ack, collective partner)
+	Queued  time.Duration // how long the consumed message sat in the receive queue before this call drained it
+
+	// SendID and RecvID correlate matched sends and receives for
+	// message-flow tracing: the Event of the sending call carries the
+	// message id in SendID and the Event of the consuming call carries
+	// the same id in RecvID. Ids cross the TCP wire inside the envelope
+	// header, so flows resolve identically on both transports. Zero
+	// means "no message" (e.g. collectives, probes).
+	SendID int64
+	RecvID int64
+}
+
+// Hook observes primitive-level events. Implementations must be safe for
+// concurrent use: every rank goroutine of the world calls Event. The
+// runtime invokes the hook synchronously at primitive exit, so a slow
+// hook slows the application — collectors should do no more than append
+// under a mutex.
+type Hook interface {
+	Event(Event)
+}
+
+// WithHook attaches a PMPI-style profiling hook to the world. When no
+// hook is attached the instrumentation reduces to one nil check per
+// primitive (the production fast path).
+func WithHook(h Hook) Option {
+	return func(o *options) { o.hook = h }
+}
+
+// profToken carries the entry state of an instrumented primitive between
+// profEnter and profExit.
+type profToken struct {
+	start   time.Time
+	blocked time.Duration
+	ok      bool
+}
+
+// profEnter snapshots entry state for the hook layer. With no hook
+// attached it is a single nil check returning the zero token.
+func (c *Comm) profEnter() profToken {
+	if c.world.opts.hook == nil {
+		return profToken{}
+	}
+	return profToken{start: time.Now(), blocked: c.blockedAcc, ok: true}
+}
+
+// profExit emits the Event for an instrumented primitive. peer and tag
+// use -1 for "not applicable"; bytes, sendID, recvID and queued are zero
+// when unknown (e.g. on error paths).
+func (c *Comm) profExit(tok profToken, p Primitive, peer, tag, bytes int, sendID, recvID int64, queued time.Duration) {
+	if !tok.ok {
+		return
+	}
+	c.world.opts.hook.Event(Event{
+		Rank:    c.worldRank,
+		Prim:    p,
+		Peer:    peer,
+		Tag:     tag,
+		Bytes:   bytes,
+		Start:   tok.start,
+		Dur:     time.Since(tok.start),
+		Blocked: c.blockedAcc - tok.blocked,
+		Queued:  queued,
+		SendID:  sendID,
+		RecvID:  recvID,
+	})
+}
+
+// queuedFor reports how long env waited in the destination mailbox before
+// the consuming primitive exits. A large value means the receiver was
+// late to drain an eagerly delivered message.
+func queuedFor(env *envelope) time.Duration {
+	if env == nil || env.arrived.IsZero() {
+		return 0
+	}
+	if d := time.Since(env.arrived); d > 0 {
+		return d
+	}
+	return 0
+}

@@ -1,0 +1,218 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// eventLog is a minimal thread-safe Hook for the tests below.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) Event(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) byPrim() map[Primitive][]Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := make(map[Primitive][]Event)
+	for _, e := range l.events {
+		m[e.Prim] = append(m[e.Prim], e)
+	}
+	return m
+}
+
+// hookWorkload touches every instrumented primitive class: blocking and
+// nonblocking point-to-point, sendrecv, probe/iprobe/get-count, wait, and
+// a spread of collectives.
+func hookWorkload(c *Comm) error {
+	const tag = 3
+	payload := []byte("twelve bytes")
+	if c.Rank() == 0 {
+		if err := c.SendBytes(payload, 1, tag); err != nil {
+			return err
+		}
+		if _, _, err := c.RecvBytes(1, tag); err != nil {
+			return err
+		}
+		req, err := c.IsendBytes(payload, 1, tag+1)
+		if err != nil {
+			return err
+		}
+		if _, _, err := req.Wait(); err != nil {
+			return err
+		}
+	} else if c.Rank() == 1 {
+		st, err := c.Probe(0, tag)
+		if err != nil {
+			return err
+		}
+		if _, err := c.GetCount(st, 1); err != nil {
+			return err
+		}
+		if _, _, err := c.RecvBytes(0, tag); err != nil {
+			return err
+		}
+		if err := c.SendBytes(payload, 0, tag); err != nil {
+			return err
+		}
+		// Iprobe before posting the receive: a posted Irecv would match
+		// (and hide) the incoming message from the probe.
+		for {
+			if _, ok, err := c.Iprobe(0, tag+1); err != nil {
+				return err
+			} else if ok {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		req, err := c.IrecvBytes(0, tag+1)
+		if err != nil {
+			return err
+		}
+		if _, _, err := req.Wait(); err != nil {
+			return err
+		}
+	}
+	peer := c.Rank() ^ 1
+	if peer < c.Size() {
+		if _, _, err := c.SendrecvBytes(payload, peer, 9, peer, 9); err != nil {
+			return err
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	buf := []float64{float64(c.Rank())}
+	if _, err := Bcast(c, buf, 0); err != nil {
+		return err
+	}
+	if _, err := Allreduce(c, buf, OpSum); err != nil {
+		return err
+	}
+	if _, err := Gather(c, buf, 0); err != nil {
+		return err
+	}
+	if _, err := Allgather(c, buf); err != nil {
+		return err
+	}
+	if _, err := Reduce(c, buf, OpSum, 0); err != nil {
+		return err
+	}
+	if _, err := Scan(c, buf, OpSum); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TestHookFiresEveryPrimitive checks that one workload touching the full
+// primitive surface emits hook events for each, with sane fields.
+func TestHookFiresEveryPrimitive(t *testing.T) {
+	log := &eventLog{}
+	if err := Run(2, hookWorkload, WithHook(log)); err != nil {
+		t.Fatal(err)
+	}
+	got := log.byPrim()
+	want := []Primitive{
+		PrimSend, PrimRecv, PrimIsend, PrimIrecv, PrimWait, PrimSendrecv,
+		PrimProbe, PrimIprobe, PrimGetCount,
+		PrimBarrier, PrimBcast, PrimAllreduce, PrimGather, PrimAllgather,
+		PrimReduce, PrimScan,
+	}
+	for _, p := range want {
+		if len(got[p]) == 0 {
+			t.Errorf("no hook event for %v", p)
+		}
+	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	for _, e := range log.events {
+		if e.Rank < 0 || e.Rank >= 2 {
+			t.Errorf("%v: rank %d out of range", e.Prim, e.Rank)
+		}
+		if e.Dur < 0 || e.Blocked < 0 || e.Queued < 0 {
+			t.Errorf("%v: negative timing %+v", e.Prim, e)
+		}
+		if e.Start.IsZero() {
+			t.Errorf("%v: zero start time", e.Prim)
+		}
+	}
+}
+
+// TestHookFlowCorrelation checks that a matched send/recv pair shares one
+// message id — the flow edge the trace exporter draws — on both
+// transports.
+func TestHookFlowCorrelation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(int, func(*Comm) error, ...Option) error
+	}{
+		{"channel", Run},
+		{"tcp", RunTCP},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			log := &eventLog{}
+			err := tc.run(2, func(c *Comm) error {
+				if c.Rank() == 0 {
+					return c.SendBytes([]byte("flow"), 1, 5)
+				}
+				_, _, err := c.RecvBytes(0, 5)
+				return err
+			}, WithHook(log))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := log.byPrim()
+			sends, recvs := got[PrimSend], got[PrimRecv]
+			if len(sends) != 1 || len(recvs) != 1 {
+				t.Fatalf("want 1 send + 1 recv event, got %d + %d", len(sends), len(recvs))
+			}
+			if sends[0].SendID == 0 {
+				t.Fatal("send event has no message id")
+			}
+			if sends[0].SendID != recvs[0].RecvID {
+				t.Fatalf("flow ids differ: send %d, recv %d", sends[0].SendID, recvs[0].RecvID)
+			}
+			if sends[0].Bytes != 4 || recvs[0].Bytes != 4 {
+				t.Fatalf("payload bytes: send %d, recv %d, want 4", sends[0].Bytes, recvs[0].Bytes)
+			}
+		})
+	}
+}
+
+// TestHookNilFastPath checks the un-hooked world never pays for the
+// profiling layer: message ids (the only hook-driven allocation visible
+// from outside a primitive) are never handed out.
+func TestHookNilFastPath(t *testing.T) {
+	var allocated int64
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.SendBytes([]byte("x"), 1, 0); err != nil {
+				return err
+			}
+		} else {
+			if _, _, err := c.RecvBytes(0, 0); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			allocated = c.world.msgCounter.Load()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocated != 0 {
+		t.Fatalf("un-hooked run allocated %d message ids, want 0", allocated)
+	}
+}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"sync"
+	"time"
 )
 
 // waitKind classifies what a blocked rank is waiting for. The deadlock
@@ -87,6 +88,11 @@ func newMailbox(rank int, w *World) *mailbox {
 // released, so concurrent cross-posts cannot order-deadlock on mailbox
 // mutexes.
 func (mb *mailbox) post(e *envelope) {
+	if e.kind == kindData && mb.world.opts.hook != nil {
+		// Receiver-side arrival stamp for queue-latency attribution; taken
+		// before the lock so lock contention is not charged to the queue.
+		e.arrived = time.Now()
+	}
 	mb.mu.Lock()
 	if e.kind == kindAck {
 		mb.acks[e.seq] = true

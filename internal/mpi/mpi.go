@@ -100,6 +100,7 @@ type options struct {
 	detectDeadlock  bool
 	watchdogTimeout time.Duration
 	tracer          Tracer
+	hook            Hook
 	synchronousSend bool
 }
 

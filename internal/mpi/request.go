@@ -17,8 +17,12 @@ type Request struct {
 	kind reqKind
 	done bool
 
+	peer int // world rank of the peer; -1 for wildcard receives
+	tag  int
+
 	// send requests
-	seq int64 // rendezvous sequence; 0 for eager sends
+	seq   int64 // rendezvous sequence; 0 for eager sends
+	msgid int64 // profiling flow id; 0 unless a hook is attached
 
 	// receive requests
 	pr  *pendingRecv
@@ -30,8 +34,29 @@ type Request struct {
 // requests the returned bytes are the message payload; for send requests
 // the payload is nil.
 func (r *Request) Wait() ([]byte, Status, error) {
+	tok := r.comm.profEnter()
 	r.comm.world.stats.countCall(r.comm.worldRank, PrimWait)
-	return r.wait()
+	b, st, err := r.wait()
+	r.waitEvent(tok)
+	return b, st, err
+}
+
+// waitEvent emits the hook event for one completed (or failed) Wait. Send
+// waits attribute to the destination; receive waits carry the matched
+// message's flow id and queue latency.
+func (r *Request) waitEvent(tok profToken) {
+	if !tok.ok {
+		return
+	}
+	if r.kind == reqSend {
+		r.comm.profExit(tok, PrimWait, r.peer, r.tag, 0, r.msgid, 0, 0)
+		return
+	}
+	if r.env != nil {
+		r.comm.profExit(tok, PrimWait, r.env.wsrc, int(r.env.tag), len(r.env.data), 0, r.env.msgid, queuedFor(r.env))
+		return
+	}
+	r.comm.profExit(tok, PrimWait, r.peer, r.tag, 0, 0, 0, 0)
 }
 
 // wait completes the request without counting an MPI_Wait invocation. It
@@ -107,8 +132,11 @@ func Waitall(reqs ...*Request) error {
 		if r == nil {
 			continue
 		}
+		tok := r.comm.profEnter()
 		r.comm.world.stats.countCall(r.comm.worldRank, PrimWait)
-		if _, _, err := r.wait(); err != nil && firstErr == nil {
+		_, _, err := r.wait()
+		r.waitEvent(tok)
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

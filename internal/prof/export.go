@@ -1,0 +1,111 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Flows pairs matched send and receive events by message id into
+// directed edges for the Chrome exporter. The arrow is anchored at the
+// end of the sending primitive and the end of the consuming one — the
+// moment each side let go of the message.
+func Flows(events []mpi.Event) []trace.Flow {
+	type end struct {
+		rank int
+		at   time.Time
+		prim mpi.Primitive
+	}
+	sends := make(map[int64]end)
+	recvs := make(map[int64]end)
+	for _, e := range events {
+		if e.SendID != 0 {
+			if _, ok := sends[e.SendID]; !ok {
+				sends[e.SendID] = end{rank: e.Rank, at: e.Start.Add(e.Dur), prim: e.Prim}
+			}
+		}
+		if e.RecvID != 0 {
+			if _, ok := recvs[e.RecvID]; !ok {
+				recvs[e.RecvID] = end{rank: e.Rank, at: e.Start.Add(e.Dur)}
+			}
+		}
+	}
+	var out []trace.Flow
+	for id, s := range sends {
+		r, ok := recvs[id]
+		if !ok {
+			continue
+		}
+		out = append(out, trace.Flow{
+			ID:       id,
+			Name:     s.prim.String(),
+			FromRank: s.rank,
+			FromTime: s.at,
+			ToRank:   r.rank,
+			ToTime:   r.at,
+		})
+	}
+	return out
+}
+
+// WriteChromeTrace exports the event stream as Chrome trace-event JSON
+// under the given pid and job name: one "X" slice per primitive, derived
+// compute slices for the gaps, and "s"/"f" flow pairs drawing message
+// arrows between rank timelines in Perfetto.
+func (p *Collector) WriteChromeTrace(w io.Writer, pid int, name string) error {
+	events := p.Events()
+	return trace.WriteChrome(w, pid, name, p.Epoch(), Intervals(events), Flows(events))
+}
+
+// jsonEvent is the stable external form of one profiling event. Times
+// are microseconds from the collector epoch so logs are trivially
+// plottable.
+type jsonEvent struct {
+	Rank      int     `json:"rank"`
+	Prim      string  `json:"prim"`
+	Peer      int     `json:"peer"`
+	Tag       int     `json:"tag"`
+	Bytes     int     `json:"bytes"`
+	StartUS   float64 `json:"start_us"`
+	DurUS     float64 `json:"dur_us"`
+	BlockedUS float64 `json:"blocked_us"`
+	QueuedUS  float64 `json:"queued_us"`
+	SendID    int64   `json:"send_id,omitempty"`
+	RecvID    int64   `json:"recv_id,omitempty"`
+}
+
+// WriteJSON exports the raw event log as one JSON document:
+// {"events": [...]}, ordered as recorded.
+func (p *Collector) WriteJSON(w io.Writer) error {
+	p.mu.Lock()
+	epoch := p.epoch
+	events := append([]mpi.Event(nil), p.events...)
+	p.mu.Unlock()
+
+	us := func(d time.Duration) float64 { return float64(d.Microseconds()) }
+	out := make([]jsonEvent, 0, len(events))
+	for _, e := range events {
+		out = append(out, jsonEvent{
+			Rank:      e.Rank,
+			Prim:      e.Prim.String(),
+			Peer:      e.Peer,
+			Tag:       e.Tag,
+			Bytes:     e.Bytes,
+			StartUS:   us(e.Start.Sub(epoch)),
+			DurUS:     us(e.Dur),
+			BlockedUS: us(e.Blocked),
+			QueuedUS:  us(e.Queued),
+			SendID:    e.SendID,
+			RecvID:    e.RecvID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]any{"events": out}); err != nil {
+		return fmt.Errorf("prof: encoding event log: %w", err)
+	}
+	return nil
+}

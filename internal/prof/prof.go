@@ -1,0 +1,152 @@
+// Package prof is the PMPI-style profiling layer of the runtime. A
+// Collector attaches to a world via mpi.WithHook and records one
+// structured event per primitive invocation on every rank, identically
+// over the channel and TCP transports. On the event stream it provides:
+//
+//   - wait-state analysis in the Scalasca style (late-sender,
+//     late-receiver and collective-wait attribution per rank pair);
+//   - a critical-path and load-imbalance summary (max/mean rank time,
+//     wait fractions, top wait edges);
+//   - exporters: ASCII profile tables, Chrome trace-event JSON with
+//     message-flow arrows for Perfetto, and a raw JSON event log;
+//   - interval derivation, so any module gets the compute/communication
+//     Gantt chart and splits of internal/trace without bespoke
+//     instrumentation.
+package prof
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Collector implements mpi.Hook by appending events under a mutex — the
+// cheapest safe thing to do inside the runtime's primitive exit path.
+type Collector struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []mpi.Event
+}
+
+// New creates a Collector whose export time axis starts now.
+func New() *Collector {
+	return &Collector{epoch: time.Now()}
+}
+
+// Event records one primitive invocation. Safe for concurrent use by all
+// rank goroutines.
+func (p *Collector) Event(e mpi.Event) {
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	p.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (p *Collector) Events() []mpi.Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]mpi.Event(nil), p.events...)
+}
+
+// Epoch returns the collector's time-axis origin.
+func (p *Collector) Epoch() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Reset clears recorded events and restarts the time axis.
+func (p *Collector) Reset() {
+	p.mu.Lock()
+	p.events = p.events[:0]
+	p.epoch = time.Now()
+	p.mu.Unlock()
+}
+
+// Intervals derives trace intervals from the event stream: every
+// primitive invocation becomes a communication interval, and the gap
+// between consecutive primitives on the same rank becomes a compute
+// interval. This is how every module gets compute/communication splits
+// and Gantt charts without module-level instrumentation.
+func Intervals(events []mpi.Event) []trace.Interval {
+	byRank := make(map[int][]mpi.Event)
+	for _, e := range events {
+		byRank[e.Rank] = append(byRank[e.Rank], e)
+	}
+	var out []trace.Interval
+	for rank, evs := range byRank {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start.Before(evs[j].Start) })
+		var lastEnd time.Time
+		for i, e := range evs {
+			if i > 0 {
+				if gap := e.Start.Sub(lastEnd); gap > 0 {
+					out = append(out, trace.Interval{Rank: rank, Kind: trace.Compute, Label: "compute", Start: lastEnd, Dur: gap})
+				}
+			}
+			out = append(out, trace.Interval{Rank: rank, Kind: trace.Comm, Label: e.Prim.String(), Start: e.Start, Dur: e.Dur})
+			if end := e.Start.Add(e.Dur); end.After(lastEnd) {
+				lastEnd = end
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Start.Before(out[j].Start)
+	})
+	return out
+}
+
+// Intervals derives trace intervals from the collector's event stream.
+func (p *Collector) Intervals() []trace.Interval { return Intervals(p.Events()) }
+
+// Accounting condenses a profiled run into the figures an sacct-style
+// job ledger reports.
+type Accounting struct {
+	Elapsed   time.Duration // span of the busiest rank (critical path)
+	CommBytes int64         // user payload bytes through communication primitives
+	WaitFrac  float64       // blocked time / total time inside primitives, worst over... aggregate
+}
+
+// Account summarizes the event stream for per-job accounting: elapsed is
+// the longest rank span, CommBytes sums payload bytes through sending
+// and collective primitives, and WaitFrac is the world-wide blocked
+// share of rank time.
+func Account(events []mpi.Event) Accounting {
+	s := Summarize(events)
+	var a Accounting
+	a.Elapsed = s.MaxSpan
+	var blocked, span time.Duration
+	for r := range s.Span {
+		span += s.Span[r]
+		blocked += s.Blocked[r]
+	}
+	if span > 0 {
+		a.WaitFrac = float64(blocked) / float64(span)
+	}
+	for _, e := range events {
+		if sendsPayload(e.Prim) {
+			a.CommBytes += int64(e.Bytes)
+		}
+	}
+	return a
+}
+
+// sendsPayload reports whether the primitive's Bytes field counts data
+// this rank put on (or moved through) the network, so summing over it
+// approximates communication volume without double-counting recv sides.
+func sendsPayload(p mpi.Primitive) bool {
+	switch p {
+	case mpi.PrimSend, mpi.PrimIsend, mpi.PrimSendrecv,
+		mpi.PrimBcast, mpi.PrimScatter, mpi.PrimScatterv,
+		mpi.PrimGather, mpi.PrimGatherv, mpi.PrimAllgather,
+		mpi.PrimReduce, mpi.PrimAllreduce, mpi.PrimScan,
+		mpi.PrimAlltoall, mpi.PrimAlltoallv:
+		return true
+	}
+	return false
+}

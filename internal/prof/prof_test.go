@@ -1,0 +1,439 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// parityWorkload touches blocking and nonblocking point-to-point,
+// sendrecv, probe/get-count, wait and a spread of collectives, with a
+// deterministic number of primitive invocations per rank, so the
+// per-(rank, primitive) event counts must agree exactly between the
+// channel and TCP transports.
+func parityWorkload(c *mpi.Comm) error {
+	const tag = 2
+	me, n := c.Rank(), c.Size()
+	payload := make([]byte, 64)
+	right, left := (me+1)%n, (me+n-1)%n
+	if me%2 == 0 {
+		if err := c.SendBytes(payload, right, tag); err != nil {
+			return err
+		}
+		if _, _, err := c.RecvBytes(left, tag); err != nil {
+			return err
+		}
+	} else {
+		if _, _, err := c.RecvBytes(left, tag); err != nil {
+			return err
+		}
+		if err := c.SendBytes(payload, right, tag); err != nil {
+			return err
+		}
+	}
+	sreq, err := c.IsendBytes(payload, right, tag+1)
+	if err != nil {
+		return err
+	}
+	rreq, err := c.IrecvBytes(left, tag+1)
+	if err != nil {
+		return err
+	}
+	if _, _, err := rreq.Wait(); err != nil {
+		return err
+	}
+	if _, _, err := sreq.Wait(); err != nil {
+		return err
+	}
+	if _, _, err := c.SendrecvBytes(payload, right, 7, left, 7); err != nil {
+		return err
+	}
+	if me == 0 {
+		if err := c.SendBytes(payload, 1, 9); err != nil {
+			return err
+		}
+	}
+	if me == 1 {
+		st, err := c.Probe(0, 9)
+		if err != nil {
+			return err
+		}
+		if _, err := c.GetCount(st, 1); err != nil {
+			return err
+		}
+		if _, _, err := c.RecvBytes(0, 9); err != nil {
+			return err
+		}
+	}
+	buf := []float64{float64(me)}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if _, err := mpi.Bcast(c, buf, 0); err != nil {
+		return err
+	}
+	if _, err := mpi.Gather(c, buf, 0); err != nil {
+		return err
+	}
+	if _, err := mpi.Allgather(c, buf); err != nil {
+		return err
+	}
+	if _, err := mpi.Reduce(c, buf, mpi.OpSum, 0); err != nil {
+		return err
+	}
+	if _, err := mpi.Allreduce(c, buf, mpi.OpSum); err != nil {
+		return err
+	}
+	if _, err := mpi.Scan(c, buf, mpi.OpSum); err != nil {
+		return err
+	}
+	if _, err := mpi.Alltoall(c, make([]float64, n)); err != nil {
+		return err
+	}
+	if _, err := mpi.Scatter(c, make([]float64, n), 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// countByRankPrim reduces an event stream to sorted "rank/primitive:count"
+// lines — the transport-independent signature of a run.
+func countByRankPrim(events []mpi.Event) []string {
+	counts := make(map[string]int)
+	for _, e := range events {
+		counts[fmt.Sprintf("%d/%v", e.Rank, e.Prim)]++
+	}
+	lines := make([]string, 0, len(counts))
+	for k, n := range counts {
+		lines = append(lines, fmt.Sprintf("%s:%d", k, n))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestTransportEventParity runs the same deterministic workload on the
+// channel and TCP transports and requires identical per-(rank, primitive)
+// hook event counts: the interposition layer must not depend on the
+// transport.
+func TestTransportEventParity(t *testing.T) {
+	const np = 4
+	chanC, tcpC := New(), New()
+	if err := mpi.Run(np, parityWorkload, mpi.WithHook(chanC)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mpi.RunTCP(np, parityWorkload, mpi.WithHook(tcpC)); err != nil {
+		t.Fatal(err)
+	}
+	chanSig := countByRankPrim(chanC.Events())
+	tcpSig := countByRankPrim(tcpC.Events())
+	if len(chanSig) == 0 {
+		t.Fatal("channel run emitted no events")
+	}
+	if strings.Join(chanSig, "\n") != strings.Join(tcpSig, "\n") {
+		t.Errorf("event counts diverge between transports:\nchannel:\n%s\ntcp:\n%s",
+			strings.Join(chanSig, "\n"), strings.Join(tcpSig, "\n"))
+	}
+}
+
+// findWait returns the aggregated wait state matching (kind, waiter,
+// peer), if present.
+func findWait(ws []WaitState, kind WaitKind, waiter, peer int) (WaitState, bool) {
+	for _, w := range ws {
+		if w.Kind == kind && w.Waiter == waiter && w.Peer == peer {
+			return w, true
+		}
+	}
+	return WaitState{}, false
+}
+
+// TestLateSenderFixture builds the canonical late-sender: rank 1 sits on
+// its hands before sending, rank 0 blocks in Recv. The analysis must
+// attribute the lost time to the (0 waits on 1) edge.
+func TestLateSenderFixture(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	pc := New()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(delay)
+			return c.SendBytes([]byte("late"), 0, 0)
+		}
+		_, _, err := c.RecvBytes(1, 0)
+		return err
+	}, mpi.WithHook(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WaitStates(pc.Events(), 0)
+	got, ok := findWait(ws, LateSender, 0, 1)
+	if !ok {
+		t.Fatalf("no late-sender state for (waiter 0, peer 1); states: %+v", ws)
+	}
+	if got.Wait < delay/2 {
+		t.Errorf("late-sender wait %v, want at least %v", got.Wait, delay/2)
+	}
+}
+
+// TestLateReceiverFixture uses a synchronous send into a sleeping
+// receiver: the sender's blocked rendezvous wait must show up as
+// late-receiver.
+func TestLateReceiverFixture(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	pc := New()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return c.SsendBytes([]byte("eager-but-sync"), 1, 0)
+		}
+		time.Sleep(delay)
+		_, _, err := c.RecvBytes(0, 0)
+		return err
+	}, mpi.WithHook(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WaitStates(pc.Events(), 0)
+	got, ok := findWait(ws, LateReceiver, 0, 1)
+	if !ok {
+		t.Fatalf("no late-receiver state for (waiter 0, peer 1); states: %+v", ws)
+	}
+	if got.Wait < delay/2 {
+		t.Errorf("late-receiver wait %v, want at least %v", got.Wait, delay/2)
+	}
+}
+
+// TestCollectiveWaitFixture delays one rank before a barrier; the on-time
+// rank's blocked time must be classified as collective wait.
+func TestCollectiveWaitFixture(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	pc := New()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(delay)
+		}
+		return c.Barrier()
+	}, mpi.WithHook(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WaitStates(pc.Events(), 0)
+	got, ok := findWait(ws, CollectiveWait, 0, -1)
+	if !ok {
+		t.Fatalf("no collective-wait state for rank 0; states: %+v", ws)
+	}
+	if got.Wait < delay/2 {
+		t.Errorf("collective wait %v, want at least %v", got.Wait, delay/2)
+	}
+}
+
+// TestQueueLatency sends eagerly into a sleeping receiver: the receive
+// event must report the time the message sat in the mailbox.
+func TestQueueLatency(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	pc := New()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return c.SendBytes([]byte("parked"), 1, 0)
+		}
+		time.Sleep(delay)
+		_, _, err := c.RecvBytes(0, 0)
+		return err
+	}, mpi.WithHook(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued time.Duration
+	for _, e := range pc.Events() {
+		if e.Prim == mpi.PrimRecv && e.Rank == 1 {
+			queued = e.Queued
+		}
+	}
+	if queued < delay/2 {
+		t.Errorf("recv event reports queue latency %v, want at least %v", queued, delay/2)
+	}
+}
+
+// runPingPong produces a small profiled exchange for the exporter tests.
+func runPingPong(t *testing.T) *Collector {
+	t.Helper()
+	pc := New()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		for i := 0; i < 3; i++ {
+			if c.Rank() == 0 {
+				if err := c.SendBytes([]byte("ping"), 1, 0); err != nil {
+					return err
+				}
+				if _, _, err := c.RecvBytes(1, 0); err != nil {
+					return err
+				}
+			} else {
+				if _, _, err := c.RecvBytes(0, 0); err != nil {
+					return err
+				}
+				if err := c.SendBytes([]byte("pong"), 0, 0); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}, mpi.WithHook(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+// TestFlows pairs every matched send/recv into one flow edge.
+func TestFlows(t *testing.T) {
+	pc := runPingPong(t)
+	flows := Flows(pc.Events())
+	if len(flows) != 6 {
+		t.Fatalf("got %d flows, want 6 (3 pings + 3 pongs)", len(flows))
+	}
+	for _, f := range flows {
+		if f.FromRank == f.ToRank {
+			t.Errorf("flow %d connects rank %d to itself", f.ID, f.FromRank)
+		}
+		if f.ToTime.Before(f.FromTime) {
+			t.Errorf("flow %d arrives before it departs", f.ID)
+		}
+	}
+}
+
+// TestWriteChromeTrace checks the exported trace is valid JSON carrying
+// slices, flow-start/flow-finish pairs and the caller's pid.
+func TestWriteChromeTrace(t *testing.T) {
+	pc := runPingPong(t)
+	var buf bytes.Buffer
+	if err := pc.WriteChromeTrace(&buf, 7, "pingpong"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			PID   int    `json:"pid"`
+			ID    int64  `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var slices, starts, finishes int
+	ids := make(map[int64][2]int)
+	for _, e := range doc.TraceEvents {
+		if e.PID != 7 && e.Phase != "M" {
+			t.Fatalf("event has pid %d, want 7", e.PID)
+		}
+		switch e.Phase {
+		case "X":
+			slices++
+		case "s":
+			starts++
+			v := ids[e.ID]
+			v[0]++
+			ids[e.ID] = v
+		case "f":
+			finishes++
+			v := ids[e.ID]
+			v[1]++
+			ids[e.ID] = v
+		}
+	}
+	if slices == 0 {
+		t.Error("no duration slices in trace")
+	}
+	if starts != 6 || finishes != 6 {
+		t.Errorf("got %d flow starts and %d finishes, want 6 each", starts, finishes)
+	}
+	for id, v := range ids {
+		if v[0] != 1 || v[1] != 1 {
+			t.Errorf("flow id %d has %d starts and %d finishes, want 1+1", id, v[0], v[1])
+		}
+	}
+}
+
+// TestWriteJSON round-trips the raw event log.
+func TestWriteJSON(t *testing.T) {
+	pc := runPingPong(t)
+	var buf bytes.Buffer
+	if err := pc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Events []struct {
+			Rank int    `json:"rank"`
+			Prim string `json:"prim"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("event log is not valid JSON: %v", err)
+	}
+	if len(doc.Events) != len(pc.Events()) {
+		t.Fatalf("log has %d events, collector has %d", len(doc.Events), len(pc.Events()))
+	}
+	if doc.Events[0].Prim == "" {
+		t.Error("events are missing primitive names")
+	}
+}
+
+// TestIntervalsAndSummary checks the derived compute/comm intervals and
+// the critical-path summary over a run with a known laggard.
+func TestIntervalsAndSummary(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	pc := New()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			time.Sleep(delay) // "compute"
+		}
+		return c.Barrier()
+	}, mpi.WithHook(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := pc.Intervals()
+	var computeByRank [2]time.Duration
+	for _, iv := range ivs {
+		if iv.Kind == trace.Compute {
+			computeByRank[iv.Rank] += iv.Dur
+		}
+	}
+	if computeByRank[1] < delay/2 {
+		t.Errorf("rank 1 compute %v, want at least %v", computeByRank[1], delay/2)
+	}
+	s := Summarize(pc.Events())
+	if s.Ranks != 2 {
+		t.Fatalf("summary sees %d ranks, want 2", s.Ranks)
+	}
+	if s.MaxSpan <= 0 || s.MeanSpan <= 0 {
+		t.Errorf("degenerate spans: max %v mean %v", s.MaxSpan, s.MeanSpan)
+	}
+	rpt := Report(pc.Events())
+	for _, want := range []string{"per-primitive profile", "per-rank summary", "wait states", "MPI_Barrier"} {
+		if !strings.Contains(rpt, want) {
+			t.Errorf("report is missing %q", want)
+		}
+	}
+}
+
+// TestAccount checks the sacct-feeding rollup on a payload-bearing run.
+func TestAccount(t *testing.T) {
+	pc := runPingPong(t)
+	a := Account(pc.Events())
+	if a.CommBytes != 24 { // 6 sends x 4 bytes; receives don't double count
+		t.Errorf("CommBytes %d, want 24", a.CommBytes)
+	}
+	if a.Elapsed <= 0 {
+		t.Error("Elapsed not positive")
+	}
+	if a.WaitFrac < 0 || a.WaitFrac > 1 {
+		t.Errorf("WaitFrac %f outside [0,1]", a.WaitFrac)
+	}
+}

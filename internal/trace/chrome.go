@@ -4,41 +4,82 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
-// chromeEvent is one entry of the Chrome trace-event format ("X" =
-// complete event). Durations and timestamps are microseconds; pid/tid map
-// to world/rank.
+// chromeEvent is one entry of the Chrome trace-event format: "X" =
+// complete event, "s"/"f" = flow start/finish (message arrows), "M" =
+// metadata. Durations and timestamps are microseconds; pid/tid map to
+// job/rank.
 type chromeEvent struct {
-	Name  string  `json:"name"`
-	Cat   string  `json:"cat"`
-	Phase string  `json:"ph"`
-	TsUS  float64 `json:"ts"`
-	DurUS float64 `json:"dur"`
-	PID   int     `json:"pid"`
-	TID   int     `json:"tid"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUS  float64        `json:"ts"`
+	DurUS float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    int64          `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
-// WriteChromeTrace exports the recorded intervals in the Chrome
-// trace-event JSON format: load the output in chrome://tracing or
-// https://ui.perfetto.dev to inspect the per-rank timeline interactively —
-// the graphical counterpart of the ASCII Gantt chart.
-func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	t.mu.Lock()
-	epoch := t.epoch
-	ivs := append([]Interval(nil), t.intervals...)
-	t.mu.Unlock()
+// Flow is one directed message edge between two rank timelines; exported
+// as a Chrome "s"/"f" flow-event pair so Perfetto draws an arrow from the
+// sending primitive to the consuming one.
+type Flow struct {
+	ID       int64 // unique per message (the runtime's flow id)
+	Name     string
+	FromRank int
+	FromTime time.Time // anchor inside the sending slice
+	ToRank   int
+	ToTime   time.Time // anchor inside the consuming slice
+}
 
-	events := make([]chromeEvent, 0, len(ivs))
+// WriteChrome exports intervals and message flows in the Chrome
+// trace-event JSON format under the given pid. A process_name metadata
+// record labels the job, so several jobs written with distinct pids can
+// be concatenated into one trace without their rank timelines colliding.
+func WriteChrome(w io.Writer, pid int, name string, epoch time.Time, ivs []Interval, flows []Flow) error {
+	us := func(t time.Time) float64 { return float64(t.Sub(epoch).Microseconds()) }
+	events := make([]chromeEvent, 0, len(ivs)+2*len(flows)+1)
+	if name != "" {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]any{"name": name},
+		})
+	}
 	for _, iv := range ivs {
 		events = append(events, chromeEvent{
 			Name:  iv.Label,
 			Cat:   string(iv.Kind),
 			Phase: "X",
-			TsUS:  float64(iv.Start.Sub(epoch).Microseconds()),
+			TsUS:  us(iv.Start),
 			DurUS: float64(iv.Dur.Microseconds()),
-			PID:   0,
+			PID:   pid,
 			TID:   iv.Rank,
+		})
+	}
+	for _, f := range flows {
+		events = append(events, chromeEvent{
+			Name:  f.Name,
+			Cat:   "msg",
+			Phase: "s",
+			TsUS:  us(f.FromTime),
+			PID:   pid,
+			TID:   f.FromRank,
+			ID:    f.ID,
+		}, chromeEvent{
+			Name:  f.Name,
+			Cat:   "msg",
+			Phase: "f",
+			TsUS:  us(f.ToTime),
+			PID:   pid,
+			TID:   f.ToRank,
+			ID:    f.ID,
+			BP:    "e", // bind to the enclosing slice so the arrow lands on the primitive
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -46,4 +87,18 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return fmt.Errorf("trace: encoding chrome trace: %w", err)
 	}
 	return nil
+}
+
+// WriteChromeTrace exports the recorded intervals in the Chrome
+// trace-event JSON format: load the output in chrome://tracing or
+// https://ui.perfetto.dev to inspect the per-rank timeline interactively —
+// the graphical counterpart of the ASCII Gantt chart. Events carry the
+// pid set with SetPID (default 0).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	epoch := t.epoch
+	pid := t.pid
+	ivs := append([]Interval(nil), t.intervals...)
+	t.mu.Unlock()
+	return WriteChrome(w, pid, "", epoch, ivs, nil)
 }

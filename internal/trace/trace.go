@@ -36,12 +36,22 @@ type Interval struct {
 type Tracer struct {
 	mu        sync.Mutex
 	epoch     time.Time
+	pid       int
 	intervals []Interval
 }
 
 // New creates a Tracer whose chart time axis starts now.
 func New() *Tracer {
 	return &Tracer{epoch: time.Now()}
+}
+
+// SetPID sets the process id stamped on Chrome trace exports. Give each
+// world or job a distinct pid so multi-job traces don't collide when
+// loaded together in Perfetto.
+func (t *Tracer) SetPID(pid int) {
+	t.mu.Lock()
+	t.pid = pid
+	t.mu.Unlock()
 }
 
 // Span runs fn and records its duration under (rank, kind, label).
@@ -96,9 +106,13 @@ func (s Split) CommFraction() float64 {
 }
 
 // Splits aggregates per-rank compute/communication totals, sorted by rank.
-func (t *Tracer) Splits() []Split {
+func (t *Tracer) Splits() []Split { return SplitsOf(t.Intervals()) }
+
+// SplitsOf aggregates per-rank compute/communication totals from any
+// interval set — recorded by a Tracer or derived from profiling events.
+func SplitsOf(ivs []Interval) []Split {
 	byRank := make(map[int]*Split)
-	for _, iv := range t.Intervals() {
+	for _, iv := range ivs {
 		s, ok := byRank[iv.Rank]
 		if !ok {
 			s = &Split{Rank: iv.Rank}
@@ -131,8 +145,10 @@ func (t *Tracer) TotalSplit() Split {
 
 // Gantt renders an ASCII chart, one row per rank, width columns wide.
 // Compute intervals print as '#', communication as '~', idle as '.'.
-func (t *Tracer) Gantt(width int) string {
-	ivs := t.Intervals()
+func (t *Tracer) Gantt(width int) string { return GanttOf(t.Intervals(), width) }
+
+// GanttOf renders the ASCII chart from any interval set.
+func GanttOf(ivs []Interval, width int) string {
 	if len(ivs) == 0 || width <= 0 {
 		return "(no trace)\n"
 	}
@@ -189,10 +205,14 @@ func (t *Tracer) Gantt(width int) string {
 }
 
 // Summary renders the per-rank compute/communication split as text.
-func (t *Tracer) Summary() string {
+func (t *Tracer) Summary() string { return SummaryOf(t.Intervals()) }
+
+// SummaryOf renders the per-rank compute/communication split of any
+// interval set as text.
+func SummaryOf(ivs []Interval) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%6s %14s %14s %8s\n", "rank", "compute", "comm", "comm%")
-	for _, s := range t.Splits() {
+	for _, s := range SplitsOf(ivs) {
 		fmt.Fprintf(&b, "%6d %14v %14v %7.1f%%\n",
 			s.Rank, s.Compute.Round(time.Microsecond), s.Comm.Round(time.Microsecond), s.CommFraction()*100)
 	}

@@ -163,3 +163,57 @@ func TestWriteChromeTraceEmpty(t *testing.T) {
 		t.Fatalf("output %q", buf.String())
 	}
 }
+
+// TestSetPID checks the exported trace carries the tracer's pid on every
+// event — the knob that keeps ranks from several jobs on distinct
+// process lanes when traces are merged in a viewer.
+func TestSetPID(t *testing.T) {
+	tr := New()
+	tr.SetPID(3)
+	tr.Record(0, Comm, "send", time.Now(), time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			PID int `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.PID != 3 {
+			t.Fatalf("event pid %d, want 3", ev.PID)
+		}
+	}
+}
+
+// TestWriteChromeFlows checks the standalone exporter emits matched
+// flow-start/flow-finish pairs binding the message arrow to its slices.
+func TestWriteChromeFlows(t *testing.T) {
+	epoch := time.Now()
+	ivs := []Interval{
+		{Rank: 0, Kind: Comm, Label: "send", Start: epoch, Dur: time.Millisecond},
+		{Rank: 1, Kind: Comm, Label: "recv", Start: epoch, Dur: 2 * time.Millisecond},
+	}
+	flows := []Flow{{
+		ID: 42, Name: "msg",
+		FromRank: 0, FromTime: epoch.Add(time.Millisecond),
+		ToRank: 1, ToTime: epoch.Add(2 * time.Millisecond),
+	}}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, 9, "job", epoch, ivs, flows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, `"bp":"e"`, `"pid":9`, `"id":42`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace %s is missing %s", out, want)
+		}
+	}
+}
