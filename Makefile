@@ -3,14 +3,22 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check fuzz report examples clean
+# The MPI runtime benchmarks whose allocation profile the zero-copy data
+# path guards (EXPERIMENTS.md records their baselines).
+MPI_BENCHES = BenchmarkModule1_PingPong|BenchmarkAblation_Transports|BenchmarkAblation_AllreduceAlgorithms|BenchmarkAblation_EagerVsRendezvous
+
+.PHONY: all build test race bench bench-all check fuzz report examples clean
 
 all: build test
 
-# The full static + dynamic gate: vet plus the race-enabled test suite.
+# The full static + dynamic gate: vet, the race-enabled test suite, the
+# allocation-regression tests, and a one-iteration bench smoke of the MPI
+# benchmarks under the race detector.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -run 'TestAlloc' ./internal/mpi
+	$(GO) test -race -run NONE -bench '$(MPI_BENCHES)' -benchtime=1x .
 
 build:
 	$(GO) build ./...
@@ -22,7 +30,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# MPI runtime benchmarks with allocation stats, teed to a
+# benchstat-compatible log for before/after comparison.
 bench:
+	$(GO) test -run NONE -bench '$(MPI_BENCHES)' -benchmem -count=1 . | tee BENCH_mpi.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzz pass over every fuzz target (regression corpora always run

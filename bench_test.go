@@ -401,6 +401,42 @@ func BenchmarkAblation_AllreduceAlgorithms(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_AllreduceInto compares the allocating Allreduce with
+// the in-place AllreduceInto on the same reused buffer — the zero-copy
+// data path's headline saving for iterative algorithms.
+func BenchmarkAblation_AllreduceInto(b *testing.B) {
+	for _, n := range []int{4096, 262144} {
+		b.Run(fmt.Sprintf("alloc/n=%d", n), func(b *testing.B) {
+			err := mpi.Run(4, func(c *mpi.Comm) error {
+				buf := make([]float64, n)
+				for i := 0; i < b.N; i++ {
+					if _, err := mpi.Allreduce(c, buf, mpi.OpSum); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.Run(fmt.Sprintf("in-place/n=%d", n), func(b *testing.B) {
+			err := mpi.Run(4, func(c *mpi.Comm) error {
+				buf := make([]float64, n)
+				for i := 0; i < b.N; i++ {
+					if err := mpi.AllreduceInto(c, buf, mpi.OpSum); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_EagerVsRendezvous measures the protocol cutover cost.
 func BenchmarkAblation_EagerVsRendezvous(b *testing.B) {
 	payload := make([]byte, 16*1024)
@@ -411,15 +447,19 @@ func BenchmarkAblation_EagerVsRendezvous(b *testing.B) {
 					if err := c.SendBytes(payload, 1, 0); err != nil {
 						return err
 					}
-					if _, _, err := c.RecvBytes(1, 0); err != nil {
+					buf, _, err := c.RecvBytes(1, 0)
+					if err != nil {
 						return err
 					}
+					mpi.Release(buf)
 				} else {
 					buf, _, err := c.RecvBytes(0, 0)
 					if err != nil {
 						return err
 					}
-					if err := c.SendBytes(buf, 0, 0); err != nil {
+					err = c.SendBytes(buf, 0, 0)
+					mpi.Release(buf)
+					if err != nil {
 						return err
 					}
 				}

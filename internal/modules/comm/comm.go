@@ -61,6 +61,7 @@ func PingPong(c *mpi.Comm, rounds, msgBytes int) (PingPongResult, error) {
 			if len(back) != msgBytes {
 				return PingPongResult{}, fmt.Errorf("comm: echo of %d bytes, sent %d", len(back), msgBytes)
 			}
+			mpi.Release(back)
 		}
 	case 1:
 		for i := 0; i < rounds; i++ {
@@ -68,7 +69,9 @@ func PingPong(c *mpi.Comm, rounds, msgBytes int) (PingPongResult, error) {
 			if err != nil {
 				return PingPongResult{}, err
 			}
-			if err := c.SendBytes(b, 0, tagPingPong); err != nil {
+			err = c.SendBytes(b, 0, tagPingPong)
+			mpi.Release(b)
+			if err != nil {
 				return PingPongResult{}, err
 			}
 		}

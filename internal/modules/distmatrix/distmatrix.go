@@ -130,8 +130,8 @@ func Distributed(c *mpi.Comm, pts data.Points, tile int) (Result, error) {
 	}
 	computeDur := time.Since(computeStart)
 
-	sum, err := mpi.Reduce(c, []float64{Checksum(block)}, mpi.OpSum, 0)
-	if err != nil {
+	sum := [1]float64{Checksum(block)}
+	if err := mpi.ReduceInto(c, sum[:], mpi.OpSum, 0); err != nil {
 		return Result{}, err
 	}
 	res := Result{

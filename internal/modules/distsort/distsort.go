@@ -108,18 +108,24 @@ func Sort(c *mpi.Comm, local []float64, splitter Splitter) ([]float64, Result, e
 		reqs = append(reqs, req)
 	}
 	mine := append([]float64(nil), blocks[r]...)
+	var scratch []float64 // reused across receives; grown to the largest block
 	for i := 0; i < p-1; i++ {
 		st, err := c.Probe(mpi.AnySource, tagExchange)
 		if err != nil {
 			return nil, Result{}, err
 		}
-		if _, err := c.GetCount(st, 8); err != nil {
-			return nil, Result{}, err
-		}
-		blk, _, err := mpi.Recv[float64](c, st.Source, tagExchange)
+		n, err := c.GetCount(st, 8)
 		if err != nil {
 			return nil, Result{}, err
 		}
+		if cap(scratch) < n {
+			scratch = make([]float64, n)
+		}
+		blk, _, err := mpi.RecvInto(c, scratch[:0], st.Source, tagExchange)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		scratch = blk
 		mine = append(mine, blk...)
 	}
 	if err := mpi.Waitall(reqs...); err != nil {
@@ -131,14 +137,16 @@ func Sort(c *mpi.Comm, local []float64, splitter Splitter) ([]float64, Result, e
 	sort.Float64s(mine)
 	sortDur := time.Since(sortStart)
 
-	// Global imbalance: MPI_Reduce of bucket sizes onto rank 0, which
-	// shares the verdict with everyone over point-to-point messages.
-	sum, err := mpi.Reduce(c, []float64{float64(len(mine))}, mpi.OpSum, 0)
-	if err != nil {
+	// Global imbalance: in-place MPI_Reduce of bucket sizes onto rank 0,
+	// which shares the verdict with everyone over point-to-point messages.
+	// Only rank 0 reads the reduced values, so the in-place variant's
+	// "non-root buffer unspecified" contract is safe here.
+	sum := [1]float64{float64(len(mine))}
+	if err := mpi.ReduceInto(c, sum[:], mpi.OpSum, 0); err != nil {
 		return nil, Result{}, err
 	}
-	maxSize, err := mpi.Reduce(c, []float64{float64(len(mine))}, mpi.OpMax, 0)
-	if err != nil {
+	maxSize := [1]float64{float64(len(mine))}
+	if err := mpi.ReduceInto(c, maxSize[:], mpi.OpMax, 0); err != nil {
 		return nil, Result{}, err
 	}
 	imb := 1.0
@@ -259,12 +267,12 @@ func globalRange(c *mpi.Comm, local []float64) (float64, float64, error) {
 			hi = k
 		}
 	}
-	mins, err := mpi.Reduce(c, []float64{lo}, mpi.OpMin, 0)
-	if err != nil {
+	mins := [1]float64{lo}
+	if err := mpi.ReduceInto(c, mins[:], mpi.OpMin, 0); err != nil {
 		return 0, 0, err
 	}
-	maxs, err := mpi.Reduce(c, []float64{hi}, mpi.OpMax, 0)
-	if err != nil {
+	maxs := [1]float64{hi}
+	if err := mpi.ReduceInto(c, maxs[:], mpi.OpMax, 0); err != nil {
 		return 0, 0, err
 	}
 	p := c.Size()
@@ -360,13 +368,13 @@ func VerifyDistributedSorted(c *mpi.Comm, mine []float64) (bool, error) {
 			return false, err
 		}
 	}
-	verdict, err := mpi.Reduce(c, []float64{ok}, mpi.OpMin, 0)
-	if err != nil {
+	verdict := [1]float64{ok}
+	if err := mpi.ReduceInto(c, verdict[:], mpi.OpMin, 0); err != nil {
 		return false, err
 	}
 	if r == 0 {
 		for dst := 1; dst < p; dst++ {
-			if err := mpi.Send(c, verdict, dst, tagBoundary); err != nil {
+			if err := mpi.Send(c, verdict[:], dst, tagBoundary); err != nil {
 				return false, err
 			}
 		}

@@ -79,12 +79,14 @@ func Sequential(pts data.Points, cfg Config) (Result, []int, error) {
 	}
 	cent := initialCentroids(pts, cfg.K, cfg.Seed)
 	assign := make([]int, pts.N())
+	sums := make([]float64, cfg.K*pts.Dim)
+	counts := make([]float64, cfg.K)
 	res := Result{K: cfg.K, NP: 1, N: pts.N()}
 	start := time.Now()
 	for it := 0; it < cfg.MaxIter; it++ {
 		res.Iterations = it + 1
 		assignPoints(pts, cent, assign)
-		sums, counts := partialSums(pts, assign, cfg.K)
+		partialSumsInto(pts, assign, sums, counts)
 		moved := updateCentroids(cent, sums, counts, cfg.Tol)
 		if !moved {
 			res.Converged = true
@@ -136,21 +138,32 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 	res := Result{K: cfg.K, NP: p, N: n}
 	var computeDur, commDur time.Duration
 
+	// Per-iteration scratch, hoisted out of the loop so the steady state
+	// allocates nothing: partial sums and counts, the packed allreduce
+	// payload, and (for the explicit option) the wire-typed assignments.
+	sums := make([]float64, cfg.K*dim)
+	counts := make([]float64, cfg.K)
+	payload := make([]float64, cfg.K*(dim+1))
+	var assign64 []int64
+	if cfg.Option == ExplicitAssignments {
+		assign64 = make([]int64, local.N())
+	}
+
 	for it := 0; it < cfg.MaxIter; it++ {
 		res.Iterations = it + 1
 
 		computeStart := time.Now()
 		assignPoints(local, cent, assign)
-		sums, counts := partialSums(local, assign, cfg.K)
+		partialSumsInto(local, assign, sums, counts)
 		computeDur += time.Since(computeStart)
 
 		commStart := time.Now()
 		var moved bool
 		switch cfg.Option {
 		case WeightedMeans:
-			moved, err = weightedMeansUpdate(c, cent, sums, counts, cfg.Tol)
+			moved, err = weightedMeansUpdate(c, cent, sums, counts, cfg.Tol, payload)
 		case ExplicitAssignments:
-			moved, err = explicitUpdate(c, local, cent, assign, cfg.Tol, n)
+			moved, err = explicitUpdate(c, local, cent, assign, assign64, cfg.Tol, n)
 		default:
 			err = fmt.Errorf("kmeans: unknown comm option %d", int(cfg.Option))
 		}
@@ -166,9 +179,8 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 
 	// Global inertia for verification (MPI_Allreduce, the module's
 	// optional primitive).
-	localInertia := inertia(local, cent, assign)
-	tot, err := mpi.Allreduce(c, []float64{localInertia}, mpi.OpSum)
-	if err != nil {
+	tot := [1]float64{inertia(local, cent, assign)}
+	if err := mpi.AllreduceInto(c, tot[:], mpi.OpSum); err != nil {
 		return Result{}, nil, 0, err
 	}
 	res.Inertia = tot[0]
@@ -179,27 +191,25 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 	return res, assign, offset, nil
 }
 
-// weightedMeansUpdate is the efficient option: one Allreduce of
-// k×(dim+1) values updates every rank's centroids identically.
-func weightedMeansUpdate(c *mpi.Comm, cent data.Points, sums []float64, counts []float64, tol float64) (bool, error) {
+// weightedMeansUpdate is the efficient option: one in-place Allreduce of
+// k×(dim+1) values updates every rank's centroids identically. payload is
+// caller-provided scratch of that length, reused across iterations.
+func weightedMeansUpdate(c *mpi.Comm, cent data.Points, sums []float64, counts []float64, tol float64, payload []float64) (bool, error) {
 	k, dim := cent.N(), cent.Dim
-	payload := make([]float64, 0, k*(dim+1))
-	payload = append(payload, sums...)
-	payload = append(payload, counts...)
-	global, err := mpi.Allreduce(c, payload, mpi.OpSum)
-	if err != nil {
+	copy(payload[:k*dim], sums)
+	copy(payload[k*dim:], counts)
+	if err := mpi.AllreduceInto(c, payload, mpi.OpSum); err != nil {
 		return false, err
 	}
-	return updateCentroids(cent, global[:k*dim], global[k*dim:], tol), nil
+	return updateCentroids(cent, payload[:k*dim], payload[k*dim:], tol), nil
 }
 
 // explicitUpdate is the communication-heavy option: every rank ships its
 // point coordinates and assignments to rank 0 (describing the assignment
 // of points to centroids explicitly), which recomputes centroids and
 // broadcasts them back.
-func explicitUpdate(c *mpi.Comm, local data.Points, cent data.Points, assign []int, tol float64, n int) (bool, error) {
+func explicitUpdate(c *mpi.Comm, local data.Points, cent data.Points, assign []int, assign64 []int64, tol float64, n int) (bool, error) {
 	k, dim := cent.N(), cent.Dim
-	assign64 := make([]int64, len(assign))
 	for i, a := range assign {
 		assign64[i] = int64(a)
 	}
@@ -344,12 +354,14 @@ func SequentialWithCentroids(pts data.Points, init data.Points, cfg Config) (Res
 	}
 	cent := data.Points{Dim: init.Dim, Coords: append([]float64(nil), init.Coords...)}
 	assign := make([]int, pts.N())
+	sums := make([]float64, cfg.K*pts.Dim)
+	counts := make([]float64, cfg.K)
 	res := Result{K: cfg.K, NP: 1, N: pts.N()}
 	start := time.Now()
 	for it := 0; it < cfg.MaxIter; it++ {
 		res.Iterations = it + 1
 		assignPoints(pts, cent, assign)
-		sums, counts := partialSums(pts, assign, cfg.K)
+		partialSumsInto(pts, assign, sums, counts)
 		if !updateCentroids(cent, sums, counts, cfg.Tol) {
 			res.Converged = true
 			break
@@ -396,11 +408,16 @@ func assignPoints(pts data.Points, cent data.Points, assign []int) {
 	}
 }
 
-// partialSums accumulates per-cluster coordinate sums and counts.
-func partialSums(pts data.Points, assign []int, k int) ([]float64, []float64) {
+// partialSumsInto accumulates per-cluster coordinate sums and counts
+// into caller-provided slices (len k·dim and k), zeroing them first.
+func partialSumsInto(pts data.Points, assign []int, sums, counts []float64) {
 	dim := pts.Dim
-	sums := make([]float64, k*dim)
-	counts := make([]float64, k)
+	for i := range sums {
+		sums[i] = 0
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
 	for i := 0; i < pts.N(); i++ {
 		a := assign[i]
 		counts[a]++
@@ -410,7 +427,6 @@ func partialSums(pts data.Points, assign []int, k int) ([]float64, []float64) {
 			sums[base+d] += pt[d]
 		}
 	}
-	return sums, counts
 }
 
 // updateCentroids moves centroids to their cluster means and reports

@@ -78,24 +78,28 @@ func Run(c *mpi.Comm, cellsPerRank, steps int, alpha float64, variant Variant) (
 	next := make([]float64, n+2)
 	u[1+n/2] = 1 // unit spike per rank
 
+	// One-cell halo scratch, reused every step so the exchange itself
+	// allocates nothing.
+	var hs haloScratch
+
 	start := time.Now()
 	for step := 0; step < steps; step++ {
 		switch variant {
 		case Blocking:
-			if err := exchangeBlocking(c, u, n, p, r); err != nil {
+			if err := exchangeBlocking(c, u, n, p, r, &hs); err != nil {
 				return Result{}, nil, err
 			}
 			stencil(u, next, 1, n+1, alpha)
 
 		case Overlapped:
-			reqs, err := startExchange(c, u, n, p, r)
+			reqs, err := startExchange(c, u, n, p, r, &hs)
 			if err != nil {
 				return Result{}, nil, err
 			}
 			// Interior cells depend only on local data: compute while
 			// the halos are in flight.
 			stencil(u, next, 2, n, alpha)
-			if err := finishExchange(c, u, reqs, n); err != nil {
+			if err := finishExchange(c, u, reqs, n, &hs); err != nil {
 				return Result{}, nil, err
 			}
 			// Boundary cells needed the ghosts.
@@ -113,8 +117,8 @@ func Run(c *mpi.Comm, cellsPerRank, steps int, alpha float64, variant Variant) (
 	for i := 1; i <= n; i++ {
 		local += u[i]
 	}
-	sum, err := mpi.Allreduce(c, []float64{local}, mpi.OpSum)
-	if err != nil {
+	sum := [1]float64{local}
+	if err := mpi.AllreduceInto(c, sum[:], mpi.OpSum); err != nil {
 		return Result{}, nil, err
 	}
 	return Result{
@@ -134,11 +138,19 @@ func stencil(u, next []float64, lo, hi int, alpha float64) {
 	}
 }
 
+// haloScratch holds the one-cell send and receive buffers the halo
+// exchange reuses every step.
+type haloScratch struct {
+	send [1]float64
+	recv [1]float64
+}
+
 // exchangeBlocking swaps halos with deadlock-free combined send/receives.
 // Edge ranks keep zero ghosts (fixed boundary).
-func exchangeBlocking(c *mpi.Comm, u []float64, n, p, r int) error {
+func exchangeBlocking(c *mpi.Comm, u []float64, n, p, r int, hs *haloScratch) error {
 	if r > 0 {
-		got, _, err := mpi.Sendrecv(c, []float64{u[1]}, r-1, tagLeft, r-1, tagRight)
+		hs.send[0] = u[1]
+		got, _, err := mpi.SendrecvInto(c, hs.send[:], r-1, tagLeft, r-1, tagRight, hs.recv[:0])
 		if err != nil {
 			return err
 		}
@@ -147,7 +159,8 @@ func exchangeBlocking(c *mpi.Comm, u []float64, n, p, r int) error {
 		u[0] = 0
 	}
 	if r < p-1 {
-		got, _, err := mpi.Sendrecv(c, []float64{u[n]}, r+1, tagRight, r+1, tagLeft)
+		hs.send[0] = u[n]
+		got, _, err := mpi.SendrecvInto(c, hs.send[:], r+1, tagRight, r+1, tagLeft, hs.recv[:0])
 		if err != nil {
 			return err
 		}
@@ -164,8 +177,10 @@ type haloReqs struct {
 	sends               []*mpi.Request
 }
 
-// startExchange posts Irecv/Isend for both halos.
-func startExchange(c *mpi.Comm, u []float64, n, p, r int) (haloReqs, error) {
+// startExchange posts Irecv/Isend for both halos. Isend encodes its
+// argument into a pooled wire buffer before returning, so the shared
+// one-cell scratch can back both sends.
+func startExchange(c *mpi.Comm, u []float64, n, p, r int, hs *haloScratch) (haloReqs, error) {
 	var hr haloReqs
 	var err error
 	if r > 0 {
@@ -179,14 +194,16 @@ func startExchange(c *mpi.Comm, u []float64, n, p, r int) (haloReqs, error) {
 		}
 	}
 	if r > 0 {
-		req, err := mpi.Isend(c, []float64{u[1]}, r-1, tagLeft)
+		hs.send[0] = u[1]
+		req, err := mpi.Isend(c, hs.send[:], r-1, tagLeft)
 		if err != nil {
 			return hr, err
 		}
-		hr.sends = append(hr.sends, req)
+		hr.sends = append(hr.sends[:0], req)
 	}
 	if r < p-1 {
-		req, err := mpi.Isend(c, []float64{u[n]}, r+1, tagRight)
+		hs.send[0] = u[n]
+		req, err := mpi.Isend(c, hs.send[:], r+1, tagRight)
 		if err != nil {
 			return hr, err
 		}
@@ -195,10 +212,11 @@ func startExchange(c *mpi.Comm, u []float64, n, p, r int) (haloReqs, error) {
 	return hr, nil
 }
 
-// finishExchange completes the halo transfers and installs the ghosts.
-func finishExchange(c *mpi.Comm, u []float64, hr haloReqs, n int) error {
+// finishExchange completes the halo transfers and installs the ghosts,
+// decoding into the reused scratch so the wire buffers are recycled.
+func finishExchange(c *mpi.Comm, u []float64, hr haloReqs, n int, hs *haloScratch) error {
 	if hr.recvLeft != nil {
-		got, _, err := mpi.WaitRecv[float64](hr.recvLeft)
+		got, _, err := mpi.WaitRecvInto(hr.recvLeft, hs.recv[:0])
 		if err != nil {
 			return err
 		}
@@ -207,7 +225,7 @@ func finishExchange(c *mpi.Comm, u []float64, hr haloReqs, n int) error {
 		u[0] = 0
 	}
 	if hr.recvRight != nil {
-		got, _, err := mpi.WaitRecv[float64](hr.recvRight)
+		got, _, err := mpi.WaitRecvInto(hr.recvRight, hs.recv[:0])
 		if err != nil {
 			return err
 		}

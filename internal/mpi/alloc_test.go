@@ -1,0 +1,158 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Allocation-regression tests for the zero-copy data path. Traffic runs
+// under any build (so -race exercises the pooled paths); the numeric
+// assertions are skipped under the race detector, whose instrumentation
+// allocates. testing.AllocsPerRun counts mallocs process-wide, so the
+// peer ranks' steady-state behavior is part of the budget — which is the
+// point: the whole round trip must be allocation-free, not just the
+// caller's half.
+
+// TestAllocFreeEagerPingPong asserts the headline guarantee: an eager
+// SendBytes/RecvBytes round trip on the channel transport allocates
+// nothing once the pools are primed.
+func TestAllocFreeEagerPingPong(t *testing.T) {
+	const (
+		warmup = 20
+		rounds = 100
+		tag    = 9
+	)
+	payload := make([]byte, 64)
+	var avg float64
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			roundTrip := func() error {
+				if err := c.SendBytes(payload, 1, tag); err != nil {
+					return err
+				}
+				b, _, err := c.RecvBytes(1, tag)
+				if err != nil {
+					return err
+				}
+				Release(b)
+				return nil
+			}
+			for i := 0; i < warmup; i++ {
+				if err := roundTrip(); err != nil {
+					return err
+				}
+			}
+			var inner error
+			avg = testing.AllocsPerRun(rounds, func() {
+				if err := roundTrip(); err != nil && inner == nil {
+					inner = err
+				}
+			})
+			return inner
+		}
+		// Peer: AllocsPerRun calls its body rounds+1 times (one extra
+		// warmup call), so echo exactly warmup+rounds+1 messages.
+		for i := 0; i < warmup+rounds+1; i++ {
+			b, _, err := c.RecvBytes(0, tag)
+			if err != nil {
+				return err
+			}
+			err = c.SendBytes(b, 0, tag)
+			Release(b)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled {
+		t.Skipf("race detector instrumentation allocates; traffic ran clean (avg %.2f not asserted)", avg)
+	}
+	if avg >= 0.5 {
+		t.Fatalf("eager ping-pong allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestAllocTreeAllreduceBound bounds world-wide allocations of an
+// in-place tree allreduce at 4 ranks with an 8 KiB (rendezvous-path)
+// buffer: 6 hops total (3 reduce + 3 broadcast), each allowed at most 2
+// stray allocations.
+func TestAllocTreeAllreduceBound(t *testing.T) {
+	const (
+		warmup = 20
+		rounds = 50
+		n      = 1024 // 8 KiB of float64 > the default eager threshold
+	)
+	var avg float64
+	err := Run(4, func(c *Comm) error {
+		buf := make([]float64, n)
+		for i := range buf {
+			buf[i] = float64(c.Rank() + i)
+		}
+		step := func() error { return AllreduceInto(c, buf, OpSum) }
+		if c.Rank() == 0 {
+			for i := 0; i < warmup; i++ {
+				if err := step(); err != nil {
+					return err
+				}
+			}
+			var inner error
+			avg = testing.AllocsPerRun(rounds, func() {
+				if err := step(); err != nil && inner == nil {
+					inner = err
+				}
+			})
+			return inner
+		}
+		for i := 0; i < warmup+rounds+1; i++ {
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled {
+		t.Skipf("race detector instrumentation allocates; traffic ran clean (avg %.2f not asserted)", avg)
+	}
+	const budget = 12.0 // 6 hops × 2 allocs across the whole world
+	if avg > budget {
+		t.Fatalf("tree allreduce allocates %.2f allocs/op world-wide, budget %v", avg, budget)
+	}
+}
+
+// TestAllocReleaseOptional documents the ownership contract: a caller
+// that never releases received buffers stays correct — the runtime just
+// allocates fresh ones.
+func TestAllocReleaseOptional(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const tag = 3
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				if err := c.SendBytes([]byte{byte(i)}, 1, tag); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 10; i++ {
+			b, _, err := c.RecvBytes(0, tag)
+			if err != nil {
+				return err
+			}
+			if len(b) != 1 || b[0] != byte(i) {
+				return fmt.Errorf("message %d corrupted: %v", i, b)
+			}
+			// Deliberately retained: no Release.
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

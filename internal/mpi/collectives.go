@@ -11,6 +11,11 @@ import (
 // communicator must call each collective in the same order (the usual MPI
 // contract); the lockstep collective sequence number provides per-call tag
 // isolation.
+//
+// Internally the collectives run on the zero-copy data path: hop payloads
+// are encoded into pooled buffers that transfer ownership through the
+// mailbox, reductions fold wire bytes directly into the accumulator
+// (reduceFromWire), and every wire buffer is recycled once decoded.
 
 // nextCollTag advances the lockstep collective sequence.
 func (c *Comm) nextCollTag() int {
@@ -21,25 +26,25 @@ func (c *Comm) nextCollTag() int {
 // collCtx is the communicator's collective shadow context.
 func (c *Comm) collCtx() int32 { return c.ctx + 1 }
 
-// collSend and collRecv are internal point-to-point operations on the
-// shadow context. They bypass user-primitive accounting (wire traffic is
-// still counted) and never force synchronous mode, so collectives remain
-// deadlock-free under WithSynchronousSends.
-func (c *Comm) collSend(data []byte, dest, tag int) error {
-	env := &envelope{
-		kind: kindData,
-		src:  c.rank,
-		wsrc: c.worldRank,
-		wdst: c.members[dest],
-		ctx:  c.collCtx(),
-		tag:  int32(tag),
-	}
+// collSendOwned sends one internal point-to-point message on the shadow
+// context, taking ownership of payload (a pooled buffer, or nil). It
+// bypasses user-primitive accounting (wire traffic is still counted) and
+// never forces synchronous mode, so collectives remain deadlock-free
+// under WithSynchronousSends.
+func (c *Comm) collSendOwned(payload []byte, dest, tag int) error {
+	env := getEnv()
+	env.kind = kindData
+	env.src = c.rank
+	env.wsrc = c.worldRank
+	env.wdst = c.members[dest]
+	env.ctx = c.collCtx()
+	env.tag = int32(tag)
 	var seq int64
-	if len(data) > c.world.opts.eagerThreshold {
+	if len(payload) > c.world.opts.eagerThreshold {
 		seq = c.world.nextSeq()
 		env.seq = seq
 	}
-	env.data = append([]byte(nil), data...)
+	env.data = payload
 	if err := c.world.deliver(env); err != nil {
 		return err
 	}
@@ -52,17 +57,49 @@ func (c *Comm) collSend(data []byte, dest, tag int) error {
 	return nil
 }
 
+// collSend is collSendOwned for callers that must keep data (a broadcast
+// forwarding the same payload to several children): the bytes are copied
+// into a pooled buffer first.
+func (c *Comm) collSend(data []byte, dest, tag int) error {
+	return c.collSendOwned(copyToPooled(data), dest, tag)
+}
+
+// collRecv receives one internal message on the shadow context and
+// returns its payload. The caller owns the buffer and must putBuf it
+// after decoding.
 func (c *Comm) collRecv(src, tag int) ([]byte, error) {
 	env, _, err := c.recvEnvelope(c.collCtx(), src, tag)
 	if err != nil {
 		return nil, err
 	}
-	return env.data, nil
+	b := env.data
+	putEnv(env)
+	return b, nil
 }
 
 // collIrecv posts an internal receive on the shadow context.
 func (c *Comm) collIrecv(src, tag int) *pendingRecv {
 	return c.mb.postRecv(c.collCtx(), src, tag)
+}
+
+// collFinish completes a collIrecv and returns the payload, recycling the
+// envelope. The caller owns the buffer and must putBuf it after decoding.
+func (c *Comm) collFinish(pr *pendingRecv) ([]byte, error) {
+	env, err := c.finishRecv(pr)
+	if err != nil {
+		return nil, err
+	}
+	b := env.data
+	putEnv(env)
+	return b, nil
+}
+
+// releaseBlocks recycles a gather's per-rank payload buffers.
+func releaseBlocks(blocks [][]byte) {
+	for i, b := range blocks {
+		putBuf(b)
+		blocks[i] = nil
+	}
 }
 
 // Barrier blocks until every rank of the communicator has entered it
@@ -82,10 +119,10 @@ func (c *Comm) barrier() error {
 		to := (r + k) % p
 		from := (r - k + p) % p
 		pr := c.collIrecv(from, tag)
-		if err := c.collSend(nil, to, tag); err != nil {
+		if err := c.collSendOwned(nil, to, tag); err != nil {
 			return err
 		}
-		if _, err := c.finishRecv(pr); err != nil {
+		if _, err := c.collFinish(pr); err != nil {
 			return err
 		}
 	}
@@ -113,7 +150,7 @@ func bcastTree[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 
 	var payload []byte
 	if r == root {
-		payload = Marshal(data)
+		payload = marshalPooled(data)
 	}
 	// Receive from the binomial parent.
 	mask := 1
@@ -129,7 +166,8 @@ func bcastTree[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 		}
 		mask <<= 1
 	}
-	// Forward to binomial children, highest distance first.
+	// Forward to binomial children, highest distance first. The payload
+	// is copied per child (collSend) because the same bytes fan out.
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if rel+mask < p {
 			child := (rel + mask + root) % p
@@ -139,9 +177,12 @@ func bcastTree[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 		}
 	}
 	if r == root {
+		putBuf(payload)
 		return data, nil
 	}
-	return Unmarshal[T](payload)
+	xs, err := Unmarshal[T](payload)
+	putBuf(payload)
+	return xs, err
 }
 
 // Scatter splits root's buffer into equal contiguous chunks and delivers
@@ -175,7 +216,7 @@ func scatterLinear[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 			if i == root {
 				continue
 			}
-			if err := c.collSend(Marshal(data[i*chunk:(i+1)*chunk]), i, tag); err != nil {
+			if err := c.collSendOwned(marshalPooled(data[i*chunk:(i+1)*chunk]), i, tag); err != nil {
 				return nil, err
 			}
 		}
@@ -187,7 +228,9 @@ func scatterLinear[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Unmarshal[T](b)
+	xs, err := Unmarshal[T](b)
+	putBuf(b)
+	return xs, err
 }
 
 // Scatterv scatters variable-sized contiguous chunks from root
@@ -231,7 +274,7 @@ func scattervLinear[T Scalar](c *Comm, data []T, counts []int, root int) ([]T, e
 			chunk := data[off : off+counts[i]]
 			if i == root {
 				own = append([]T(nil), chunk...)
-			} else if err := c.collSend(Marshal(chunk), i, tag); err != nil {
+			} else if err := c.collSendOwned(marshalPooled(chunk), i, tag); err != nil {
 				return nil, err
 			}
 			off += counts[i]
@@ -242,7 +285,9 @@ func scattervLinear[T Scalar](c *Comm, data []T, counts []int, root int) ([]T, e
 	if err != nil {
 		return nil, err
 	}
-	return Unmarshal[T](b)
+	xs, err := Unmarshal[T](b)
+	putBuf(b)
+	return xs, err
 }
 
 // Gather collects equal-sized contributions onto root (MPI_Gather),
@@ -264,7 +309,7 @@ func Gather[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 }
 
 func gatherLinear[T Scalar](c *Comm, data []T, root int) ([]T, error) {
-	blocks, err := c.gatherBlocks(Marshal(data), root)
+	blocks, err := c.gatherBlocks(marshalPooled(data), root)
 	if err != nil {
 		return nil, err
 	}
@@ -272,17 +317,19 @@ func gatherLinear[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 		return nil, nil
 	}
 	n := len(data)
-	out := make([]T, 0, n*len(c.members))
+	size := scalarSize[T]()
+	out := make([]T, n*len(c.members))
 	for i, b := range blocks {
-		xs, err := Unmarshal[T](b)
-		if err != nil {
+		if len(b) != n*size {
+			releaseBlocks(blocks)
+			return nil, fmt.Errorf("%w: Gather rank %d contributed %d bytes, expected %d elements", ErrLengthMismatch, i, len(b), n)
+		}
+		if err := decodeInto(out[i*n:(i+1)*n], b); err != nil {
+			releaseBlocks(blocks)
 			return nil, err
 		}
-		if len(xs) != n {
-			return nil, fmt.Errorf("%w: Gather rank %d contributed %d elements, expected %d", ErrLengthMismatch, i, len(xs), n)
-		}
-		out = append(out, xs...)
 	}
+	releaseBlocks(blocks)
 	return out, nil
 }
 
@@ -307,7 +354,7 @@ func Gatherv[T Scalar](c *Comm, data []T, root int) ([][]T, error) {
 }
 
 func gathervLinear[T Scalar](c *Comm, data []T, root int) ([][]T, error) {
-	blocks, err := c.gatherBlocks(Marshal(data), root)
+	blocks, err := c.gatherBlocks(marshalPooled(data), root)
 	if err != nil {
 		return nil, err
 	}
@@ -318,20 +365,24 @@ func gathervLinear[T Scalar](c *Comm, data []T, root int) ([][]T, error) {
 	for i, b := range blocks {
 		xs, err := Unmarshal[T](b)
 		if err != nil {
+			releaseBlocks(blocks)
 			return nil, err
 		}
 		out[i] = xs
 	}
+	releaseBlocks(blocks)
 	return out, nil
 }
 
 // gatherBlocks is the shared linear gather: rank order, receives posted
-// up-front.
+// up-front. It takes ownership of payload; at the root the returned
+// blocks (including blocks[root] == payload) are pooled buffers the
+// caller must release.
 func (c *Comm) gatherBlocks(payload []byte, root int) ([][]byte, error) {
 	tag := c.nextCollTag()
 	p := len(c.members)
 	if c.rank != root {
-		return nil, c.collSend(payload, root, tag)
+		return nil, c.collSendOwned(payload, root, tag)
 	}
 	prs := make([]*pendingRecv, p)
 	for i := 0; i < p; i++ {
@@ -345,18 +396,19 @@ func (c *Comm) gatherBlocks(payload []byte, root int) ([][]byte, error) {
 		if i == root {
 			continue
 		}
-		env, err := c.finishRecv(prs[i])
+		b, err := c.collFinish(prs[i])
 		if err != nil {
 			return nil, err
 		}
-		blocks[i] = env.data
+		blocks[i] = b
 	}
 	return blocks, nil
 }
 
 // Allgather concatenates every rank's equal-sized contribution on every
 // rank (MPI_Allgather), using the ring algorithm: p-1 steps, each moving
-// one block to the right neighbour.
+// one block to the right neighbour. Each received block is relayed
+// onward as-is — the pooled buffer itself travels around the ring.
 func Allgather[T Scalar](c *Comm, data []T) ([]T, error) {
 	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimAllgather)
@@ -369,31 +421,33 @@ func allgatherRing[T Scalar](c *Comm, data []T) ([]T, error) {
 	tag := c.nextCollTag()
 	p, r := len(c.members), c.rank
 	n := len(data)
+	size := scalarSize[T]()
 	out := make([]T, n*p)
 	copy(out[r*n:(r+1)*n], data)
 	right := (r + 1) % p
 	left := (r - 1 + p) % p
-	cur := Marshal(data)
+	cur := marshalPooled(data)
 	for step := 0; step < p-1; step++ {
 		pr := c.collIrecv(left, tag)
-		if err := c.collSend(cur, right, tag); err != nil {
+		// Ownership of cur passes to the right neighbour, which decodes
+		// it and passes the same buffer on — zero-copy relay.
+		if err := c.collSendOwned(cur, right, tag); err != nil {
 			return nil, err
 		}
-		env, err := c.finishRecv(pr)
+		b, err := c.collFinish(pr)
 		if err != nil {
 			return nil, err
 		}
-		cur = env.data
+		cur = b
 		blockOwner := (r - step - 1 + p) % p
-		xs, err := Unmarshal[T](cur)
-		if err != nil {
+		if len(cur) != n*size {
+			return nil, fmt.Errorf("%w: Allgather rank %d contributed %d bytes, expected %d elements", ErrLengthMismatch, blockOwner, len(cur), n)
+		}
+		if err := decodeInto(out[blockOwner*n:(blockOwner+1)*n], cur); err != nil {
 			return nil, err
 		}
-		if len(xs) != n {
-			return nil, fmt.Errorf("%w: Allgather rank %d contributed %d elements, expected %d", ErrLengthMismatch, blockOwner, len(xs), n)
-		}
-		copy(out[blockOwner*n:(blockOwner+1)*n], xs)
 	}
+	putBuf(cur)
 	return out, nil
 }
 
@@ -411,37 +465,67 @@ func Reduce[T Scalar](c *Comm, data []T, op Op[T], root int) ([]T, error) {
 	return out, err
 }
 
-// reduceTree is the binomial-tree reduction shared by Reduce and
-// Allreduce. The accumulator travels up the tree; the result lands on
-// root.
+// ReduceInto folds every rank's buf elementwise with op in place along
+// the binomial tree — the MPI_IN_PLACE analogue of Reduce. On return the
+// root's buf holds the reduction; on other ranks buf's contents are
+// unspecified (they have been folded into a parent). It is the
+// allocation-free variant for hot loops reducing into reused buffers.
+func ReduceInto[T Scalar](c *Comm, buf []T, op Op[T], root int) error {
+	if err := c.checkPeer(root, false); err != nil {
+		return err
+	}
+	tok := c.profEnter()
+	c.world.stats.countCall(c.worldRank, PrimReduce)
+	_, err := reduceAcc(c, buf, op, root)
+	c.profExit(tok, PrimReduce, c.members[root], -1, len(buf)*scalarSize[T](), 0, 0, 0)
+	return err
+}
+
+// reduceTree is the binomial-tree reduction backing Reduce: it copies
+// data into a fresh accumulator and runs reduceAcc.
 func reduceTree[T Scalar](c *Comm, data []T, op Op[T], root int) ([]T, error) {
+	acc := append([]T(nil), data...)
+	kept, err := reduceAcc(c, acc, op, root)
+	if err != nil || !kept {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// reduceAcc runs the binomial-tree reduction in place on acc. Wire
+// payloads from children are folded directly into acc via reduceFromWire
+// — no decoded intermediate slice. kept reports whether acc holds this
+// rank's final state: true at the root (the fully reduced vector), false
+// at non-roots (acc's content has been sent to a parent and is stale).
+func reduceAcc[T Scalar](c *Comm, acc []T, op Op[T], root int) (kept bool, err error) {
 	tag := c.nextCollTag()
 	p := len(c.members)
 	rel := (c.rank - root + p) % p
-	acc := append([]T(nil), data...)
+	size := scalarSize[T]()
 	for mask := 1; mask < p; mask <<= 1 {
 		if rel&mask != 0 {
 			parent := (rel&^mask + root) % p
-			return nil, c.collSend(Marshal(acc), parent, tag)
+			return false, c.collSendOwned(marshalPooled(acc), parent, tag)
 		}
 		childRel := rel | mask
 		if childRel < p {
 			child := (childRel + root) % p
 			b, err := c.collRecv(child, tag)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			xs, err := Unmarshal[T](b)
+			if len(b) != len(acc)*size {
+				putBuf(b)
+				return false, fmt.Errorf("%w: Reduce rank %d contributed %d bytes, expected %d elements", ErrLengthMismatch, child, len(b), len(acc))
+			}
+			err = reduceFromWire(acc, b, op)
+			putBuf(b)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			if len(xs) != len(acc) {
-				return nil, fmt.Errorf("%w: Reduce rank %d contributed %d elements, expected %d", ErrLengthMismatch, child, len(xs), len(acc))
-			}
-			reduceInto(acc, xs, op)
 		}
 	}
-	return acc, nil
+	return true, nil
 }
 
 // Allreduce folds every rank's buffer elementwise with op and delivers the
@@ -451,28 +535,87 @@ func reduceTree[T Scalar](c *Comm, data []T, op Op[T], root int) ([]T, error) {
 func Allreduce[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimAllreduce)
-	out, err := allreduceTree(c, data, op)
+	acc := append([]T(nil), data...)
+	err := allreduceTreeInto(c, acc, op)
 	c.profExit(tok, PrimAllreduce, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
-	return out, err
-}
-
-func allreduceTree[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
-	acc, err := reduceTree(c, data, op, 0)
 	if err != nil {
 		return nil, err
 	}
-	return bcastInternal(c, acc, len(data), 0)
+	return acc, nil
+}
+
+// AllreduceInto is the in-place MPI_IN_PLACE analogue of Allreduce:
+// after the call every rank's buf holds the global reduction. Iterative
+// algorithms (k-means' weighted-means step) call it with a reused buffer
+// to keep the reduction allocation-free.
+func AllreduceInto[T Scalar](c *Comm, buf []T, op Op[T]) error {
+	tok := c.profEnter()
+	c.world.stats.countCall(c.worldRank, PrimAllreduce)
+	err := allreduceTreeInto(c, buf, op)
+	c.profExit(tok, PrimAllreduce, -1, -1, len(buf)*scalarSize[T](), 0, 0, 0)
+	return err
+}
+
+// allreduceTreeInto reduces onto rank 0 and broadcasts back, all in place
+// on buf.
+func allreduceTreeInto[T Scalar](c *Comm, buf []T, op Op[T]) error {
+	if _, err := reduceAcc(c, buf, op, 0); err != nil {
+		return err
+	}
+	return bcastInto(c, buf, 0)
+}
+
+// bcastInto broadcasts root's buf into every rank's buf in place on the
+// shadow context, without user-primitive accounting. All ranks must pass
+// equal-length buffers.
+func bcastInto[T Scalar](c *Comm, buf []T, root int) error {
+	tag := c.nextCollTag()
+	p, r := len(c.members), c.rank
+	rel := (r - root + p) % p
+	var payload []byte
+	if rel == 0 {
+		payload = marshalPooled(buf)
+	}
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % p
+			b, err := c.collRecv(parent, tag)
+			if err != nil {
+				return err
+			}
+			payload = b
+			if err := decodeInto(buf, payload); err != nil {
+				putBuf(payload)
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < p {
+			child := (rel + mask + root) % p
+			if err := c.collSend(payload, child, tag); err != nil {
+				putBuf(payload)
+				return err
+			}
+		}
+	}
+	putBuf(payload)
+	return nil
 }
 
 // bcastInternal is Bcast without user-primitive accounting, used by
-// composite collectives. n is the element count every rank expects.
+// composite collectives whose receivers cannot presize a buffer. n is the
+// element count every rank expects.
 func bcastInternal[T Scalar](c *Comm, data []T, n int, root int) ([]T, error) {
 	tag := c.nextCollTag()
 	p, r := len(c.members), c.rank
 	rel := (r - root + p) % p
 	var payload []byte
 	if rel == 0 {
-		payload = Marshal(data)
+		payload = marshalPooled(data)
 	}
 	mask := 1
 	for mask < p {
@@ -491,14 +634,17 @@ func bcastInternal[T Scalar](c *Comm, data []T, n int, root int) ([]T, error) {
 		if rel+mask < p {
 			child := (rel + mask + root) % p
 			if err := c.collSend(payload, child, tag); err != nil {
+				putBuf(payload)
 				return nil, err
 			}
 		}
 	}
 	if rel == 0 {
+		putBuf(payload)
 		return data, nil
 	}
 	xs, err := Unmarshal[T](payload)
+	putBuf(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -528,6 +674,7 @@ func allreduceRing[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	}
 	tag := c.nextCollTag()
 	n := len(data)
+	size := scalarSize[T]()
 	// Pad to a multiple of p so every segment has equal size.
 	seg := (n + p - 1) / p
 	buf := make([]T, seg*p)
@@ -538,44 +685,46 @@ func allreduceRing[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	segment := func(i int) []T { return buf[i*seg : (i+1)*seg] }
 
 	// Reduce-scatter: after p-1 steps, rank r owns the fully reduced
-	// segment (r+1) mod p.
+	// segment (r+1) mod p. Incoming wire segments fold straight into the
+	// local buffer; the received pooled buffer is recycled per hop.
 	for step := 0; step < p-1; step++ {
 		sendIdx := (r - step + p) % p
 		recvIdx := (r - step - 1 + p) % p
 		pr := c.collIrecv(left, tag)
-		if err := c.collSend(Marshal(segment(sendIdx)), right, tag); err != nil {
+		if err := c.collSendOwned(marshalPooled(segment(sendIdx)), right, tag); err != nil {
 			return nil, err
 		}
-		env, err := c.finishRecv(pr)
+		b, err := c.collFinish(pr)
 		if err != nil {
 			return nil, err
 		}
-		xs, err := Unmarshal[T](env.data)
+		if len(b) != seg*size {
+			putBuf(b)
+			return nil, fmt.Errorf("%w: ring allreduce segment of %d bytes, expected %d elements", ErrLengthMismatch, len(b), seg)
+		}
+		err = reduceFromWire(segment(recvIdx), b, op)
+		putBuf(b)
 		if err != nil {
 			return nil, err
 		}
-		if len(xs) != seg {
-			return nil, fmt.Errorf("%w: ring allreduce segment of %d elements, expected %d", ErrLengthMismatch, len(xs), seg)
-		}
-		reduceInto(segment(recvIdx), xs, op)
 	}
-	// Allgather: circulate the reduced segments.
+	// Allgather: circulate the reduced segments, decoding in place.
 	for step := 0; step < p-1; step++ {
 		sendIdx := (r + 1 - step + p) % p
 		recvIdx := (r - step + p) % p
 		pr := c.collIrecv(left, tag)
-		if err := c.collSend(Marshal(segment(sendIdx)), right, tag); err != nil {
+		if err := c.collSendOwned(marshalPooled(segment(sendIdx)), right, tag); err != nil {
 			return nil, err
 		}
-		env, err := c.finishRecv(pr)
+		b, err := c.collFinish(pr)
 		if err != nil {
 			return nil, err
 		}
-		xs, err := Unmarshal[T](env.data)
+		err = decodeInto(segment(recvIdx), b)
+		putBuf(b)
 		if err != nil {
 			return nil, err
 		}
-		copy(segment(recvIdx), xs)
 	}
 	return buf[:n], nil
 }
@@ -594,25 +743,26 @@ func scanChain[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	tag := c.nextCollTag()
 	p, r := len(c.members), c.rank
 	acc := append([]T(nil), data...)
+	size := scalarSize[T]()
 	if r > 0 {
 		b, err := c.collRecv(r-1, tag)
 		if err != nil {
 			return nil, err
 		}
-		xs, err := Unmarshal[T](b)
+		if len(b) != len(acc)*size {
+			putBuf(b)
+			return nil, fmt.Errorf("%w: Scan rank %d passed %d bytes, expected %d elements", ErrLengthMismatch, r-1, len(b), len(acc))
+		}
+		// Inclusive scan folds the prefix from the left: the wire operand
+		// is the accumulated prefix of ranks 0..r-1.
+		err = reduceFromWireLeft(acc, b, op)
+		putBuf(b)
 		if err != nil {
 			return nil, err
 		}
-		if len(xs) != len(acc) {
-			return nil, fmt.Errorf("%w: Scan rank %d passed %d elements, expected %d", ErrLengthMismatch, r-1, len(xs), len(acc))
-		}
-		// Inclusive scan folds the prefix from the left.
-		for i := range acc {
-			acc[i] = op(xs[i], acc[i])
-		}
 	}
 	if r < p-1 {
-		if err := c.collSend(Marshal(acc), r+1, tag); err != nil {
+		if err := c.collSendOwned(marshalPooled(acc), r+1, tag); err != nil {
 			return nil, err
 		}
 	}
@@ -638,27 +788,29 @@ func alltoallPairwise[T Scalar](c *Comm, data []T) ([]T, error) {
 	p, r := len(c.members), c.rank
 	tag := c.nextCollTag()
 	n := len(data) / p
+	size := scalarSize[T]()
 	out := make([]T, len(data))
 	copy(out[r*n:(r+1)*n], data[r*n:(r+1)*n])
 	for step := 1; step < p; step++ {
 		to := (r + step) % p
 		from := (r - step + p) % p
 		pr := c.collIrecv(from, tag)
-		if err := c.collSend(Marshal(data[to*n:(to+1)*n]), to, tag); err != nil {
+		if err := c.collSendOwned(marshalPooled(data[to*n:(to+1)*n]), to, tag); err != nil {
 			return nil, err
 		}
-		env, err := c.finishRecv(pr)
+		b, err := c.collFinish(pr)
 		if err != nil {
 			return nil, err
 		}
-		xs, err := Unmarshal[T](env.data)
+		if len(b) != n*size {
+			putBuf(b)
+			return nil, fmt.Errorf("%w: Alltoall rank %d sent %d bytes, expected %d elements", ErrLengthMismatch, from, len(b), n)
+		}
+		err = decodeInto(out[from*n:(from+1)*n], b)
+		putBuf(b)
 		if err != nil {
 			return nil, err
 		}
-		if len(xs) != n {
-			return nil, fmt.Errorf("%w: Alltoall rank %d sent %d elements, expected %d", ErrLengthMismatch, from, len(xs), n)
-		}
-		copy(out[from*n:(from+1)*n], xs)
 	}
 	return out, nil
 }
@@ -692,14 +844,15 @@ func alltoallvPairwise[T Scalar](c *Comm, blocks [][]T) ([][]T, error) {
 		to := (r + step) % p
 		from := (r - step + p) % p
 		pr := c.collIrecv(from, tag)
-		if err := c.collSend(Marshal(blocks[to]), to, tag); err != nil {
+		if err := c.collSendOwned(marshalPooled(blocks[to]), to, tag); err != nil {
 			return nil, err
 		}
-		env, err := c.finishRecv(pr)
+		b, err := c.collFinish(pr)
 		if err != nil {
 			return nil, err
 		}
-		xs, err := Unmarshal[T](env.data)
+		xs, err := Unmarshal[T](b)
+		putBuf(b)
 		if err != nil {
 			return nil, err
 		}
@@ -724,7 +877,7 @@ func Allgatherv[T Scalar](c *Comm, data []T) ([][]T, error) {
 }
 
 func allgathervLinear[T Scalar](c *Comm, data []T) ([][]T, error) {
-	blocks, err := c.gatherBlocks(Marshal(data), 0)
+	blocks, err := c.gatherBlocks(marshalPooled(data), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -732,10 +885,16 @@ func allgathervLinear[T Scalar](c *Comm, data []T) ([][]T, error) {
 	var flat []byte
 	counts := make([]int64, p)
 	if c.rank == 0 {
+		total := 0
+		for _, b := range blocks {
+			total += len(b)
+		}
+		flat = getBuf(total)[:0]
 		for i, b := range blocks {
 			counts[i] = int64(len(b))
 			flat = append(flat, b...)
 		}
+		releaseBlocks(blocks)
 	}
 	counts64, err := bcastInternal(c, counts, p, 0)
 	if err != nil {
@@ -745,20 +904,22 @@ func allgathervLinear[T Scalar](c *Comm, data []T) ([][]T, error) {
 	for _, n := range counts64 {
 		total += int(n)
 	}
-	flat, err = bcastInternal(c, flat, total, 0)
+	wire, err := bcastInternal(c, flat, total, 0)
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]T, p)
 	off := 0
 	for i := 0; i < p; i++ {
-		xs, err := Unmarshal[T](flat[off : off+int(counts64[i])])
+		xs, err := Unmarshal[T](wire[off : off+int(counts64[i])])
 		if err != nil {
+			putBuf(flat)
 			return nil, err
 		}
 		out[i] = xs
 		off += int(counts64[i])
 	}
+	putBuf(flat)
 	return out, nil
 }
 
@@ -784,14 +945,15 @@ func exscanChain[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
-		xs, err := Unmarshal[T](b)
+		if len(b) != len(data)*scalarSize[T]() {
+			putBuf(b)
+			return nil, fmt.Errorf("%w: Exscan rank %d passed %d bytes, expected %d elements", ErrLengthMismatch, r-1, len(b), len(data))
+		}
+		err = decodeInto(prefix, b)
+		putBuf(b)
 		if err != nil {
 			return nil, err
 		}
-		if len(xs) != len(data) {
-			return nil, fmt.Errorf("%w: Exscan rank %d passed %d elements, expected %d", ErrLengthMismatch, r-1, len(xs), len(data))
-		}
-		prefix = xs
 	}
 	if r < p-1 {
 		next := make([]T, len(data))
@@ -802,7 +964,7 @@ func exscanChain[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 				next[i] = op(prefix[i], data[i])
 			}
 		}
-		if err := c.collSend(Marshal(next), r+1, tag); err != nil {
+		if err := c.collSendOwned(marshalPooled(next), r+1, tag); err != nil {
 			return nil, err
 		}
 	}

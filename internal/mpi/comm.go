@@ -78,20 +78,19 @@ func checkTag(tag int, wildcard bool) error {
 	return nil
 }
 
-// sendEnvelope builds, accounts and delivers one data envelope on ctx, and
-// runs the rendezvous protocol when required. data is owned by the caller;
-// it is copied before delivery. The returned msgid identifies the message
-// for flow tracing; it is zero when no hook is attached.
-func (c *Comm) sendEnvelope(ctx int32, data []byte, dest, tag int, sync bool) (int64, error) {
-	payload := append([]byte(nil), data...)
-	env := &envelope{
-		kind: kindData,
-		src:  c.rank,
-		wsrc: c.worldRank,
-		wdst: c.members[dest],
-		ctx:  ctx,
-		tag:  int32(tag),
-	}
+// sendEnvelopeOwned builds, accounts and delivers one data envelope on
+// ctx, and runs the rendezvous protocol when required. It takes ownership
+// of payload, which must be an exclusively owned (pooled) buffer — the
+// transport or receiver recycles it. The returned msgid identifies the
+// message for flow tracing; it is zero when no hook is attached.
+func (c *Comm) sendEnvelopeOwned(ctx int32, payload []byte, dest, tag int, sync bool) (int64, error) {
+	env := getEnv()
+	env.kind = kindData
+	env.src = c.rank
+	env.wsrc = c.worldRank
+	env.wdst = c.members[dest]
+	env.ctx = ctx
+	env.tag = int32(tag)
 	var seq int64
 	if sync || len(payload) > c.world.opts.eagerThreshold || c.world.opts.synchronousSend {
 		seq = c.world.nextSeq()
@@ -103,8 +102,9 @@ func (c *Comm) sendEnvelope(ctx int32, data []byte, dest, tag int, sync bool) (i
 		env.msgid = msgid
 	}
 	env.data = payload
-	// The receiver may consume env.seq concurrently once delivered, so
-	// the local copy taken above is the only safe handle afterwards.
+	// Ownership of env (and its payload) passes to deliver; the receiver
+	// may recycle both concurrently, so the local seq and msgid copies are
+	// the only safe handles afterwards.
 	if err := c.world.deliver(env); err != nil {
 		return msgid, err
 	}
@@ -117,18 +117,17 @@ func (c *Comm) sendEnvelope(ctx int32, data []byte, dest, tag int, sync bool) (i
 	return msgid, nil
 }
 
-// isendEnvelope is the nonblocking variant; the returned request completes
-// immediately for eager sends and on acknowledgement for rendezvous sends.
-func (c *Comm) isendEnvelope(ctx int32, data []byte, dest, tag int) (*Request, error) {
-	payload := append([]byte(nil), data...)
-	env := &envelope{
-		kind: kindData,
-		src:  c.rank,
-		wsrc: c.worldRank,
-		wdst: c.members[dest],
-		ctx:  ctx,
-		tag:  int32(tag),
-	}
+// isendEnvelopeOwned is the nonblocking variant; it also takes ownership
+// of payload. The returned request completes immediately for eager sends
+// and on acknowledgement for rendezvous sends.
+func (c *Comm) isendEnvelopeOwned(ctx int32, payload []byte, dest, tag int) (*Request, error) {
+	env := getEnv()
+	env.kind = kindData
+	env.src = c.rank
+	env.wsrc = c.worldRank
+	env.wdst = c.members[dest]
+	env.ctx = ctx
+	env.tag = int32(tag)
 	var seq int64
 	if len(payload) > c.world.opts.eagerThreshold || c.world.opts.synchronousSend {
 		seq = c.world.nextSeq()
@@ -147,20 +146,13 @@ func (c *Comm) isendEnvelope(ctx int32, data []byte, dest, tag int) (*Request, e
 }
 
 // recvEnvelope blocks for a matching envelope on ctx and acknowledges
-// rendezvous sends.
+// rendezvous sends. The caller owns the returned envelope (and its
+// payload) and is responsible for recycling it with putEnv.
 func (c *Comm) recvEnvelope(ctx int32, src, tag int) (*envelope, Status, error) {
 	pr := c.mb.postRecv(ctx, src, tag)
-	var env *envelope
-	if pr.env != nil {
-		env = pr.env
-	} else {
-		start := time.Now()
-		e, err := c.mb.waitRecv(pr)
-		c.traceComm("recv", start)
-		if err != nil {
-			return nil, Status{}, err
-		}
-		env = e
+	env, err := c.finishRecv(pr)
+	if err != nil {
+		return nil, Status{}, err
 	}
 	return env, Status{Source: env.src, Tag: int(env.tag), Bytes: len(env.data)}, nil
 }
@@ -173,9 +165,23 @@ func (c *Comm) traceComm(op string, start time.Time) {
 	}
 }
 
+// sendChecked runs the accounting, profiling and delivery shared by
+// SendBytes, SsendBytes and the typed send wrappers. It takes ownership
+// of payload; peer and tag must already be validated.
+func (c *Comm) sendChecked(payload []byte, dest, tag int, sync bool) error {
+	n := len(payload)
+	tok := c.profEnter()
+	c.world.stats.countCall(c.worldRank, PrimSend)
+	c.world.stats.addUserSent(c.worldRank, n)
+	msgid, err := c.sendEnvelopeOwned(c.ctx, payload, dest, tag, sync)
+	c.profExit(tok, PrimSend, c.members[dest], tag, n, msgid, 0, 0)
+	return err
+}
+
 // SendBytes sends a raw payload to dest with the given tag (MPI_Send). The
 // call returns once the buffer is reusable: immediately for eager-size
-// messages, after the receiver matches for rendezvous-size messages.
+// messages, after the receiver matches for rendezvous-size messages. data
+// stays owned by the caller (it is copied into a pooled buffer).
 func (c *Comm) SendBytes(data []byte, dest, tag int) error {
 	if err := c.checkPeer(dest, false); err != nil {
 		return err
@@ -183,12 +189,7 @@ func (c *Comm) SendBytes(data []byte, dest, tag int) error {
 	if err := checkTag(tag, false); err != nil {
 		return err
 	}
-	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimSend)
-	c.world.stats.addUserSent(c.worldRank, len(data))
-	msgid, err := c.sendEnvelope(c.ctx, data, dest, tag, false)
-	c.profExit(tok, PrimSend, c.members[dest], tag, len(data), msgid, 0, 0)
-	return err
+	return c.sendChecked(copyToPooled(data), dest, tag, false)
 }
 
 // SsendBytes is the explicitly synchronous send (MPI_Ssend): it always
@@ -200,16 +201,14 @@ func (c *Comm) SsendBytes(data []byte, dest, tag int) error {
 	if err := checkTag(tag, false); err != nil {
 		return err
 	}
-	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimSend)
-	c.world.stats.addUserSent(c.worldRank, len(data))
-	msgid, err := c.sendEnvelope(c.ctx, data, dest, tag, true)
-	c.profExit(tok, PrimSend, c.members[dest], tag, len(data), msgid, 0, 0)
-	return err
+	return c.sendChecked(copyToPooled(data), dest, tag, true)
 }
 
 // RecvBytes receives a message matching (src, tag), which may use
-// AnySource and AnyTag wildcards (MPI_Recv).
+// AnySource and AnyTag wildcards (MPI_Recv). Ownership of the returned
+// payload passes to the caller: the runtime never reuses it, and the
+// caller may optionally hand it back with Release to keep hot receive
+// loops allocation-free.
 func (c *Comm) RecvBytes(src, tag int) ([]byte, Status, error) {
 	if err := c.checkPeer(src, true); err != nil {
 		return nil, Status{}, err
@@ -224,9 +223,27 @@ func (c *Comm) RecvBytes(src, tag int) ([]byte, Status, error) {
 		c.profExit(tok, PrimRecv, -1, tag, 0, 0, 0, 0)
 		return nil, Status{}, err
 	}
-	c.world.stats.addUserRecv(c.worldRank, len(env.data))
-	c.profExit(tok, PrimRecv, env.wsrc, int(env.tag), len(env.data), 0, env.msgid, queuedFor(env))
-	return env.data, st, nil
+	data, wsrc, etag, msgid, queued := env.data, env.wsrc, int(env.tag), env.msgid, queuedFor(env)
+	putEnv(env)
+	c.world.stats.addUserRecv(c.worldRank, len(data))
+	c.profExit(tok, PrimRecv, wsrc, etag, len(data), 0, msgid, queued)
+	return data, st, nil
+}
+
+// isendChecked is the accounting/profiling wrapper shared by IsendBytes
+// and the typed Isend; it takes ownership of payload.
+func (c *Comm) isendChecked(payload []byte, dest, tag int) (*Request, error) {
+	n := len(payload)
+	tok := c.profEnter()
+	c.world.stats.countCall(c.worldRank, PrimIsend)
+	c.world.stats.addUserSent(c.worldRank, n)
+	r, err := c.isendEnvelopeOwned(c.ctx, payload, dest, tag)
+	var msgid int64
+	if r != nil {
+		msgid = r.msgid
+	}
+	c.profExit(tok, PrimIsend, c.members[dest], tag, n, msgid, 0, 0)
+	return r, err
 }
 
 // IsendBytes starts a nonblocking send (MPI_Isend). The data is copied, so
@@ -239,16 +256,7 @@ func (c *Comm) IsendBytes(data []byte, dest, tag int) (*Request, error) {
 	if err := checkTag(tag, false); err != nil {
 		return nil, err
 	}
-	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimIsend)
-	c.world.stats.addUserSent(c.worldRank, len(data))
-	r, err := c.isendEnvelope(c.ctx, data, dest, tag)
-	var msgid int64
-	if r != nil {
-		msgid = r.msgid
-	}
-	c.profExit(tok, PrimIsend, c.members[dest], tag, len(data), msgid, 0, 0)
-	return r, err
+	return c.isendChecked(copyToPooled(data), dest, tag)
 }
 
 // IrecvBytes starts a nonblocking receive (MPI_Irecv).
@@ -272,49 +280,60 @@ func (c *Comm) IrecvBytes(src, tag int) (*Request, error) {
 
 // SendrecvBytes performs a combined send and receive (MPI_Sendrecv),
 // deadlock-free regardless of ordering at the peers: the receive is posted
-// before the send blocks.
+// before the send blocks. The returned payload is caller-owned, as with
+// RecvBytes.
 func (c *Comm) SendrecvBytes(data []byte, dest, sendTag, src, recvTag int) ([]byte, Status, error) {
-	if err := c.checkPeer(dest, false); err != nil {
+	if err := checkSendrecv(c, dest, sendTag, src, recvTag); err != nil {
 		return nil, Status{}, err
+	}
+	return c.sendrecvChecked(copyToPooled(data), dest, sendTag, src, recvTag)
+}
+
+func checkSendrecv(c *Comm, dest, sendTag, src, recvTag int) error {
+	if err := c.checkPeer(dest, false); err != nil {
+		return err
 	}
 	if err := c.checkPeer(src, true); err != nil {
-		return nil, Status{}, err
+		return err
 	}
 	if err := checkTag(sendTag, false); err != nil {
-		return nil, Status{}, err
+		return err
 	}
-	if err := checkTag(recvTag, true); err != nil {
-		return nil, Status{}, err
-	}
+	return checkTag(recvTag, true)
+}
+
+// sendrecvChecked is the combined exchange shared by SendrecvBytes and
+// the typed wrappers. It takes ownership of payload; the returned bytes
+// are caller-owned.
+func (c *Comm) sendrecvChecked(payload []byte, dest, sendTag, src, recvTag int) ([]byte, Status, error) {
 	tok := c.profEnter()
 	c.world.stats.countCall(c.worldRank, PrimSendrecv)
-	c.world.stats.addUserSent(c.worldRank, len(data))
+	c.world.stats.addUserSent(c.worldRank, len(payload))
+	n := len(payload)
 	pr := c.mb.postRecv(c.ctx, src, recvTag)
-	msgid, err := c.sendEnvelope(c.ctx, data, dest, sendTag, false)
+	msgid, err := c.sendEnvelopeOwned(c.ctx, payload, dest, sendTag, false)
 	if err != nil {
-		c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, len(data), msgid, 0, 0)
+		c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, n, msgid, 0, 0)
 		return nil, Status{}, err
 	}
 	env, err := c.finishRecv(pr)
 	if err != nil {
-		c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, len(data), msgid, 0, 0)
+		c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, n, msgid, 0, 0)
 		return nil, Status{}, err
 	}
-	c.world.stats.addUserRecv(c.worldRank, len(env.data))
-	c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, len(data)+len(env.data), msgid, env.msgid, queuedFor(env))
-	return env.data, Status{Source: env.src, Tag: int(env.tag), Bytes: len(env.data)}, nil
+	got, esrc, etag, rmsgid, queued := env.data, env.src, int(env.tag), env.msgid, queuedFor(env)
+	putEnv(env)
+	c.world.stats.addUserRecv(c.worldRank, len(got))
+	c.profExit(tok, PrimSendrecv, c.members[dest], sendTag, n+len(got), msgid, rmsgid, queued)
+	return got, Status{Source: esrc, Tag: etag, Bytes: len(got)}, nil
 }
 
-// finishRecv waits for a posted receive and completes the rendezvous
-// protocol.
+// finishRecv completes a posted receive: it waits if needed, removes the
+// record from the posted queue, recycles it, and returns the matched
+// envelope (owned by the caller).
 func (c *Comm) finishRecv(pr *pendingRecv) (*envelope, error) {
-	var env *envelope
-	if pr.env != nil {
-		env = pr.env
-		c.mb.mu.Lock()
-		c.mb.dropPending(pr)
-		c.mb.mu.Unlock()
-	} else {
+	env, ok := c.mb.tryRecv(pr)
+	if !ok {
 		start := time.Now()
 		e, err := c.mb.waitRecv(pr)
 		c.traceComm("recv", start)
@@ -323,6 +342,7 @@ func (c *Comm) finishRecv(pr *pendingRecv) (*envelope, error) {
 		}
 		env = e
 	}
+	putPR(pr)
 	return env, nil
 }
 
@@ -388,30 +408,58 @@ func (c *Comm) Abort(err error) {
 }
 
 // Send sends a typed slice (MPI_Send). See SendBytes for blocking
-// semantics.
+// semantics. The slice is encoded directly into a pooled wire buffer —
+// no intermediate Marshal allocation.
 func Send[T Scalar](c *Comm, data []T, dest, tag int) error {
-	return c.SendBytes(Marshal(data), dest, tag)
+	if err := c.checkPeer(dest, false); err != nil {
+		return err
+	}
+	if err := checkTag(tag, false); err != nil {
+		return err
+	}
+	return c.sendChecked(marshalPooled(data), dest, tag, false)
 }
 
 // Ssend sends a typed slice with forced synchronous semantics (MPI_Ssend).
 func Ssend[T Scalar](c *Comm, data []T, dest, tag int) error {
-	return c.SsendBytes(Marshal(data), dest, tag)
+	if err := c.checkPeer(dest, false); err != nil {
+		return err
+	}
+	if err := checkTag(tag, false); err != nil {
+		return err
+	}
+	return c.sendChecked(marshalPooled(data), dest, tag, true)
 }
 
 // Recv receives a typed slice (MPI_Recv). Wildcards AnySource and AnyTag
 // are permitted.
 func Recv[T Scalar](c *Comm, src, tag int) ([]T, Status, error) {
+	return RecvInto[T](c, nil, src, tag)
+}
+
+// RecvInto receives a typed slice, decoding into dst's backing array when
+// its capacity suffices (allocating a replacement otherwise) and
+// recycling the wire buffer. Passing a scratch slice that survives the
+// loop makes repeated receives allocation-free.
+func RecvInto[T Scalar](c *Comm, dst []T, src, tag int) ([]T, Status, error) {
 	b, st, err := c.RecvBytes(src, tag)
 	if err != nil {
 		return nil, st, err
 	}
-	xs, err := Unmarshal[T](b)
+	xs, err := UnmarshalInto(dst, b)
+	putBuf(b)
 	return xs, st, err
 }
 
 // Isend starts a nonblocking typed send (MPI_Isend).
 func Isend[T Scalar](c *Comm, data []T, dest, tag int) (*Request, error) {
-	return c.IsendBytes(Marshal(data), dest, tag)
+	if err := c.checkPeer(dest, false); err != nil {
+		return nil, err
+	}
+	if err := checkTag(tag, false); err != nil {
+		return nil, err
+	}
+	return c.isendChecked(marshalPooled(data), dest, tag)
 }
 
 // Irecv starts a nonblocking typed receive (MPI_Irecv); complete it with
@@ -422,10 +470,21 @@ func Irecv[T Scalar](c *Comm, src, tag int) (*Request, error) {
 
 // Sendrecv performs a combined typed send and receive (MPI_Sendrecv).
 func Sendrecv[T Scalar](c *Comm, data []T, dest, sendTag, src, recvTag int) ([]T, Status, error) {
-	b, st, err := c.SendrecvBytes(Marshal(data), dest, sendTag, src, recvTag)
+	return SendrecvInto(c, data, dest, sendTag, src, recvTag, nil)
+}
+
+// SendrecvInto is Sendrecv decoding into dst's backing array when its
+// capacity suffices, recycling the wire buffer. The halo-exchange loops
+// of Module 4 use it to swap boundary values without allocating.
+func SendrecvInto[T Scalar](c *Comm, data []T, dest, sendTag, src, recvTag int, dst []T) ([]T, Status, error) {
+	if err := checkSendrecv(c, dest, sendTag, src, recvTag); err != nil {
+		return nil, Status{}, err
+	}
+	b, st, err := c.sendrecvChecked(marshalPooled(data), dest, sendTag, src, recvTag)
 	if err != nil {
 		return nil, st, err
 	}
-	xs, err := Unmarshal[T](b)
+	xs, err := UnmarshalInto(dst, b)
+	putBuf(b)
 	return xs, st, err
 }

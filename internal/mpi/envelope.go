@@ -19,6 +19,10 @@ const (
 // rendezvous reply path, and traffic accounting. For kindData envelopes,
 // seq is nonzero when the sender awaits a rendezvous acknowledgement; the
 // receiver replies with a kindAck envelope carrying the same seq.
+//
+// Envelopes are pooled (getEnv/putEnv); data, when non-nil, is an
+// exclusively owned pooled payload buffer — see pool.go for the
+// ownership contract.
 type envelope struct {
 	kind  int8
 	src   int   // communicator-relative sender rank
@@ -38,18 +42,44 @@ type envelope struct {
 
 const envelopeHeaderLen = 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 4 // kind, src, wsrc, wdst, ctx, tag, seq, msgid, len
 
-// appendWire serializes the envelope for the TCP transport.
+// putHeader encodes the fixed-size envelope header — everything except
+// the payload bytes — into b[:envelopeHeaderLen]. The final field is the
+// payload length, taken from len(e.data).
+func putHeader(b []byte, e *envelope) {
+	b[0] = byte(e.kind)
+	binary.LittleEndian.PutUint32(b[1:], uint32(int32(e.src)))
+	binary.LittleEndian.PutUint32(b[5:], uint32(int32(e.wsrc)))
+	binary.LittleEndian.PutUint32(b[9:], uint32(int32(e.wdst)))
+	binary.LittleEndian.PutUint32(b[13:], uint32(e.ctx))
+	binary.LittleEndian.PutUint32(b[17:], uint32(e.tag))
+	binary.LittleEndian.PutUint64(b[21:], uint64(e.seq))
+	binary.LittleEndian.PutUint64(b[29:], uint64(e.msgid))
+	binary.LittleEndian.PutUint32(b[37:], uint32(len(e.data)))
+}
+
+// parseHeader decodes the fields written by putHeader into e and returns
+// the payload length the sender declared. e.data is left untouched so the
+// caller can read the payload directly into a right-sized buffer.
+func parseHeader(b []byte, e *envelope) int {
+	e.kind = int8(b[0])
+	e.src = int(int32(binary.LittleEndian.Uint32(b[1:])))
+	e.wsrc = int(int32(binary.LittleEndian.Uint32(b[5:])))
+	e.wdst = int(int32(binary.LittleEndian.Uint32(b[9:])))
+	e.ctx = int32(binary.LittleEndian.Uint32(b[13:]))
+	e.tag = int32(binary.LittleEndian.Uint32(b[17:]))
+	e.seq = int64(binary.LittleEndian.Uint64(b[21:]))
+	e.msgid = int64(binary.LittleEndian.Uint64(b[29:]))
+	return int(binary.LittleEndian.Uint32(b[37:]))
+}
+
+// appendWire serializes the envelope as one contiguous blob (header then
+// payload). The TCP writer no longer assembles full frames — it streams
+// header and payload separately — but the format is shared with it via
+// putHeader, and tests and fuzzing exercise the round trip here.
 func (e *envelope) appendWire(b []byte) []byte {
-	b = append(b, byte(e.kind))
-	b = binary.LittleEndian.AppendUint32(b, uint32(int32(e.src)))
-	b = binary.LittleEndian.AppendUint32(b, uint32(int32(e.wsrc)))
-	b = binary.LittleEndian.AppendUint32(b, uint32(int32(e.wdst)))
-	b = binary.LittleEndian.AppendUint32(b, uint32(e.ctx))
-	b = binary.LittleEndian.AppendUint32(b, uint32(e.tag))
-	b = binary.LittleEndian.AppendUint64(b, uint64(e.seq))
-	b = binary.LittleEndian.AppendUint64(b, uint64(e.msgid))
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.data)))
-	return append(b, e.data...)
+	var hdr [envelopeHeaderLen]byte
+	putHeader(hdr[:], e)
+	return append(append(b, hdr[:]...), e.data...)
 }
 
 // parseWire decodes an envelope serialized by appendWire. The input must
@@ -58,17 +88,8 @@ func parseWire(b []byte) (*envelope, error) {
 	if len(b) < envelopeHeaderLen {
 		return nil, fmt.Errorf("mpi: short envelope: %d bytes", len(b))
 	}
-	e := &envelope{
-		kind: int8(b[0]),
-		src:  int(int32(binary.LittleEndian.Uint32(b[1:]))),
-		wsrc: int(int32(binary.LittleEndian.Uint32(b[5:]))),
-		wdst: int(int32(binary.LittleEndian.Uint32(b[9:]))),
-		ctx:  int32(binary.LittleEndian.Uint32(b[13:])),
-		tag:  int32(binary.LittleEndian.Uint32(b[17:])),
-		seq:  int64(binary.LittleEndian.Uint64(b[21:])),
-	}
-	e.msgid = int64(binary.LittleEndian.Uint64(b[29:]))
-	n := int(binary.LittleEndian.Uint32(b[37:]))
+	e := &envelope{}
+	n := parseHeader(b, e)
 	if len(b) != envelopeHeaderLen+n {
 		return nil, fmt.Errorf("mpi: envelope length mismatch: header says %d payload bytes, have %d", n, len(b)-envelopeHeaderLen)
 	}
@@ -89,8 +110,9 @@ type Scalar interface {
 	~byte | ~int16 | ~uint16 | ~int32 | ~uint32 | ~int64 | ~uint64 | ~int | ~uint | ~float32 | ~float64
 }
 
-// scalarSize reports the encoded size in bytes of T. Go's int and uint are
-// always encoded as 8 bytes.
+// scalarSize reports the encoded size in bytes of T, derived from the
+// underlying kind so named types (type ID int16) encode at their true
+// width. Go's int and uint are always encoded as 8 bytes.
 func scalarSize[T Scalar]() int {
 	var z T
 	switch any(z).(type) {
@@ -100,70 +122,112 @@ func scalarSize[T Scalar]() int {
 		return 2
 	case int32, uint32, float32:
 		return 4
-	default:
+	case int64, uint64, int, uint, float64:
 		return 8
 	}
+	return namedScalarSize[T]()
+}
+
+// namedScalarSize probes the width of a named scalar type without
+// reflection. Floats are told apart by precision — float32 cannot
+// distinguish 1 from 1+2⁻³⁰ — and integer widths by wraparound: Go
+// integer overflow wraps, so repeatedly doubling 1 reaches zero after
+// exactly `width` steps for both signed and unsigned types.
+func namedScalarSize[T Scalar]() int {
+	if isFloat[T]() {
+		eps := T(1)
+		for i := 0; i < 30; i++ {
+			eps /= 2
+		}
+		if T(1)+eps == T(1) {
+			return 4
+		}
+		return 8
+	}
+	width := 0
+	for x := T(1); x != 0; x *= 2 {
+		width++
+	}
+	return width / 8
 }
 
 // Marshal encodes a slice of scalars into the canonical wire format.
 func Marshal[T Scalar](xs []T) []byte {
-	size := scalarSize[T]()
-	out := make([]byte, 0, size*len(xs))
+	return AppendMarshal(make([]byte, 0, scalarSize[T]()*len(xs)), xs)
+}
+
+// marshalPooled encodes xs into a pooled buffer sized exactly to the
+// payload. The result is exclusively owned by the caller, who must hand
+// it to an owned-send or return it with putBuf.
+func marshalPooled[T Scalar](xs []T) []byte {
+	n := scalarSize[T]() * len(xs)
+	if n == 0 {
+		return nil
+	}
+	return AppendMarshal(getBuf(n)[:0], xs)
+}
+
+// AppendMarshal appends the canonical wire encoding of xs to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+// It is the zero-copy building block under Marshal and the typed send
+// wrappers.
+func AppendMarshal[T Scalar](dst []byte, xs []T) []byte {
 	switch v := any(xs).(type) {
 	case []byte:
-		return append(out, v...)
+		return append(dst, v...)
 	case []float64:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
 		}
 	case []float32:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(x))
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(x))
 		}
 	case []int:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint64(out, uint64(int64(x)))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(x)))
 		}
 	case []uint:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint64(out, uint64(x))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
 		}
 	case []int64:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint64(out, uint64(x))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
 		}
 	case []uint64:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint64(out, x)
+			dst = binary.LittleEndian.AppendUint64(dst, x)
 		}
 	case []int32:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint32(out, uint32(x))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(x))
 		}
 	case []uint32:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint32(out, x)
+			dst = binary.LittleEndian.AppendUint32(dst, x)
 		}
 	case []int16:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint16(out, uint16(x))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(x))
 		}
 	case []uint16:
 		for _, x := range v {
-			out = binary.LittleEndian.AppendUint16(out, x)
+			dst = binary.LittleEndian.AppendUint16(dst, x)
 		}
 	default:
 		// Named types (e.g. type ID int64) fall through the concrete
 		// switch; encode element-wise via the generic path.
+		size := scalarSize[T]()
 		for _, x := range xs {
-			out = appendScalar(out, x)
+			dst = appendScalar(dst, x, size)
 		}
 	}
-	return out
+	return dst
 }
 
-func appendScalar[T Scalar](out []byte, x T) []byte {
-	switch size := scalarSize[T](); size {
+func appendScalar[T Scalar](out []byte, x T, size int) []byte {
+	switch size {
 	case 1:
 		return append(out, byte(asUint64(x)))
 	case 2:
@@ -233,15 +297,45 @@ func isFloat[T Scalar]() bool {
 	return T(1)/T(2) != T(0)
 }
 
-// Unmarshal decodes a canonical wire-format payload into a slice of T. It
-// returns an error when the payload is not a whole number of elements.
+// Unmarshal decodes a canonical wire-format payload into a fresh slice of
+// T. It returns an error when the payload is not a whole number of
+// elements.
 func Unmarshal[T Scalar](b []byte) ([]T, error) {
+	return UnmarshalInto[T](nil, b)
+}
+
+// UnmarshalInto decodes a canonical wire-format payload into dst's
+// backing array when its capacity suffices, allocating a replacement
+// otherwise, and returns the filled slice. Pass a recycled dst (length is
+// ignored) to keep decode loops allocation-free.
+func UnmarshalInto[T Scalar](dst []T, b []byte) ([]T, error) {
 	size := scalarSize[T]()
 	if len(b)%size != 0 {
 		return nil, fmt.Errorf("mpi: Unmarshal: %d bytes is not a multiple of element size %d", len(b), size)
 	}
 	n := len(b) / size
-	out := make([]T, n)
+	if cap(dst) < n {
+		dst = make([]T, n)
+	}
+	dst = dst[:n]
+	decodeSlice(dst, b, size)
+	return dst, nil
+}
+
+// decodeInto decodes b into dst, whose length must match exactly. It is
+// the in-place kernel under the collectives' fixed-geometry receives.
+func decodeInto[T Scalar](dst []T, b []byte) error {
+	size := scalarSize[T]()
+	if len(b) != len(dst)*size {
+		return fmt.Errorf("%w: payload of %d bytes for %d elements of size %d", ErrLengthMismatch, len(b), len(dst), size)
+	}
+	decodeSlice(dst, b, size)
+	return nil
+}
+
+// decodeSlice is the typed decode kernel shared by UnmarshalInto and
+// decodeInto; len(b) == len(out)*size is the caller's responsibility.
+func decodeSlice[T Scalar](out []T, b []byte, size int) {
 	switch v := any(out).(type) {
 	case []byte:
 		copy(v, b)
@@ -290,7 +384,6 @@ func Unmarshal[T Scalar](b []byte) ([]T, error) {
 			out[i] = scalarFromBytes[T](b[i*size:], size)
 		}
 	}
-	return out, nil
 }
 
 func scalarFromBytes[T Scalar](b []byte, size int) T {

@@ -65,8 +65,11 @@ type mailbox struct {
 	acks       map[int64]bool // rendezvous acks received, by sequence
 
 	// waiting is non-nil while the rank's goroutine is blocked in
-	// cond.Wait; the deadlock detector reads it while holding mu.
+	// cond.Wait; the deadlock detector reads it while holding mu. It
+	// always points at wi: a rank blocks on one thing at a time, so the
+	// record is reused in place instead of allocated per wait.
 	waiting *waitInfo
+	wi      waitInfo
 
 	// finished is set when the rank's function has returned. A finished
 	// rank can never post again.
@@ -98,6 +101,9 @@ func (mb *mailbox) post(e *envelope) {
 		mb.acks[e.seq] = true
 		mb.cond.Broadcast()
 		mb.mu.Unlock()
+		// The ack's information is fully absorbed into the acks map;
+		// recycle its envelope (acks never carry a payload).
+		putEnv(e)
 		return
 	}
 	for _, pr := range mb.pending {
@@ -122,7 +128,13 @@ func (mb *mailbox) sendAck(wdst int, ctx int32, seq int64) {
 	if seq == 0 {
 		return
 	}
-	ack := &envelope{kind: kindAck, src: mb.rank, wsrc: mb.rank, wdst: wdst, ctx: ctx, seq: seq}
+	ack := getEnv()
+	ack.kind = kindAck
+	ack.src = mb.rank
+	ack.wsrc = mb.rank
+	ack.wdst = wdst
+	ack.ctx = ctx
+	ack.seq = seq
 	// Delivery failure can only mean a malformed destination, which a
 	// matched envelope cannot have.
 	_ = mb.world.deliver(ack)
@@ -132,8 +144,8 @@ func (mb *mailbox) sendAck(wdst int, ctx int32, seq int64) {
 // the returned pendingRecv is complete (and any rendezvous sender is
 // acknowledged); otherwise it joins the posted queue in FIFO order.
 func (mb *mailbox) postRecv(ctx int32, src, tag int) *pendingRecv {
+	pr := getPR(ctx, src, tag)
 	mb.mu.Lock()
-	pr := &pendingRecv{ctx: ctx, src: src, tag: tag}
 	for i, e := range mb.unexpected {
 		if matches(e, ctx, src, tag) {
 			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
@@ -161,7 +173,7 @@ func (mb *mailbox) waitRecv(pr *pendingRecv) (*envelope, error) {
 			mb.dropPending(pr)
 			return nil, err
 		}
-		mb.block(&waitInfo{kind: waitRecv, pr: pr})
+		mb.block(waitInfo{kind: waitRecv, pr: pr})
 	}
 	mb.dropPending(pr)
 	return pr.env, nil
@@ -203,7 +215,7 @@ func (mb *mailbox) probe(ctx int32, src, tag int) (Status, error) {
 		if err := mb.world.stopErr(); err != nil {
 			return Status{}, err
 		}
-		mb.block(&waitInfo{kind: waitProbe, ctx: ctx, src: src, tag: tag})
+		mb.block(waitInfo{kind: waitProbe, ctx: ctx, src: src, tag: tag})
 	}
 }
 
@@ -227,7 +239,7 @@ func (mb *mailbox) waitAck(seq int64) error {
 		if err := mb.world.stopErr(); err != nil {
 			return err
 		}
-		mb.block(&waitInfo{kind: waitAck, seq: seq})
+		mb.block(waitInfo{kind: waitAck, seq: seq})
 	}
 	delete(mb.acks, seq)
 	return nil
@@ -247,9 +259,12 @@ func (mb *mailbox) tryAck(seq int64) bool {
 
 // block parks the goroutine on the mailbox condition variable with its
 // blocking state exposed to the deadlock detector. Callers hold mu and
-// re-check their predicate after block returns.
-func (mb *mailbox) block(wi *waitInfo) {
-	mb.waiting = wi
+// re-check their predicate after block returns. The wait record is
+// stored in the mailbox's reusable slot (a rank waits on one thing at a
+// time), keeping the blocking path allocation-free.
+func (mb *mailbox) block(wi waitInfo) {
+	mb.wi = wi
+	mb.waiting = &mb.wi
 	mb.world.noteBlocked()
 	mb.cond.Wait()
 	mb.waiting = nil

@@ -1,0 +1,193 @@
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Buffer, envelope and posted-receive recycling for the zero-copy data
+// path.
+//
+// Ownership contract (the invariant every primitive maintains):
+//
+//   - A payload buffer attached to an envelope has exactly one owner at a
+//     time: the sending primitive until deliver() accepts it, the
+//     transport while the frame is on a socket, the destination mailbox
+//     while queued, and finally the receiving primitive.
+//   - Primitives that hand raw payload bytes to the application
+//     (RecvBytes, SendrecvBytes, Request.Wait/Test) transfer ownership to
+//     the caller. The runtime never recycles such a buffer on its own;
+//     the caller MAY return it with Release once the bytes are dead.
+//   - Typed receive paths (Recv, RecvInto, WaitRecvInto, collectives)
+//     decode and recycle the wire buffer internally; the []T they return
+//     is always freshly owned by the caller and never recycled.
+//
+// Mutex-guarded free lists are used instead of sync.Pool for two reasons:
+// putting a []byte into a sync.Pool boxes the slice header (one
+// allocation per Put, defeating the 0 allocs/op fast path), and GC-driven
+// pool clearing would make the AllocsPerRun regression tests flaky.
+
+const (
+	minBufClassBits = 6  // smallest pooled buffer: 64 B
+	maxBufClassBits = 22 // largest pooled buffer: 4 MiB
+	numBufClasses   = maxBufClassBits - minBufClassBits + 1
+)
+
+// bufClass is one power-of-two size class of recycled payload buffers.
+type bufClass struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+var bufClasses [numBufClasses]bufClass
+
+// maxFreePerClass bounds per-class retention so the pool cannot grow
+// without limit: many small buffers, a handful of large ones.
+func maxFreePerClass(class int) int {
+	if class+minBufClassBits <= 16 { // up to 64 KiB
+		return 32
+	}
+	return 4
+}
+
+// classFor returns the smallest class whose buffers hold n bytes, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minBufClassBits {
+		return 0
+	}
+	if n > 1<<maxBufClassBits {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - minBufClassBits
+}
+
+// getBuf returns an exclusively owned buffer of length n, recycled when
+// the pool has one and freshly allocated otherwise.
+func getBuf(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	class := classFor(n)
+	if class < 0 {
+		return make([]byte, n)
+	}
+	bc := &bufClasses[class]
+	bc.mu.Lock()
+	if m := len(bc.free); m > 0 {
+		b := bc.free[m-1]
+		bc.free[m-1] = nil
+		bc.free = bc.free[:m-1]
+		bc.mu.Unlock()
+		return b[:n]
+	}
+	bc.mu.Unlock()
+	return make([]byte, n, 1<<(minBufClassBits+class))
+}
+
+// putBuf recycles a buffer. Buffers smaller than the smallest class or in
+// excess of the retention bound are left to the garbage collector. Every
+// buffer stored in class k has cap ≥ 2^(minBufClassBits+k), so getBuf's
+// length-restoring reslice is always in bounds.
+func putBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minBufClassBits {
+		return
+	}
+	class := bits.Len(uint(c)) - 1 - minBufClassBits // floor(log2(cap))
+	if class >= numBufClasses {
+		class = numBufClasses - 1
+	}
+	bc := &bufClasses[class]
+	bc.mu.Lock()
+	if len(bc.free) < maxFreePerClass(class) {
+		bc.free = append(bc.free, b[:0])
+	}
+	bc.mu.Unlock()
+}
+
+// Release returns a payload buffer obtained from RecvBytes,
+// SendrecvBytes or Request.Wait to the runtime's buffer pool. It is
+// optional — an unreleased buffer is simply garbage collected — but hot
+// loops that release keep the data path allocation-free. After Release
+// the caller must not touch b again: its backing array will carry future
+// messages.
+func Release(b []byte) { putBuf(b) }
+
+// copyToPooled copies caller-owned bytes into a pooled buffer, the entry
+// point for every primitive that does not take ownership of its argument.
+func copyToPooled(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	b := getBuf(len(data))
+	copy(b, data)
+	return b
+}
+
+const maxFreeEnvelopes = 1024
+
+var envPool struct {
+	mu   sync.Mutex
+	free []*envelope
+}
+
+// getEnv returns a zeroed envelope from the pool.
+func getEnv() *envelope {
+	envPool.mu.Lock()
+	if m := len(envPool.free); m > 0 {
+		e := envPool.free[m-1]
+		envPool.free[m-1] = nil
+		envPool.free = envPool.free[:m-1]
+		envPool.mu.Unlock()
+		return e
+	}
+	envPool.mu.Unlock()
+	return &envelope{}
+}
+
+// putEnv recycles an envelope. The caller must have extracted every field
+// it still needs and must own e.data separately — putEnv deliberately
+// does not release the payload, because receive paths hand it to the
+// application after freeing the envelope.
+func putEnv(e *envelope) {
+	*e = envelope{}
+	envPool.mu.Lock()
+	if len(envPool.free) < maxFreeEnvelopes {
+		envPool.free = append(envPool.free, e)
+	}
+	envPool.mu.Unlock()
+}
+
+const maxFreePendingRecvs = 256
+
+var prPool struct {
+	mu   sync.Mutex
+	free []*pendingRecv
+}
+
+// getPR returns an initialized posted-receive record from the pool.
+func getPR(ctx int32, src, tag int) *pendingRecv {
+	prPool.mu.Lock()
+	if m := len(prPool.free); m > 0 {
+		pr := prPool.free[m-1]
+		prPool.free[m-1] = nil
+		prPool.free = prPool.free[:m-1]
+		prPool.mu.Unlock()
+		pr.ctx, pr.src, pr.tag, pr.env = ctx, src, tag, nil
+		return pr
+	}
+	prPool.mu.Unlock()
+	return &pendingRecv{ctx: ctx, src: src, tag: tag}
+}
+
+// putPR recycles a completed posted receive. The caller must guarantee pr
+// is no longer in any mailbox queue and no other goroutine can touch it.
+func putPR(pr *pendingRecv) {
+	pr.env = nil
+	prPool.mu.Lock()
+	if len(prPool.free) < maxFreePendingRecvs {
+		prPool.free = append(prPool.free, pr)
+	}
+	prPool.mu.Unlock()
+}

@@ -320,7 +320,7 @@ func newProcessTransport(w *World, myRank int, addrs []string, ln net.Listener) 
 			t.close()
 			return nil, fmt.Errorf("mpi: rank %d got bad hello from rank %d", myRank, peer)
 		}
-		t.conns[peer] = &tcpConn{c: conn, w: bufio.NewWriter(conn)}
+		t.conns[peer] = &tcpConn{c: conn, w: bufio.NewWriterSize(conn, tcpBufSize)}
 		t.startReader(conn)
 	}
 	for j := myRank + 1; j < np; j++ {
@@ -335,7 +335,7 @@ func newProcessTransport(w *World, myRank int, addrs []string, ln net.Listener) 
 			t.close()
 			return nil, fmt.Errorf("mpi: rank %d hello to rank %d: %w", myRank, j, err)
 		}
-		t.conns[j] = &tcpConn{c: conn, w: bufio.NewWriter(conn)}
+		t.conns[j] = &tcpConn{c: conn, w: bufio.NewWriterSize(conn, tcpBufSize)}
 		t.startReader(conn)
 	}
 	return t, nil
@@ -350,7 +350,10 @@ func (t *processTransport) deliver(e *envelope) error {
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection to rank %d", e.wdst)
 	}
-	return tc.writeEnvelope(e)
+	err := tc.writeEnvelope(e)
+	putBuf(e.data)
+	putEnv(e)
+	return err
 }
 
 func (t *processTransport) close() error {
@@ -367,26 +370,10 @@ func (t *processTransport) close() error {
 
 func (t *processTransport) supportsDeadlockDetection() bool { return false }
 
-// startReader consumes envelopes from one peer connection.
+// startReader consumes envelopes from one peer connection via the shared
+// pooled frame reader.
 func (t *processTransport) startReader(conn net.Conn) {
 	go func() {
-		r := bufio.NewReader(conn)
-		for {
-			var lenBuf [4]byte
-			if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-				return
-			}
-			n := binary.LittleEndian.Uint32(lenBuf[:])
-			frame := make([]byte, n)
-			if _, err := io.ReadFull(r, frame); err != nil {
-				return
-			}
-			env, err := parseWire(frame)
-			if err != nil {
-				t.world.abort(err)
-				return
-			}
-			t.world.mailboxes[env.wdst].post(env)
-		}
+		readFrames(bufio.NewReaderSize(conn, tcpBufSize), t.world)
 	}()
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-regression tests still run their traffic under -race (the
+// point: the pooled paths must be race-clean) but skip the numeric
+// assertions, since the detector's instrumentation allocates.
+const raceEnabled = true

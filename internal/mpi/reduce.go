@@ -1,5 +1,10 @@
 package mpi
 
+import (
+	"encoding/binary"
+	"math"
+)
+
 // Op is an elementwise reduction operator for Reduce, Allreduce and Scan.
 // It must be associative; the tree-based algorithms additionally assume
 // commutativity, which all the predefined operators satisfy.
@@ -32,4 +37,62 @@ func reduceInto[T Scalar](dst, src []T, op Op[T]) {
 	for i := range dst {
 		dst[i] = op(dst[i], src[i])
 	}
+}
+
+// reduceFromWire folds a wire-format payload into dst elementwise without
+// materializing a decoded slice: dst[i] = op(dst[i], decode(b, i)). The
+// []float64 and []int64 cases — the element types every module's hot loop
+// reduces — decode straight off the byte stream; other types go through
+// the generic scalar decoder. The payload length must match dst exactly.
+func reduceFromWire[T Scalar](dst []T, b []byte, op Op[T]) error {
+	size := scalarSize[T]()
+	if len(b) != len(dst)*size {
+		return decodeInto(dst, b) // reuse its length-mismatch error
+	}
+	switch d := any(dst).(type) {
+	case []float64:
+		f := any(op).(Op[float64])
+		for i := range d {
+			d[i] = f(d[i], math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:])))
+		}
+	case []int64:
+		f := any(op).(Op[int64])
+		for i := range d {
+			d[i] = f(d[i], int64(binary.LittleEndian.Uint64(b[i*8:])))
+		}
+	default:
+		for i := range dst {
+			dst[i] = op(dst[i], scalarFromBytes[T](b[i*size:], size))
+		}
+	}
+	return nil
+}
+
+// reduceFromWireLeft is reduceFromWire with the wire operand on the left:
+// dst[i] = op(decode(b, i), dst[i]). Scan's chain folds the incoming
+// prefix from the left, an order that matters for non-commutative
+// operators, so it gets its own kernel rather than reusing the
+// commutative-friendly one.
+func reduceFromWireLeft[T Scalar](dst []T, b []byte, op Op[T]) error {
+	size := scalarSize[T]()
+	if len(b) != len(dst)*size {
+		return decodeInto(dst, b)
+	}
+	switch d := any(dst).(type) {
+	case []float64:
+		f := any(op).(Op[float64])
+		for i := range d {
+			d[i] = f(math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:])), d[i])
+		}
+	case []int64:
+		f := any(op).(Op[int64])
+		for i := range d {
+			d[i] = f(int64(binary.LittleEndian.Uint64(b[i*8:])), d[i])
+		}
+	default:
+		for i := range dst {
+			dst[i] = op(scalarFromBytes[T](b[i*size:], size), dst[i])
+		}
+	}
+	return nil
 }

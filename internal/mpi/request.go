@@ -81,6 +81,7 @@ func (r *Request) wait() ([]byte, Status, error) {
 		if err != nil {
 			return nil, Status{}, err
 		}
+		r.pr = nil // recycled by finishRecv
 		r.complete(env)
 		return env.data, r.st, nil
 	}
@@ -105,6 +106,8 @@ func (r *Request) Test() (bool, []byte, Status, error) {
 		if !ok {
 			return false, nil, Status{}, nil
 		}
+		putPR(r.pr)
+		r.pr = nil
 		r.complete(env)
 		return true, env.data, r.st, nil
 	}
@@ -143,12 +146,31 @@ func Waitall(reqs ...*Request) error {
 	return firstErr
 }
 
-// WaitRecv completes a typed nonblocking receive started with Irecv.
+// WaitRecv completes a typed nonblocking receive started with Irecv. The
+// wire buffer stays attached to the request (repeated Wait calls return
+// it again), so it is not recycled; use WaitRecvInto in hot loops.
 func WaitRecv[T Scalar](r *Request) ([]T, Status, error) {
 	b, st, err := r.Wait()
 	if err != nil {
 		return nil, st, err
 	}
 	xs, err := Unmarshal[T](b)
+	return xs, st, err
+}
+
+// WaitRecvInto completes a typed nonblocking receive, decoding into dst's
+// backing array when its capacity suffices and recycling the wire buffer.
+// It consumes the request's payload: subsequent Wait or Test calls still
+// report completion but return a nil payload.
+func WaitRecvInto[T Scalar](r *Request, dst []T) ([]T, Status, error) {
+	b, st, err := r.Wait()
+	if err != nil {
+		return nil, st, err
+	}
+	xs, err := UnmarshalInto(dst, b)
+	if r.env != nil {
+		r.env.data = nil
+	}
+	putBuf(b)
 	return xs, st, err
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +28,15 @@ func RunTCP(np int, fn func(*Comm) error, opts ...Option) error {
 	return run(np, fn, newTCPTransport, opts...)
 }
 
+// tcpBufSize sizes the per-connection bufio reader and writer. 64 KiB
+// holds a full eager burst (many small frames) or one large-payload write
+// without an intermediate syscall.
+const tcpBufSize = 64 << 10
+
+// maxPayloadLen caps a frame's declared payload so a corrupt or hostile
+// length prefix cannot drive an arbitrarily large allocation.
+const maxPayloadLen = 1 << 30
+
 // tcpTransport is a full mesh of loopback connections. conns[i][j] is the
 // connection rank i uses to send to rank j; each rank runs one reader per
 // inbound connection that posts parsed envelopes to the rank's mailbox.
@@ -38,22 +48,85 @@ type tcpTransport struct {
 	closed    chan struct{}
 }
 
-// tcpConn serializes concurrent senders onto one socket.
+// tcpConn serializes concurrent senders onto one socket. Frames are
+// written in two pieces — the length prefix and header into the
+// connection's scratch buffer, then the payload directly — so no
+// per-send frame assembly or allocation happens. Flushes coalesce: each
+// writer registers in pending before taking the lock, and only the writer
+// that observes no successor flushes, so a burst of sends from several
+// goroutines hits the socket with one syscall.
 type tcpConn struct {
-	mu sync.Mutex
-	w  *bufio.Writer
-	c  net.Conn
+	mu      sync.Mutex
+	w       *bufio.Writer
+	c       net.Conn
+	pending atomic.Int32
+	hdr     [4 + envelopeHeaderLen]byte // guarded by mu
 }
 
 func (tc *tcpConn) writeEnvelope(e *envelope) error {
-	buf := e.appendWire(make([]byte, 4, 4+envelopeHeaderLen+len(e.data)))
-	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	tc.pending.Add(1)
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if _, err := tc.w.Write(buf); err != nil {
+	binary.LittleEndian.PutUint32(tc.hdr[:4], uint32(envelopeHeaderLen+len(e.data)))
+	putHeader(tc.hdr[4:], e)
+	if _, err := tc.w.Write(tc.hdr[:]); err != nil {
+		tc.pending.Add(-1)
 		return err
 	}
+	if len(e.data) > 0 {
+		if _, err := tc.w.Write(e.data); err != nil {
+			tc.pending.Add(-1)
+			return err
+		}
+	}
+	// If another sender is already queued on this connection it will
+	// reach this same decision point after us, so the flush can be left
+	// to the last writer of the burst.
+	if tc.pending.Add(-1) > 0 {
+		return nil
+	}
 	return tc.w.Flush()
+}
+
+// readFrames consumes length-prefixed envelope frames from r and posts
+// them to the destination mailboxes until the connection closes. The
+// header lands in a stack scratch buffer and the payload is read directly
+// into an exactly-sized pooled buffer — the frame is never materialized
+// as a whole, and the payload bytes are written once. Shared by the
+// loopback-mesh and multi-process transports.
+func readFrames(r *bufio.Reader, w *World) {
+	var hdr [4 + envelopeHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return // connection closed
+		}
+		frameLen := binary.LittleEndian.Uint32(hdr[:4])
+		if frameLen < envelopeHeaderLen {
+			w.abort(fmt.Errorf("mpi: wire frame of %d bytes shorter than header", frameLen))
+			return
+		}
+		env := getEnv()
+		payloadLen := parseHeader(hdr[4:], env)
+		if payloadLen != int(frameLen)-envelopeHeaderLen || payloadLen > maxPayloadLen {
+			putEnv(env)
+			w.abort(fmt.Errorf("mpi: wire frame declares %d payload bytes in a %d-byte frame", payloadLen, frameLen))
+			return
+		}
+		if env.wdst < 0 || env.wdst >= len(w.mailboxes) {
+			putEnv(env)
+			w.abort(fmt.Errorf("mpi: envelope for unknown rank %d", env.wdst))
+			return
+		}
+		if payloadLen > 0 {
+			env.data = getBuf(payloadLen)
+			if _, err := io.ReadFull(r, env.data); err != nil {
+				putBuf(env.data)
+				putEnv(env)
+				return
+			}
+		}
+		w.mailboxes[env.wdst].post(env)
+	}
 }
 
 // newTCPTransport builds the mesh: one listener per rank, then rank i
@@ -139,16 +212,16 @@ func newTCPTransport(w *World) (transport, error) {
 	for k := 0; k < need; k++ {
 		d := <-results
 		if d.err == errDialerSide {
-			t.conns[d.from][d.to] = &tcpConn{c: d.conn, w: bufio.NewWriter(d.conn)}
-			t.startReader(d.from, d.conn)
+			t.conns[d.from][d.to] = &tcpConn{c: d.conn, w: bufio.NewWriterSize(d.conn, tcpBufSize)}
+			t.startReader(d.conn)
 			continue
 		}
 		if d.err != nil {
 			t.close()
 			return nil, fmt.Errorf("mpi: tcp mesh: %w", d.err)
 		}
-		t.conns[d.to][d.from] = &tcpConn{c: d.conn, w: bufio.NewWriter(d.conn)}
-		t.startReader(d.to, d.conn)
+		t.conns[d.to][d.from] = &tcpConn{c: d.conn, w: bufio.NewWriterSize(d.conn, tcpBufSize)}
+		t.startReader(d.conn)
 	}
 	dialWG.Wait()
 	acceptWG.Wait()
@@ -159,31 +232,14 @@ func newTCPTransport(w *World) (transport, error) {
 // connection handshake result.
 var errDialerSide = fmt.Errorf("mpi: internal: dialer side")
 
-// startReader consumes envelopes arriving on conn for owner and posts them
-// to the owner's mailbox. Which peer sent them is carried inside each
+// startReader consumes envelopes arriving on conn and posts them to the
+// destination mailboxes. Which peer sent them is carried inside each
 // envelope, so one reader per connection suffices.
-func (t *tcpTransport) startReader(owner int, conn net.Conn) {
+func (t *tcpTransport) startReader(conn net.Conn) {
 	t.readers.Add(1)
 	go func() {
 		defer t.readers.Done()
-		r := bufio.NewReader(conn)
-		for {
-			var lenBuf [4]byte
-			if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-				return // connection closed
-			}
-			n := binary.LittleEndian.Uint32(lenBuf[:])
-			frame := make([]byte, n)
-			if _, err := io.ReadFull(r, frame); err != nil {
-				return
-			}
-			env, err := parseWire(frame)
-			if err != nil {
-				t.world.abort(err)
-				return
-			}
-			t.world.mailboxes[env.wdst].post(env)
-		}
+		readFrames(bufio.NewReaderSize(conn, tcpBufSize), t.world)
 	}()
 }
 
@@ -197,7 +253,13 @@ func (t *tcpTransport) deliver(e *envelope) error {
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection %d→%d", e.wsrc, e.wdst)
 	}
-	return tc.writeEnvelope(e)
+	err := tc.writeEnvelope(e)
+	// The envelope's journey ends at the socket: its bytes are on the
+	// wire (the receiver materializes a fresh envelope), so both the
+	// payload buffer and the envelope return to their pools here.
+	putBuf(e.data)
+	putEnv(e)
+	return err
 }
 
 func (t *tcpTransport) close() error {
