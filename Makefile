@@ -7,18 +7,30 @@ GO ?= go
 # path guards (EXPERIMENTS.md records their baselines).
 MPI_BENCHES = BenchmarkModule1_PingPong|BenchmarkAblation_Transports|BenchmarkAblation_AllreduceAlgorithms|BenchmarkAblation_EagerVsRendezvous
 
-.PHONY: all build test race bench bench-all check fuzz report examples clean
+.PHONY: all build test race bench bench-all check faults fuzz report examples clean
 
 all: build test
 
 # The full static + dynamic gate: vet, the race-enabled test suite, the
-# allocation-regression tests, and a one-iteration bench smoke of the MPI
-# benchmarks under the race detector.
-check:
+# allocation-regression tests, the fault-tolerance matrix, and a
+# one-iteration bench smoke of the MPI benchmarks under the race
+# detector.
+check: faults
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestAlloc' ./internal/mpi
 	$(GO) test -race -run NONE -bench '$(MPI_BENCHES)' -benchtime=1x .
+
+# The fault-tolerance matrix: seeded deterministic injection across the
+# runtime (kill/shrink/agree, frame faults, abort propagation on all
+# three transports), checkpoint/restart bit-identity, and the scheduler's
+# node-failure/requeue path — all under the race detector.
+faults:
+	$(GO) vet ./...
+	$(GO) test -race -run 'TestFault|TestAgree|TestShrink|TestFrame|TestAbortPropagation|TestMultiProcessAbortPropagates|TestOpTimeout|TestWatchdogDiagnostic|TestAllocHygiene' ./internal/mpi
+	$(GO) test -race ./internal/faults ./internal/ckpt
+	$(GO) test -race -run 'TestRestart|TestSortCheckpoint|TestSortRestart' ./internal/modules/kmeans ./internal/modules/distsort
+	$(GO) test -race -run 'TestNodeFail|TestRequeue|TestScheduledNodeFail|TestFailNode|TestBackoff|FuzzClusterFaultOps' ./internal/cluster
 
 build:
 	$(GO) build ./...
@@ -44,6 +56,7 @@ fuzz:
 	$(GO) test ./internal/mpi -fuzz=FuzzParseWire -fuzztime=10s
 	$(GO) test ./internal/mpi -fuzz=FuzzUnmarshalFloat64 -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzParseScript -fuzztime=10s
+	$(GO) test ./internal/cluster -fuzz=FuzzClusterFaultOps -fuzztime=10s
 	$(GO) test ./internal/modules/distsort -fuzz=FuzzEquiDepthBoundaries -fuzztime=10s
 
 # Regenerate every table and figure of the paper.

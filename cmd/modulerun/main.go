@@ -11,6 +11,8 @@
 //	modulerun -warmup global-sum
 //	modulerun -activity range-query-brute -scale 1,2,4,8
 //	modulerun -weak kmeans -scale 1,2,4
+//	modulerun -checkpoint /tmp/kmeans.ckpt -ckpt-every 5   # checkpointed k-means
+//	modulerun -restart /tmp/kmeans.ckpt                    # resume, bit-identical
 package main
 
 import (
@@ -21,8 +23,11 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/modules/comm"
+	"repro/internal/modules/kmeans"
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/trace"
@@ -43,15 +48,18 @@ func main() {
 	scale := flag.String("scale", "", "comma-separated rank counts: run a strong-scaling study of -activity")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON with message-flow arrows to this file (view in ui.perfetto.dev)")
 	weak := flag.String("weak", "", "run a weak-scaling study of a sized workload (see -list)")
+	checkpoint := flag.String("checkpoint", "", "run the Module-5 k-means with periodic checkpoints written to this file")
+	ckptEvery := flag.Int("ckpt-every", 5, "iterations between checkpoint saves (with -checkpoint)")
+	restart := flag.String("restart", "", "resume the Module-5 k-means from this checkpoint file (bit-identical to the uninterrupted run)")
 	flag.Parse()
 
-	if err := run(*list, *module, *activity, *np, *transport, *stats, *deadlock, *warmupName, *showTrace, *profile, *scale, *chrome, *weak); err != nil {
+	if err := run(*list, *module, *activity, *np, *transport, *stats, *deadlock, *warmupName, *showTrace, *profile, *scale, *chrome, *weak, *checkpoint, *ckptEvery, *restart); err != nil {
 		fmt.Fprintln(os.Stderr, "modulerun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, module int, activity string, np int, transport string, stats, deadlock bool, warmupName string, showTrace, profile bool, scale, chrome, weak string) error {
+func run(list bool, module int, activity string, np int, transport string, stats, deadlock bool, warmupName string, showTrace, profile bool, scale, chrome, weak, checkpoint string, ckptEvery int, restart string) error {
 	tcp := false
 	switch transport {
 	case "channel":
@@ -62,6 +70,16 @@ func run(list bool, module int, activity string, np int, transport string, stats
 	}
 
 	switch {
+	case checkpoint != "" || restart != "":
+		if checkpoint != "" && restart != "" {
+			return errors.New("-checkpoint and -restart are exclusive (both name the checkpoint file)")
+		}
+		path, resume := checkpoint, false
+		if restart != "" {
+			path, resume = restart, true
+		}
+		return runCheckpointKmeans(np, tcp, path, ckptEvery, resume)
+
 	case list:
 		fmt.Printf("%-26s %-3s %-3s %s\n", "ACTIVITY", "MOD", "NP", "DESCRIPTION")
 		for _, a := range core.All() {
@@ -167,6 +185,57 @@ func run(list bool, module int, activity string, np int, transport string, stats
 		flag.Usage()
 		return errors.New("choose -list, -module, -activity, -warmup or -deadlock-demo")
 	}
+}
+
+// runCheckpointKmeans runs the Module-5 k-means workload (the same
+// dataset and configuration as the kmeans-weighted-means activity) with
+// rank 0 persisting (iteration, centroids) to a checkpoint file. With
+// resume, the run restores the latest checkpoint first; because every
+// iteration is a deterministic function of the restored state, the
+// resumed run reproduces the uninterrupted run's centroids bit for bit.
+func runCheckpointKmeans(np int, tcp bool, path string, every int, resume bool) error {
+	if np <= 0 {
+		np = 4
+	}
+	if every <= 0 {
+		every = 5
+	}
+	cp := ckpt.NewFile(path)
+	var res kmeans.Result
+	runner := func(c *mpi.Comm) error {
+		pts, _ := data.GaussianMixture(4096, 2, 5, 1.0, 100, 31)
+		cfg := kmeans.Config{K: 5, MaxIter: 50, Seed: 2, Restart: resume, CheckpointEvery: every}
+		if c.Rank() == 0 {
+			cfg.Checkpoint = cp
+		}
+		r, _, _, err := kmeans.Distributed(c, pts, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	}
+	var err error
+	if tcp {
+		err = mpi.RunTCP(np, runner)
+	} else {
+		err = mpi.Run(np, runner)
+	}
+	if err != nil {
+		return err
+	}
+	mode := "checkpointing"
+	if resume {
+		mode = "restarted"
+	}
+	fmt.Printf("[module 5] kmeans (%s, file %s, every %d iters): %d iters (converged=%v), inertia %.1f\n",
+		mode, path, every, res.Iterations, res.Converged, res.Inertia)
+	if step, _, ok, lerr := cp.Load(); lerr == nil && ok {
+		fmt.Printf("  latest checkpoint: iteration %d\n", step)
+	}
+	return nil
 }
 
 // parseRanks parses a comma-separated rank list (default 1,2,4).

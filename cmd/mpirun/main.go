@@ -10,9 +10,12 @@
 //	mpirun -np 4 -procs hello    # each rank in its own OS process
 //	mpirun -np 8 -profile allreduce              # wait-state profile
 //	mpirun -np 2 -trace-out lat.json latency     # Perfetto trace with flows
+//	mpirun -np 4 -inject rank=2:call=50:kill resilient   # ULFM-style recovery
+//	mpirun -np 2 -transport tcp -inject frame=drop:prob=0.01:seed=7 -op-timeout 2s latency
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -20,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/prof"
 )
@@ -38,6 +42,7 @@ func programs() []program {
 		{"allreduce", "allreduce latency: tree vs ring algorithm", 8, allreduceBench},
 		{"pi", "Monte Carlo estimation of pi with a final reduction", 8, piEstimate},
 		{"barrier", "barrier latency", 8, barrierBench},
+		{"resilient", "iterative allreduce that survives injected rank failures (shrink + retry)", 4, resilient},
 	}
 }
 
@@ -47,6 +52,9 @@ func main() {
 	procs := flag.Bool("procs", false, "run each rank in its own OS process (true mpirun semantics)")
 	profile := flag.Bool("profile", false, "attach the PMPI-style profiler and print the wait-state profile")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace with message-flow arrows to FILE")
+	inject := flag.String("inject", "", "deterministic fault plan, e.g. rank=2:call=50:kill or frame=drop:prob=0.01:seed=7")
+	heartbeat := flag.Duration("heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
+	opTimeout := flag.Duration("op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
 	flag.Parse()
 
 	name := flag.Arg(0)
@@ -80,6 +88,19 @@ func main() {
 		}
 		collector = prof.New()
 	}
+	var plan *faults.Plan
+	if *inject != "" {
+		if *procs {
+			fmt.Fprintln(os.Stderr, "mpirun: -inject is unavailable with -procs (the plan lives in the launching process)")
+			os.Exit(1)
+		}
+		var perr error
+		plan, perr = faults.Parse(*inject)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "mpirun:", perr)
+			os.Exit(1)
+		}
+	}
 	var err error
 	if *procs {
 		ps := make(mpi.Programs)
@@ -99,6 +120,15 @@ func main() {
 		if collector != nil {
 			opts = append(opts, mpi.WithHook(collector))
 		}
+		if plan != nil {
+			opts = append(opts, mpi.WithInjector(plan))
+		}
+		if *heartbeat > 0 {
+			opts = append(opts, mpi.WithHeartbeat(*heartbeat))
+		}
+		if *opTimeout > 0 {
+			opts = append(opts, mpi.WithOpTimeout(*opTimeout))
+		}
 		switch *transport {
 		case "channel":
 			err = mpi.Run(ranks, prog.run, opts...)
@@ -109,8 +139,15 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpirun:", err)
-		os.Exit(1)
+		if plan != nil && errors.Is(err, mpi.ErrRankKilled) && !errors.Is(err, mpi.ErrRankFailed) {
+			// The victim's own error is the expected outcome of a kill
+			// plan; survivors recovered (or the run would have failed
+			// with a different error).
+			fmt.Fprintf(os.Stderr, "mpirun: fault plan %q fired: %v\n", plan, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "mpirun:", err)
+			os.Exit(1)
+		}
 	}
 	if collector != nil {
 		if *profile {
@@ -302,6 +339,43 @@ func piEstimate(c *mpi.Comm) error {
 	if c.Rank() == 0 {
 		pi := 4 * float64(total[0]) / float64(perRank*c.Size())
 		fmt.Printf("pi ≈ %.6f (%d samples on %d ranks)\n", pi, perRank*c.Size(), c.Size())
+	}
+	return nil
+}
+
+// resilient runs an iterative allreduce and demonstrates ULFM-style
+// recovery: when a rank dies (inject one with -inject rank=R:call=N:kill)
+// the survivors observe RankFailedError, agree the iteration failed,
+// shrink the communicator, and retry on the smaller world.
+func resilient(c *mpi.Comm) error {
+	const iters = 64
+	var sum float64
+	for it := 0; it < iters; it++ {
+		for {
+			out, err := mpi.Allreduce(c, []float64{1}, mpi.OpSum)
+			if err == nil {
+				sum = out[0]
+				break
+			}
+			if errors.Is(err, mpi.ErrRankKilled) {
+				return err // this rank is the victim; it is out of the computation
+			}
+			var rf *mpi.RankFailedError
+			if !errors.As(err, &rf) {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("iteration %d: ranks %v failed — shrinking and retrying\n", it, rf.Ranks)
+			}
+			shrunk, serr := c.Shrink()
+			if serr != nil {
+				return fmt.Errorf("shrink after %v: %w", rf.Ranks, serr)
+			}
+			c = shrunk
+		}
+	}
+	if c.Rank() == 0 {
+		fmt.Printf("completed %d iterations; final world size %d, last sum %.0f\n", iters, c.Size(), sum)
 	}
 	return nil
 }

@@ -44,7 +44,7 @@ func (c *Cluster) Sacct() string {
 		switch j.State {
 		case Running:
 			elapsed = c.now - j.StartTime
-		case Completed, TimedOut, Cancelled:
+		case Completed, TimedOut, Cancelled, NodeFail:
 			if j.EndTime >= j.StartTime {
 				elapsed = j.EndTime - j.StartTime
 			}

@@ -30,6 +30,10 @@ const (
 	Completed
 	Cancelled
 	TimedOut
+	// NodeFail marks a job killed by the failure of a node it was
+	// running on. Jobs submitted with Requeue leave this state again
+	// when they are resubmitted.
+	NodeFail
 )
 
 // String renders the state like squeue would.
@@ -45,6 +49,8 @@ func (s JobState) String() string {
 		return "CA"
 	case TimedOut:
 		return "TO"
+	case NodeFail:
+		return "NF"
 	default:
 		return "??"
 	}
@@ -68,6 +74,11 @@ type JobSpec struct {
 	// TimeLimit kills the job if exceeded (0 = no limit). It is also
 	// the walltime estimate used for backfill reservations.
 	TimeLimit time.Duration
+	// Requeue resubmits the job with exponential backoff when a node it
+	// runs on fails (sbatch --requeue).
+	Requeue bool
+	// MaxRequeues bounds the resubmissions; 0 means DefaultMaxRequeues.
+	MaxRequeues int
 }
 
 // Job is the scheduler's record of a submitted job.
@@ -84,6 +95,10 @@ type Job struct {
 	// AttachAccounting; nil when the job was never profiled.
 	Acct *Accounting
 
+	// Restarts counts how many times the job was requeued after a node
+	// failure.
+	Restarts int
+
 	// Nodes holds the ids of allocated nodes while running.
 	Nodes []int
 	// NumNodes records the allocation width for completed jobs (Nodes
@@ -98,6 +113,8 @@ type Job struct {
 	rate      float64
 	// dedicated runtime (seconds) under the allocation, fixed at start.
 	dedicatedSec float64
+	// eligibleAt delays a requeued job's next start (backoff).
+	eligibleAt time.Duration
 }
 
 // node tracks allocation state.
@@ -105,6 +122,7 @@ type node struct {
 	id        int
 	freeCores int
 	exclusive bool  // currently held exclusively
+	down      bool  // failed; excluded from placement until repaired
 	jobs      []int // running job ids
 }
 
@@ -116,7 +134,12 @@ type Cluster struct {
 	order   []int // submission order of pending job ids
 	nextID  int
 	now     time.Duration
+	// nodeEvents are scheduled node failures/repairs, time-sorted.
+	nodeEvents []nodeEvent
 }
+
+// maxDuration is the "never" sentinel for event-time computations.
+const maxDuration = time.Duration(math.MaxInt64)
 
 // New creates a cluster of n identical nodes.
 func New(n int, m perfmodel.Machine) (*Cluster, error) {
@@ -213,7 +236,7 @@ func (c *Cluster) tryPlace(j *Job) ([]int, []int) {
 	}
 	var candidates []*node
 	for _, n := range c.nodes {
-		if n.exclusive {
+		if n.exclusive || n.down {
 			continue
 		}
 		if j.Spec.Exclusive {
@@ -269,6 +292,11 @@ func (c *Cluster) schedule() {
 		for idx := 0; idx < len(c.order); idx++ {
 			id := c.order[idx]
 			j := c.jobs[id]
+			if j.eligibleAt > c.now {
+				// Requeued job still in backoff: not startable, and it
+				// holds no reservation either.
+				continue
+			}
 			nodes, tasks := c.tryPlace(j)
 			if nodes != nil {
 				if idx == 0 || c.fitsBackfill(idx) {
@@ -337,7 +365,9 @@ func (c *Cluster) earliestStart(head *Job) time.Duration {
 	occupied := make([]int, len(c.nodes))
 	for i, n := range c.nodes {
 		free[i] = n.freeCores
-		excl[i] = n.exclusive
+		// Down nodes release nothing and accept nothing: model them as
+		// permanently exclusive for the replay.
+		excl[i] = n.exclusive || n.down
 		occupied[i] = len(n.jobs)
 	}
 	fits := func() bool {

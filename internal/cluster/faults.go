@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Node-failure simulation: nodes can be scheduled to fail (and be
+// repaired) at virtual times. A failing node kills every resident job
+// with state NodeFail; jobs submitted with Requeue re-enter the queue
+// with exponential backoff, the way SLURM's --requeue resubmits a job
+// preempted by NODE_FAIL. Down nodes are excluded from placement and
+// backfill reservations until repaired.
+
+// DefaultMaxRequeues bounds how many times a Requeue job is resubmitted
+// after node failures when JobSpec.MaxRequeues is zero.
+const DefaultMaxRequeues = 3
+
+// requeueBackoffBase is the delay before a failed job's first
+// resubmission becomes eligible; each further failure doubles it.
+const requeueBackoffBase = 30 * time.Second
+
+// requeueBackoffCap caps the exponential backoff.
+const requeueBackoffCap = 8 * time.Minute
+
+// requeueBackoff computes the delay before the attempt-th resubmission
+// (attempt counts from 1) may start.
+func requeueBackoff(attempt int) time.Duration {
+	d := requeueBackoffBase
+	for i := 1; i < attempt && d < requeueBackoffCap; i++ {
+		d *= 2
+	}
+	if d > requeueBackoffCap {
+		d = requeueBackoffCap
+	}
+	return d
+}
+
+// nodeEvent is a scheduled state change of one node.
+type nodeEvent struct {
+	at   time.Duration
+	node int
+	fail bool // true = fail, false = repair
+}
+
+// ScheduleNodeFail arranges for node id to fail at virtual time at.
+// Events in the past fire at the next Step.
+func (c *Cluster) ScheduleNodeFail(id int, at time.Duration) error {
+	return c.scheduleNodeEvent(id, at, true)
+}
+
+// ScheduleNodeRepair arranges for node id to return to service at
+// virtual time at.
+func (c *Cluster) ScheduleNodeRepair(id int, at time.Duration) error {
+	return c.scheduleNodeEvent(id, at, false)
+}
+
+func (c *Cluster) scheduleNodeEvent(id int, at time.Duration, fail bool) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	if at < 0 {
+		return fmt.Errorf("cluster: node event at negative time %v", at)
+	}
+	c.nodeEvents = append(c.nodeEvents, nodeEvent{at: at, node: id, fail: fail})
+	sort.SliceStable(c.nodeEvents, func(a, b int) bool { return c.nodeEvents[a].at < c.nodeEvents[b].at })
+	return nil
+}
+
+// FailNode takes node id down immediately: resident jobs end with state
+// NodeFail, and those submitted with Requeue re-enter the queue with
+// backoff. Failing a down node is a no-op.
+func (c *Cluster) FailNode(id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	n := c.nodes[id]
+	if n.down {
+		return nil
+	}
+	n.down = true
+	// Kill resident jobs. Copy the id list: finish mutates n.jobs.
+	victims := append([]int(nil), n.jobs...)
+	for _, jid := range victims {
+		j := c.jobs[jid]
+		if j.State != Running {
+			continue
+		}
+		c.finish(j, NodeFail)
+		c.maybeRequeue(j)
+	}
+	c.schedule()
+	return nil
+}
+
+// RepairNode returns node id to service and reschedules. Repairing a
+// healthy node is a no-op.
+func (c *Cluster) RepairNode(id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	if !c.nodes[id].down {
+		return nil
+	}
+	c.nodes[id].down = false
+	c.schedule()
+	return nil
+}
+
+// DownNodes lists the ids of nodes currently out of service.
+func (c *Cluster) DownNodes() []int {
+	var out []int
+	for _, n := range c.nodes {
+		if n.down {
+			out = append(out, n.id)
+		}
+	}
+	return out
+}
+
+// maybeRequeue resubmits a NodeFail job if its spec opted in and the
+// requeue budget is not exhausted. The job keeps its id and original
+// submit time; it becomes eligible to start after an exponential
+// backoff, losing all progress (the simulator models full restarts; the
+// checkpoint/restart story lives in the MPI runtime and modules).
+func (c *Cluster) maybeRequeue(j *Job) {
+	if !j.Spec.Requeue {
+		return
+	}
+	max := j.Spec.MaxRequeues
+	if max == 0 {
+		max = DefaultMaxRequeues
+	}
+	if j.Restarts >= max {
+		return
+	}
+	j.Restarts++
+	j.State = Pending
+	j.remaining = 1
+	j.eligibleAt = c.now + requeueBackoff(j.Restarts)
+	c.order = append(c.order, j.ID)
+}
+
+// processNodeEventsUntil fires every scheduled node event with at <= t,
+// in time order, advancing the clock to each event. It returns how many
+// events fired.
+func (c *Cluster) processNodeEventsUntil(t time.Duration) int {
+	fired := 0
+	for len(c.nodeEvents) > 0 && c.nodeEvents[0].at <= t {
+		ev := c.nodeEvents[0]
+		c.nodeEvents = c.nodeEvents[1:]
+		if ev.at > c.now {
+			c.advanceTo(ev.at)
+		}
+		if ev.fail {
+			c.FailNode(ev.node)
+		} else {
+			c.RepairNode(ev.node)
+		}
+		fired++
+	}
+	return fired
+}
+
+// nextRequeueAt returns the earliest backoff expiry among pending
+// requeued jobs that cannot start yet, or maxDuration if none.
+func (c *Cluster) nextRequeueAt() time.Duration {
+	at := maxDuration
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.eligibleAt > c.now && j.eligibleAt < at {
+			at = j.eligibleAt
+		}
+	}
+	return at
+}

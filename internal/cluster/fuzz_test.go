@@ -1,6 +1,11 @@
 package cluster
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"repro/internal/perfmodel"
+)
 
 // FuzzParseScript hardens the SLURM-script parser: arbitrary input must
 // never panic, and accepted scripts must yield sane specs.
@@ -16,6 +21,99 @@ func FuzzParseScript(f *testing.F) {
 		}
 		if spec.Tasks < 0 || spec.TasksPerNode < 0 || spec.TimeLimit < 0 {
 			t.Fatalf("accepted spec with negative fields: %+v", spec)
+		}
+	})
+}
+
+// FuzzClusterFaultOps drives the scheduler through an arbitrary
+// interleaving of submissions, node failures/repairs, cancellations, and
+// event steps, validating the allocation invariants after every
+// operation. Each byte of the ops string is one operation; its low bits
+// select the node or job. This hardens the node-failure/requeue path:
+// no operation sequence may corrupt the free-core bookkeeping, place a
+// job on a down node, or wedge the event loop.
+func FuzzClusterFaultOps(f *testing.F) {
+	f.Add([]byte{'s', 'f', 's', 't', 'r', 't', 't'})
+	f.Add([]byte{'s', 's', 'F', 'R', 't', 't', 't', 't'})
+	f.Add([]byte{'x', 'f', 't', 'r', 't', 'c', 't'})
+	f.Add([]byte{'s', 'f', 'f', 'f', 't', 't', 'r', 'r', 't', 't', 't', 't'})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256] // bound simulation size
+		}
+		const nodes = 3
+		c, err := New(nodes, perfmodel.DefaultMachine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores := perfmodel.DefaultMachine().CoresPerNode
+		var ids []int
+		steps := 0
+		for _, op := range ops {
+			switch op % 8 {
+			case 0: // 's': submit a shared requeue job
+				id, err := c.Submit(JobSpec{Name: "fz", Tasks: 1 + int(op/8)%cores,
+					BaseTime: time.Duration(1+op%5) * time.Minute, Requeue: true, MaxRequeues: 2})
+				if err == nil {
+					ids = append(ids, id)
+				}
+			case 1: // 'x': submit an exclusive job, no requeue
+				id, err := c.Submit(JobSpec{Name: "fx", Tasks: cores, TasksPerNode: cores,
+					BaseTime: time.Minute, Exclusive: true, TimeLimit: 10 * time.Minute})
+				if err == nil {
+					ids = append(ids, id)
+				}
+			case 2: // 'f': fail a node now
+				_ = c.FailNode(int(op) % nodes)
+			case 3: // 'r': repair a node now
+				_ = c.RepairNode(int(op) % nodes)
+			case 4: // 'F': schedule a failure
+				_ = c.ScheduleNodeFail(int(op)%nodes, c.Now()+time.Duration(op%7)*time.Minute)
+			case 5: // 'R': schedule a repair
+				_ = c.ScheduleNodeRepair(int(op)%nodes, c.Now()+time.Duration(op%11)*time.Minute)
+			case 6: // 'c': cancel some submitted job
+				if len(ids) > 0 {
+					_ = c.Cancel(ids[int(op)%len(ids)])
+				}
+			default: // 't': advance one event
+				c.Step()
+				steps++
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("after op %q: %v", op, err)
+			}
+		}
+		// The simulation must always terminate: every submitted job
+		// reaches a terminal state in bounded events once all nodes are
+		// repaired (requeue budgets are finite).
+		for i := 0; i < nodes; i++ {
+			_ = c.RepairNode(i)
+		}
+		for limit := 0; c.Step(); limit++ {
+			if limit > 10_000 {
+				t.Fatal("event loop did not terminate")
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range ids {
+			j, err := c.Status(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j.State == Running {
+				t.Fatalf("job %d still running after drain", id)
+			}
+			if j.State == Pending {
+				// Legal only if it can never be placed; with all nodes
+				// repaired and the queue drained, a placeable job must
+				// have started. A pending requeued job with unexpired
+				// backoff would mean Step ignored the backoff event.
+				if j.eligibleAt > c.Now() {
+					t.Fatalf("job %d pending with live backoff after drain", id)
+				}
+			}
 		}
 	})
 }

@@ -8,11 +8,56 @@ import (
 	"time"
 )
 
-// Step advances virtual time to the next job completion or timeout and
-// processes it. It returns false when no job is running (nothing can make
-// progress without a new submission).
+// Step advances virtual time to the next event — a job completion or
+// timeout, a scheduled node failure/repair, or a requeued job's backoff
+// expiry — and processes it. It returns false when no event is left
+// (nothing can make progress without a new submission).
 func (c *Cluster) Step() bool {
-	var nextAt time.Duration = math.MaxInt64
+	jobAt, victim, timeout := c.nextJobEvent()
+	nodeAt := maxDuration
+	if len(c.nodeEvents) > 0 {
+		nodeAt = c.nodeEvents[0].at
+		if nodeAt < c.now {
+			nodeAt = c.now // late-scheduled event fires immediately
+		}
+	}
+	reqAt := c.nextRequeueAt()
+
+	// Earliest event wins; node events break ties first (a failure at
+	// the same instant as a completion should see the job still there).
+	if nodeAt <= jobAt && nodeAt <= reqAt {
+		if len(c.nodeEvents) == 0 {
+			return false
+		}
+		c.processNodeEventsUntil(nodeAt)
+		return true
+	}
+	if reqAt <= jobAt {
+		if reqAt == maxDuration {
+			return false
+		}
+		c.advanceTo(reqAt)
+		c.schedule()
+		return true
+	}
+	if victim == nil {
+		return false
+	}
+	c.advanceTo(jobAt)
+	if timeout {
+		c.finish(victim, TimedOut)
+	} else {
+		victim.remaining = 0
+		c.finish(victim, Completed)
+	}
+	c.schedule()
+	return true
+}
+
+// nextJobEvent finds the earliest completion or walltime kill among
+// running jobs.
+func (c *Cluster) nextJobEvent() (time.Duration, *Job, bool) {
+	nextAt := maxDuration
 	var victim *Job
 	var timeout bool
 	for _, j := range c.jobs {
@@ -34,18 +79,7 @@ func (c *Cluster) Step() bool {
 			}
 		}
 	}
-	if victim == nil {
-		return false
-	}
-	c.advanceTo(nextAt)
-	if timeout {
-		c.finish(victim, TimedOut)
-	} else {
-		victim.remaining = 0
-		c.finish(victim, Completed)
-	}
-	c.schedule()
-	return true
+	return nextAt, victim, timeout
 }
 
 // advanceTo moves virtual time forward, draining every running job's
@@ -95,22 +129,18 @@ func (c *Cluster) RunUntil(t time.Duration) {
 }
 
 func (c *Cluster) nextEventTime() time.Duration {
-	var at time.Duration = math.MaxInt64
-	for _, j := range c.jobs {
-		if j.State != Running {
-			continue
+	at, _, _ := c.nextJobEvent()
+	if len(c.nodeEvents) > 0 {
+		nodeAt := c.nodeEvents[0].at
+		if nodeAt < c.now {
+			nodeAt = c.now
 		}
-		if j.rate > 0 {
-			eta := c.now + time.Duration(j.remaining/j.rate*float64(time.Second))
-			if eta < at {
-				at = eta
-			}
+		if nodeAt < at {
+			at = nodeAt
 		}
-		if j.Spec.TimeLimit > 0 {
-			if kill := j.StartTime + j.Spec.TimeLimit; kill < at {
-				at = kill
-			}
-		}
+	}
+	if reqAt := c.nextRequeueAt(); reqAt < at {
+		at = reqAt
 	}
 	return at
 }
@@ -135,6 +165,12 @@ func (c *Cluster) Squeue() string {
 		}
 		elapsed := time.Duration(0)
 		nodelist := "(Priority)"
+		if j.Restarts > 0 && j.State == Pending {
+			nodelist = "(Requeued)"
+			if j.eligibleAt > c.now {
+				nodelist = fmt.Sprintf("(Requeued, eligible in %s)", (j.eligibleAt - c.now).Round(time.Second))
+			}
+		}
 		if j.State == Running {
 			elapsed = c.now - j.StartTime
 			ids := make([]string, len(j.Nodes))
@@ -157,6 +193,8 @@ func (c *Cluster) Sinfo() string {
 	for _, n := range c.nodes {
 		state := "idle"
 		switch {
+		case n.down:
+			state = "down"
 		case n.exclusive:
 			state = "allocated(excl)"
 		case n.freeCores == 0:
@@ -233,6 +271,9 @@ func (c *Cluster) CheckInvariants() error {
 		if load[i].tasks > c.machine.CoresPerNode {
 			return fmt.Errorf("cluster: node %d oversubscribed: %d tasks on %d cores", i, load[i].tasks, c.machine.CoresPerNode)
 		}
+		if n.down && len(n.jobs) > 0 {
+			return fmt.Errorf("cluster: down node %d still hosts jobs %v", i, n.jobs)
+		}
 		if !n.exclusive {
 			want := c.machine.CoresPerNode - load[i].tasks
 			if n.freeCores != want {
@@ -261,6 +302,8 @@ type WorkloadStats struct {
 	Completed   int
 	TimedOut    int
 	Cancelled   int
+	NodeFailed  int           // jobs currently in NodeFail (requeue budget exhausted or no --requeue)
+	Requeues    int           // total resubmissions after node failures
 	Makespan    time.Duration // last completion time
 	MeanWait    time.Duration // submit → start, over started jobs
 	MaxWait     time.Duration
@@ -285,7 +328,10 @@ func (c *Cluster) Stats() WorkloadStats {
 			st.TimedOut++
 		case Cancelled:
 			st.Cancelled++
+		case NodeFail:
+			st.NodeFailed++
 		}
+		st.Requeues += j.Restarts
 		if j.State == Completed || j.State == TimedOut || (j.State == Cancelled && j.StartTime > 0) {
 			wait := j.StartTime - j.SubmitTime
 			waitSum += wait

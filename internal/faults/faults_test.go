@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestParseKill(t *testing.T) {
+	p, err := Parse("rank=2:call=50:kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AtCall(2, 50) {
+		t.Fatal("kill point not registered")
+	}
+	for _, probe := range [][2]int{{2, 49}, {2, 51}, {1, 50}, {0, 1}} {
+		if p.AtCall(probe[0], probe[1]) {
+			t.Fatalf("spurious kill at rank=%d call=%d", probe[0], probe[1])
+		}
+	}
+	kills := p.Kills()
+	if len(kills) != 1 || kills[0] != (KillRule{Rank: 2, Call: 50}) {
+		t.Fatalf("Kills() = %v", kills)
+	}
+}
+
+func TestParseMultiRule(t *testing.T) {
+	p, err := Parse("rank=0:call=1:kill, frame=drop:prob=0.5:seed=9:src=1:dst=2:count=3, node=4:at=90s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AtCall(0, 1) {
+		t.Fatal("kill rule lost in multi-rule spec")
+	}
+	fr := p.FrameRules()
+	if len(fr) != 1 {
+		t.Fatalf("frame rules: %v", fr)
+	}
+	want := FrameRule{Action: mpi.FrameDrop, Prob: 0.5, Seed: 9, Src: 1, Dst: 2, Count: 3}
+	if fr[0] != want {
+		t.Fatalf("frame rule = %+v, want %+v", fr[0], want)
+	}
+	ne := p.NodeEvents()
+	if len(ne) != 1 || ne[0] != (NodeEvent{Node: 4, At: 90 * time.Second}) {
+		t.Fatalf("node events: %v", ne)
+	}
+	if p.Empty() {
+		t.Fatal("plan reported empty")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatal("blank spec should compile to an empty plan")
+	}
+	if act, d := p.AtFrame(0, 1); act != mpi.FrameDeliver || d != 0 {
+		t.Fatal("empty plan must deliver every frame untouched")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"rank=2:call=50",            // missing kill action
+		"rank=2:kill",               // missing call
+		"rank=-1:call=3:kill",       // negative rank
+		"rank=1:call=0:kill",        // call counts are 1-based
+		"rank=1:call=2:kill:boom=1", // unknown field
+		"frame=scramble",            // unknown action
+		"frame=drop:prob=1.5",       // prob out of range
+		"frame=delay",               // delay without ms
+		"frame=drop:ms=10",          // ms on a non-delay rule
+		"frame=drop:seed=x",         // non-integer seed
+		"node=1",                    // missing at
+		"node=1:at=yesterday",       // bad duration
+		"call=5:kill",               // no rule head
+		"rank=1:call=2:kill:rank=2", // duplicate field
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestFrameDeterminism(t *testing.T) {
+	run := func() []mpi.FrameAction {
+		p := MustParse("frame=drop:prob=0.3:seed=42")
+		var seq []mpi.FrameAction
+		for i := 0; i < 200; i++ {
+			a, _ := p.AtFrame(i%4, (i+1)%4)
+			seq = append(seq, a)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame decision %d diverged between identical plans", i)
+		}
+		if a[i] == mpi.FrameDrop {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("prob=0.3 over 200 frames produced %d drops — PRNG not consulted", drops)
+	}
+}
+
+func TestFrameCountCap(t *testing.T) {
+	p := MustParse("frame=dup:count=2")
+	dups := 0
+	for i := 0; i < 50; i++ {
+		if a, _ := p.AtFrame(0, 1); a == mpi.FrameDup {
+			dups++
+		}
+	}
+	if dups != 2 {
+		t.Fatalf("count=2 rule fired %d times", dups)
+	}
+}
+
+func TestFrameFilters(t *testing.T) {
+	p := MustParse("frame=drop:src=0:dst=3")
+	if a, _ := p.AtFrame(0, 3); a != mpi.FrameDrop {
+		t.Fatal("matching frame not dropped")
+	}
+	for _, pair := range [][2]int{{0, 1}, {3, 0}, {1, 3}} {
+		if a, _ := p.AtFrame(pair[0], pair[1]); a != mpi.FrameDeliver {
+			t.Fatalf("frame %v caught by filtered rule", pair)
+		}
+	}
+}
+
+func TestDelayRule(t *testing.T) {
+	p := MustParse("frame=delay:ms=20:count=1")
+	a, d := p.AtFrame(1, 0)
+	if a != mpi.FrameDeliver || d != 20*time.Millisecond {
+		t.Fatalf("delay rule returned (%v, %v)", a, d)
+	}
+	if _, d = p.AtFrame(1, 0); d != 0 {
+		t.Fatal("count cap ignored for delay rule")
+	}
+}
+
+func TestNodeEventsSorted(t *testing.T) {
+	p := MustParse("node=2:at=3m,node=0:at=30s,node=1:at=90s")
+	ev := p.NodeEvents()
+	if len(ev) != 3 {
+		t.Fatalf("events: %v", ev)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At < ev[i-1].At {
+			t.Fatalf("events not time-sorted: %v", ev)
+		}
+	}
+	if ev[0].Node != 0 || ev[2].Node != 2 {
+		t.Fatalf("sort order wrong: %v", ev)
+	}
+}
+
+// TestPlanDrivesRuntime wires a parsed plan into a real channel-transport
+// world: the acceptance-spec grammar must actually kill the rank.
+func TestPlanDrivesRuntime(t *testing.T) {
+	p := MustParse("rank=1:call=3:kill")
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		for i := 0; ; i++ {
+			if err := c.Barrier(); err != nil {
+				if c.Rank() == 1 {
+					if !errors.Is(err, mpi.ErrRankKilled) {
+						return err
+					}
+					if i != 2 {
+						return errors.New("kill fired at the wrong call")
+					}
+					return err
+				}
+				if !errors.Is(err, mpi.ErrRankFailed) {
+					return err
+				}
+				return nil
+			}
+		}
+	}, mpi.WithInjector(p))
+	if err == nil || !errors.Is(err, mpi.ErrRankKilled) {
+		t.Fatalf("plan-driven run: %v", err)
+	}
+}

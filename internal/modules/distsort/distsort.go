@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/mpi"
 )
 
@@ -69,14 +70,70 @@ type Result struct {
 	Imbalance float64
 }
 
+// ckptPhaseSorted tags a distsort checkpoint taken after the exchange
+// and local sort — the expensive phases a restart can skip.
+const ckptPhaseSorted = 1
+
+// Options configures the optional fault-tolerance behavior of SortOpts.
+type Options struct {
+	// Checkpoint, when set, persists this rank's sorted bucket after
+	// the exchange + sort phases. Unlike kmeans, every rank owns
+	// distinct post-exchange data, so each rank carries its own
+	// checkpointer.
+	Checkpoint ckpt.Checkpointer
+	// Restart reloads the saved bucket and skips the boundary,
+	// exchange, and sort phases entirely; only the imbalance reduction
+	// re-runs. All ranks must set it together, and each rank's
+	// checkpoint must exist.
+	Restart bool
+}
+
 // Sort performs the distributed bucket sort of the module: each rank
 // contributes its local keys; after the call each rank holds one sorted
 // bucket, where bucket i precedes bucket i+1, and the concatenation of
 // all buckets is the sorted dataset. The data stays distributed to
 // reflect datasets exceeding single-node memory.
 func Sort(c *mpi.Comm, local []float64, splitter Splitter) ([]float64, Result, error) {
+	return SortOpts(c, local, splitter, Options{})
+}
+
+// SortOpts is Sort with checkpoint/restart support.
+func SortOpts(c *mpi.Comm, local []float64, splitter Splitter, opt Options) ([]float64, Result, error) {
 	p := c.Size()
 	start := time.Now()
+
+	if opt.Restart {
+		if opt.Checkpoint == nil {
+			return nil, Result{}, fmt.Errorf("distsort: Restart requires a per-rank Checkpointer")
+		}
+		phase, payload, ok, err := opt.Checkpoint.Load()
+		if err != nil {
+			return nil, Result{}, err
+		}
+		if !ok {
+			return nil, Result{}, fmt.Errorf("distsort: rank %d has no checkpoint to restart from", c.Rank())
+		}
+		if phase != ckptPhaseSorted {
+			return nil, Result{}, fmt.Errorf("distsort: rank %d checkpoint at unknown phase %d", c.Rank(), phase)
+		}
+		mine, err := ckpt.DecodeFloat64s(payload)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		c.Lifecycle(mpi.LifeRecovery, fmt.Sprintf("distsort restart: %d keys reloaded", len(mine)))
+		imb, err := shareImbalance(c, len(mine))
+		if err != nil {
+			return nil, Result{}, err
+		}
+		return mine, Result{
+			NP:        p,
+			LocalN:    len(local),
+			SortedN:   len(mine),
+			Splitter:  splitter,
+			Elapsed:   time.Since(start),
+			Imbalance: imb,
+		}, nil
+	}
 
 	boundaries, err := computeBoundaries(c, local, splitter)
 	if err != nil {
@@ -137,35 +194,19 @@ func Sort(c *mpi.Comm, local []float64, splitter Splitter) ([]float64, Result, e
 	sort.Float64s(mine)
 	sortDur := time.Since(sortStart)
 
-	// Global imbalance: in-place MPI_Reduce of bucket sizes onto rank 0,
-	// which shares the verdict with everyone over point-to-point messages.
-	// Only rank 0 reads the reduced values, so the in-place variant's
-	// "non-root buffer unspecified" contract is safe here.
-	sum := [1]float64{float64(len(mine))}
-	if err := mpi.ReduceInto(c, sum[:], mpi.OpSum, 0); err != nil {
-		return nil, Result{}, err
-	}
-	maxSize := [1]float64{float64(len(mine))}
-	if err := mpi.ReduceInto(c, maxSize[:], mpi.OpMax, 0); err != nil {
-		return nil, Result{}, err
-	}
-	imb := 1.0
-	if r == 0 {
-		mean := sum[0] / float64(p)
-		if mean > 0 {
-			imb = maxSize[0] / mean
-		}
-		for dst := 1; dst < p; dst++ {
-			if err := mpi.Send(c, []float64{imb}, dst, tagImbalance); err != nil {
-				return nil, Result{}, err
-			}
-		}
-	} else {
-		v, _, err := mpi.Recv[float64](c, 0, tagImbalance)
-		if err != nil {
+	// The sorted bucket is this rank's entire post-exchange state; once
+	// saved, a restart skips boundary computation, the all-to-all
+	// exchange, and the local sort.
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.Save(ckptPhaseSorted, ckpt.EncodeFloat64s(mine)); err != nil {
 			return nil, Result{}, err
 		}
-		imb = v[0]
+		c.Lifecycle(mpi.LifeCheckpoint, fmt.Sprintf("distsort post-sort: %d keys", len(mine)))
+	}
+
+	imb, err := shareImbalance(c, len(mine))
+	if err != nil {
+		return nil, Result{}, err
 	}
 
 	return mine, Result{
@@ -178,6 +219,41 @@ func Sort(c *mpi.Comm, local []float64, splitter Splitter) ([]float64, Result, e
 		SortDur:     sortDur,
 		Imbalance:   imb,
 	}, nil
+}
+
+// shareImbalance computes max/mean bucket size across ranks: in-place
+// MPI_Reduce of bucket sizes onto rank 0, which shares the verdict with
+// everyone over point-to-point messages. Only rank 0 reads the reduced
+// values, so the in-place variant's "non-root buffer unspecified"
+// contract is safe here.
+func shareImbalance(c *mpi.Comm, bucketLen int) (float64, error) {
+	p, r := c.Size(), c.Rank()
+	sum := [1]float64{float64(bucketLen)}
+	if err := mpi.ReduceInto(c, sum[:], mpi.OpSum, 0); err != nil {
+		return 0, err
+	}
+	maxSize := [1]float64{float64(bucketLen)}
+	if err := mpi.ReduceInto(c, maxSize[:], mpi.OpMax, 0); err != nil {
+		return 0, err
+	}
+	imb := 1.0
+	if r == 0 {
+		mean := sum[0] / float64(p)
+		if mean > 0 {
+			imb = maxSize[0] / mean
+		}
+		for dst := 1; dst < p; dst++ {
+			if err := mpi.Send(c, []float64{imb}, dst, tagImbalance); err != nil {
+				return 0, err
+			}
+		}
+		return imb, nil
+	}
+	v, _, err := mpi.Recv[float64](c, 0, tagImbalance)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
 }
 
 // computeBoundaries returns p-1 ascending bucket boundaries; bucket i is

@@ -1,0 +1,95 @@
+package distsort
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/data"
+	"repro/internal/mpi"
+)
+
+// TestSortCheckpointRestart: after a checkpointed sort, a restarted run
+// reloads each rank's bucket bit-identically and skips the exchange.
+func TestSortCheckpointRestart(t *testing.T) {
+	const np = 4
+	keys := data.ExponentialKeys(4096, 1.5, 17)
+	cks := make([]*ckpt.MemCheckpointer, np)
+	for i := range cks {
+		cks[i] = ckpt.NewMem()
+	}
+
+	type rankOut struct {
+		bucket []float64
+		imb    float64
+	}
+	ref := make([]rankOut, np)
+	if err := mpi.Run(np, func(c *mpi.Comm) error {
+		local := keys[c.Rank()*len(keys)/np : (c.Rank()+1)*len(keys)/np]
+		mine, res, err := SortOpts(c, local, Histogram, Options{Checkpoint: cks[c.Rank()]})
+		if err != nil {
+			return err
+		}
+		ref[c.Rank()] = rankOut{bucket: mine, imb: res.Imbalance}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r, ck := range cks {
+		if ck.Saves() != 1 {
+			t.Fatalf("rank %d saved %d checkpoints, want 1", r, ck.Saves())
+		}
+	}
+
+	got := make([]rankOut, np)
+	if err := mpi.Run(np, func(c *mpi.Comm) error {
+		local := keys[c.Rank()*len(keys)/np : (c.Rank()+1)*len(keys)/np]
+		mine, res, err := SortOpts(c, local, Histogram, Options{Checkpoint: cks[c.Rank()], Restart: true})
+		if err != nil {
+			return err
+		}
+		ok, err := VerifyDistributedSorted(c, mine)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Errorf("restarted buckets fail the global sort invariant")
+		}
+		got[c.Rank()] = rankOut{bucket: mine, imb: res.Imbalance}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for r := 0; r < np; r++ {
+		if len(got[r].bucket) != len(ref[r].bucket) {
+			t.Fatalf("rank %d bucket size %d after restart, want %d", r, len(got[r].bucket), len(ref[r].bucket))
+		}
+		for i, v := range ref[r].bucket {
+			if got[r].bucket[i] != v {
+				t.Fatalf("rank %d key %d differs after restart", r, i)
+			}
+		}
+		if got[r].imb != ref[r].imb {
+			t.Fatalf("rank %d imbalance %v after restart, want %v", r, got[r].imb, ref[r].imb)
+		}
+		total += len(got[r].bucket)
+	}
+	if total != len(keys) {
+		t.Fatalf("restart lost keys: %d of %d", total, len(keys))
+	}
+}
+
+// TestSortRestartMissingCheckpoint: restarting without a saved bucket is
+// an error, not silent data loss.
+func TestSortRestartMissingCheckpoint(t *testing.T) {
+	keys := data.UniformKeys(64, 0, 100, 3)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		local := keys[c.Rank()*32 : (c.Rank()+1)*32]
+		_, _, err := SortOpts(c, local, EqualWidth, Options{Checkpoint: ckpt.NewMem(), Restart: true})
+		return err
+	})
+	if err == nil {
+		t.Fatal("restart from an empty checkpointer succeeded")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/data"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
@@ -55,6 +56,19 @@ type Config struct {
 	Option CommOption
 	// Seed drives the deterministic initial centroid choice.
 	Seed int64
+	// Checkpoint, when set on rank 0, persists (iteration, centroids)
+	// every CheckpointEvery iterations during Distributed. Other ranks
+	// may leave it nil.
+	Checkpoint ckpt.Checkpointer
+	// CheckpointEvery is the iteration period between saves; 0 disables
+	// checkpointing even when Checkpoint is set.
+	CheckpointEvery int
+	// Restart resumes Distributed from rank 0's latest checkpoint
+	// instead of the initial centroids. It must be set on every rank
+	// (the restored state is broadcast); the resumed run reproduces the
+	// uninterrupted run's centroids bit for bit. If no checkpoint
+	// exists the run starts from the beginning.
+	Restart bool
 }
 
 // Result reports one clustering run.
@@ -134,6 +148,45 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 	// dataset: every rank computes the same ones with no communication.
 	cent := initialCentroids(pts, cfg.K, cfg.Seed)
 
+	// Restart: rank 0 restores the latest checkpoint and broadcasts
+	// (iteration, centroids); every rank resumes mid-trajectory. The
+	// remaining iterations recompute exactly what the uninterrupted run
+	// would have, so the final centroids are bit-identical.
+	startIter := 0
+	if cfg.Restart {
+		var state []float64
+		if r == 0 {
+			if cfg.Checkpoint == nil {
+				return Result{}, nil, 0, fmt.Errorf("kmeans: Restart requires a Checkpointer on rank 0")
+			}
+			step, payload, ok, lerr := cfg.Checkpoint.Load()
+			if lerr != nil {
+				return Result{}, nil, 0, lerr
+			}
+			if ok {
+				coords, derr := ckpt.DecodeFloat64s(payload)
+				if derr != nil {
+					return Result{}, nil, 0, derr
+				}
+				if len(coords) != cfg.K*dim {
+					return Result{}, nil, 0, fmt.Errorf("kmeans: checkpoint holds %d centroid values, want %d (k or dim changed?)", len(coords), cfg.K*dim)
+				}
+				state = append([]float64{float64(step)}, coords...)
+			} else {
+				state = []float64{-1} // no checkpoint yet: cold start
+			}
+		}
+		state, err = mpi.Bcast(c, state, 0)
+		if err != nil {
+			return Result{}, nil, 0, err
+		}
+		if state[0] >= 0 {
+			startIter = int(state[0])
+			copy(cent.Coords, state[1:])
+			c.Lifecycle(mpi.LifeRecovery, fmt.Sprintf("kmeans restart from iteration %d", startIter))
+		}
+	}
+
 	assign := make([]int, local.N())
 	res := Result{K: cfg.K, NP: p, N: n}
 	var computeDur, commDur time.Duration
@@ -149,7 +202,7 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 		assign64 = make([]int64, local.N())
 	}
 
-	for it := 0; it < cfg.MaxIter; it++ {
+	for it := startIter; it < cfg.MaxIter; it++ {
 		res.Iterations = it + 1
 
 		computeStart := time.Now()
@@ -171,6 +224,15 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 			return Result{}, nil, 0, err
 		}
 		commDur += time.Since(commStart)
+
+		// The checkpoint captures the post-update state: a restart
+		// resumes at iteration it+1 with these exact centroids.
+		if r == 0 && cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 && (it+1)%cfg.CheckpointEvery == 0 {
+			if err := cfg.Checkpoint.Save(it+1, ckpt.EncodeFloat64s(cent.Coords)); err != nil {
+				return Result{}, nil, 0, err
+			}
+			c.Lifecycle(mpi.LifeCheckpoint, fmt.Sprintf("kmeans iteration %d", it+1))
+		}
 		if !moved {
 			res.Converged = true
 			break

@@ -1,0 +1,141 @@
+package kmeans
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/data"
+	"repro/internal/mpi"
+)
+
+// TestRestartBitIdentical is the acceptance criterion for
+// checkpoint/restart: a run that is cut short after a checkpoint and
+// then restarted from it must produce bit-identical centroids to the
+// uninterrupted run.
+func TestRestartBitIdentical(t *testing.T) {
+	const np = 4
+	pts, _ := data.GaussianMixture(512, 2, 5, 1.0, 100, 31)
+	base := Config{K: 5, MaxIter: 40, Seed: 2}
+
+	run := func(cfg Config) (Result, error) {
+		var res Result
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			r, _, _, err := Distributed(c, pts, cfg)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				res = r
+			}
+			return nil
+		})
+		return res, err
+	}
+
+	// Reference: the uninterrupted run.
+	ref, err := run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoint every 5 iterations, "crash" at 17 by
+	// capping MaxIter (the last checkpoint is from iteration 15).
+	ck := ckpt.NewMem()
+	partial := base
+	partial.MaxIter = 17
+	partial.Checkpoint = ck
+	partial.CheckpointEvery = 5
+	if _, err := run(partial); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Saves() != 3 {
+		t.Fatalf("expected checkpoints at 5, 10, 15; got %d saves", ck.Saves())
+	}
+	step, _, ok, err := ck.Load()
+	if err != nil || !ok || step != 15 {
+		t.Fatalf("latest checkpoint step=%d ok=%v err=%v, want 15", step, ok, err)
+	}
+
+	// Restarted run: resume from iteration 15, finish to MaxIter.
+	restart := base
+	restart.Checkpoint = ck
+	restart.Restart = true
+	got, err := run(restart)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Centroids.Coords) != len(ref.Centroids.Coords) {
+		t.Fatalf("centroid count differs: %d vs %d", len(got.Centroids.Coords), len(ref.Centroids.Coords))
+	}
+	for i, v := range ref.Centroids.Coords {
+		if got.Centroids.Coords[i] != v {
+			t.Fatalf("centroid value %d differs after restart: %v != %v (restart is not bit-identical)", i, got.Centroids.Coords[i], v)
+		}
+	}
+	if got.Inertia != ref.Inertia {
+		t.Fatalf("inertia differs after restart: %v != %v", got.Inertia, ref.Inertia)
+	}
+	if got.Converged != ref.Converged || got.Iterations != ref.Iterations {
+		t.Fatalf("trajectory differs: converged=%v/%v iterations=%d/%d",
+			got.Converged, ref.Converged, got.Iterations, ref.Iterations)
+	}
+}
+
+// TestRestartColdStart: Restart with an empty checkpointer falls back to
+// a cold start and still matches the reference run.
+func TestRestartColdStart(t *testing.T) {
+	pts, _ := data.GaussianMixture(256, 2, 4, 1.0, 50, 7)
+	base := Config{K: 4, MaxIter: 30, Seed: 3}
+	var ref, got Result
+	if err := mpi.Run(2, func(c *mpi.Comm) error {
+		r, _, _, err := Distributed(c, pts, base)
+		if c.Rank() == 0 {
+			ref = r
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cold := base
+	cold.Checkpoint = ckpt.NewMem()
+	cold.Restart = true
+	if err := mpi.Run(2, func(c *mpi.Comm) error {
+		r, _, _, err := Distributed(c, pts, cold)
+		if c.Rank() == 0 {
+			got = r
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ref.Centroids.Coords {
+		if got.Centroids.Coords[i] != v {
+			t.Fatalf("cold-start restart diverged at centroid value %d", i)
+		}
+	}
+}
+
+// TestRestartRejectsShapeMismatch: restarting with a different k must be
+// rejected, not silently misread.
+func TestRestartRejectsShapeMismatch(t *testing.T) {
+	pts, _ := data.GaussianMixture(256, 2, 4, 1.0, 50, 7)
+	ck := ckpt.NewMem()
+	cfg := Config{K: 4, MaxIter: 10, Seed: 3, Checkpoint: ck, CheckpointEvery: 2}
+	if err := mpi.Run(2, func(c *mpi.Comm) error {
+		_, _, _, err := Distributed(c, pts, cfg)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.K = 5
+	bad.Restart = true
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		_, _, _, err := Distributed(c, pts, bad)
+		return err
+	})
+	if err == nil {
+		t.Fatal("restart with changed k accepted a stale checkpoint")
+	}
+}

@@ -1,8 +1,10 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 // Allocation-regression tests for the zero-copy data path. Traffic runs
@@ -154,5 +156,127 @@ func TestAllocReleaseOptional(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Error-path buffer hygiene: when a world dies mid-traffic (abort,
+// injected kill, deadlock), pooled buffers that were in flight must not
+// be double-released or handed out while still referenced. Each test
+// drives a failing world with pooled traffic, then runs a clean world
+// that reuses the same process-wide pools and verifies payload
+// integrity — under -race, any buffer that escaped the ownership rules
+// during teardown shows up as a data race or corrupted payload.
+
+// hygieneTraffic exchanges distinct patterned payloads and verifies
+// every received byte, releasing buffers back to the pool.
+func hygieneTraffic(c *Comm, rounds int) error {
+	const tag = 11
+	me, n := c.Rank(), c.Size()
+	peer := (me + 1) % n
+	from := (me + n - 1) % n
+	for i := 0; i < rounds; i++ {
+		out := getBuf(256)
+		for j := range out {
+			out[j] = byte(me ^ i ^ j)
+		}
+		if me%2 == 0 {
+			if err := c.SendBytes(out, peer, tag); err != nil {
+				Release(out)
+				return err
+			}
+			b, _, err := c.RecvBytes(from, tag)
+			if err != nil {
+				Release(out)
+				return err
+			}
+			for j := range b {
+				if b[j] != byte(from^i^j) {
+					return fmt.Errorf("round %d: byte %d corrupted: got %x want %x", i, j, b[j], byte(from^i^j))
+				}
+			}
+			Release(b)
+		} else {
+			b, _, err := c.RecvBytes(from, tag)
+			if err != nil {
+				Release(out)
+				return err
+			}
+			for j := range b {
+				if b[j] != byte(from^i^j) {
+					return fmt.Errorf("round %d: byte %d corrupted: got %x want %x", i, j, b[j], byte(from^i^j))
+				}
+			}
+			Release(b)
+			if err := c.SendBytes(out, peer, tag); err != nil {
+				return err
+			}
+		}
+		Release(out)
+	}
+	return nil
+}
+
+// TestAllocHygieneAfterAbort aborts a world mid-traffic and checks the
+// pools still hand out clean buffers afterwards.
+func TestAllocHygieneAfterAbort(t *testing.T) {
+	cause := fmt.Errorf("hygiene abort")
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 3 {
+			_ = hygieneTraffic(c, 2)
+			c.Abort(cause)
+			return cause
+		}
+		return hygieneTraffic(c, 50)
+	}, WithWatchdog(30*time.Second))
+	if err == nil {
+		t.Fatal("aborted world returned nil")
+	}
+	if err := Run(4, func(c *Comm) error { return hygieneTraffic(c, 50) }); err != nil {
+		t.Fatalf("clean run after abort: %v", err)
+	}
+}
+
+// TestAllocHygieneAfterKill injects a rank kill mid-traffic and checks
+// pooled buffers survive the failure teardown intact.
+func TestAllocHygieneAfterKill(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		err := hygieneTraffic(c, 50)
+		if err != nil && (errors.Is(err, ErrRankKilled) || errors.Is(err, ErrRankFailed)) {
+			return nil // the injected failure is the point
+		}
+		return err
+	}, WithInjector(killAtCall(2, 7)), WithWatchdog(30*time.Second))
+	if err != nil && !errors.Is(err, ErrRankKilled) {
+		t.Fatalf("world error: %v", err)
+	}
+	if err := Run(4, func(c *Comm) error { return hygieneTraffic(c, 50) }); err != nil {
+		t.Fatalf("clean run after kill: %v", err)
+	}
+}
+
+// TestAllocHygieneAfterDeadlock drives two ranks into a send-send
+// deadlock with pooled buffers in hand and checks the detector's
+// teardown leaves the pools usable.
+func TestAllocHygieneAfterDeadlock(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const tag = 12
+		buf := getBuf(8192) // rendezvous-sized: blocks until the peer receives
+		defer Release(buf)
+		peer := 1 - c.Rank()
+		if err := c.SendBytes(buf, peer, tag); err != nil {
+			return err
+		}
+		b, _, err := c.RecvBytes(peer, tag)
+		if err != nil {
+			return err
+		}
+		Release(b)
+		return nil
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	if err := Run(2, func(c *Comm) error { return hygieneTraffic(c, 50) }); err != nil {
+		t.Fatalf("clean run after deadlock: %v", err)
 	}
 }

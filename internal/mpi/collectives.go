@@ -106,7 +106,7 @@ func releaseBlocks(blocks [][]byte) {
 // (MPI_Barrier). Dissemination algorithm: ceil(log2 p) rounds.
 func (c *Comm) Barrier() error {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimBarrier)
+	c.countCall(PrimBarrier)
 	err := c.barrier()
 	c.profExit(tok, PrimBarrier, -1, -1, 0, 0, 0, 0)
 	return err
@@ -137,7 +137,7 @@ func Bcast[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 		return nil, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimBcast)
+	c.countCall(PrimBcast)
 	out, err := bcastTree(c, data, root)
 	c.profExit(tok, PrimBcast, c.members[root], -1, len(out)*scalarSize[T](), 0, 0, 0)
 	return out, err
@@ -197,7 +197,7 @@ func Scatter[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 		return nil, fmt.Errorf("%w: Scatter buffer of %d elements across %d ranks", ErrLengthMismatch, len(data), p)
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimScatter)
+	c.countCall(PrimScatter)
 	out, err := scatterLinear(c, data, root)
 	bytes := len(out)
 	if c.rank == root {
@@ -241,7 +241,7 @@ func Scatterv[T Scalar](c *Comm, data []T, counts []int, root int) ([]T, error) 
 		return nil, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimScatterv)
+	c.countCall(PrimScatterv)
 	out, err := scattervLinear(c, data, counts, root)
 	bytes := len(out)
 	if c.rank == root {
@@ -298,7 +298,7 @@ func Gather[T Scalar](c *Comm, data []T, root int) ([]T, error) {
 		return nil, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimGather)
+	c.countCall(PrimGather)
 	out, err := gatherLinear(c, data, root)
 	bytes := len(data)
 	if c.rank == root {
@@ -340,7 +340,7 @@ func Gatherv[T Scalar](c *Comm, data []T, root int) ([][]T, error) {
 		return nil, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimGatherv)
+	c.countCall(PrimGatherv)
 	out, err := gathervLinear(c, data, root)
 	bytes := len(data)
 	if c.rank == root {
@@ -411,7 +411,7 @@ func (c *Comm) gatherBlocks(payload []byte, root int) ([][]byte, error) {
 // onward as-is — the pooled buffer itself travels around the ring.
 func Allgather[T Scalar](c *Comm, data []T) ([]T, error) {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimAllgather)
+	c.countCall(PrimAllgather)
 	out, err := allgatherRing(c, data)
 	c.profExit(tok, PrimAllgather, -1, -1, len(out)*scalarSize[T](), 0, 0, 0)
 	return out, err
@@ -459,7 +459,7 @@ func Reduce[T Scalar](c *Comm, data []T, op Op[T], root int) ([]T, error) {
 		return nil, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimReduce)
+	c.countCall(PrimReduce)
 	out, err := reduceTree(c, data, op, root)
 	c.profExit(tok, PrimReduce, c.members[root], -1, len(data)*scalarSize[T](), 0, 0, 0)
 	return out, err
@@ -475,7 +475,7 @@ func ReduceInto[T Scalar](c *Comm, buf []T, op Op[T], root int) error {
 		return err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimReduce)
+	c.countCall(PrimReduce)
 	_, err := reduceAcc(c, buf, op, root)
 	c.profExit(tok, PrimReduce, c.members[root], -1, len(buf)*scalarSize[T](), 0, 0, 0)
 	return err
@@ -534,7 +534,7 @@ func reduceAcc[T Scalar](c *Comm, acc []T, op Op[T], root int) (kept bool, err e
 // AllreduceRing for the bandwidth-optimal alternative.
 func Allreduce[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimAllreduce)
+	c.countCall(PrimAllreduce)
 	acc := append([]T(nil), data...)
 	err := allreduceTreeInto(c, acc, op)
 	c.profExit(tok, PrimAllreduce, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
@@ -550,7 +550,7 @@ func Allreduce[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 // to keep the reduction allocation-free.
 func AllreduceInto[T Scalar](c *Comm, buf []T, op Op[T]) error {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimAllreduce)
+	c.countCall(PrimAllreduce)
 	err := allreduceTreeInto(c, buf, op)
 	c.profExit(tok, PrimAllreduce, -1, -1, len(buf)*scalarSize[T](), 0, 0, 0)
 	return err
@@ -661,7 +661,7 @@ func bcastInternal[T Scalar](c *Comm, data []T, n int, root int) ([]T, error) {
 // ablation bench quantifies.
 func AllreduceRing[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimAllreduce)
+	c.countCall(PrimAllreduce)
 	out, err := allreduceRing(c, data, op)
 	c.profExit(tok, PrimAllreduce, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
 	return out, err
@@ -733,7 +733,7 @@ func allreduceRing[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 // op-fold of the buffers of ranks 0..r. Linear chain algorithm.
 func Scan[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimScan)
+	c.countCall(PrimScan)
 	out, err := scanChain(c, data, op)
 	c.profExit(tok, PrimScan, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
 	return out, err
@@ -778,7 +778,7 @@ func Alltoall[T Scalar](c *Comm, data []T) ([]T, error) {
 		return nil, fmt.Errorf("%w: Alltoall buffer of %d elements across %d ranks", ErrLengthMismatch, len(data), p)
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimAlltoall)
+	c.countCall(PrimAlltoall)
 	out, err := alltoallPairwise(c, data)
 	c.profExit(tok, PrimAlltoall, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
 	return out, err
@@ -825,7 +825,7 @@ func Alltoallv[T Scalar](c *Comm, blocks [][]T) ([][]T, error) {
 		return nil, fmt.Errorf("%w: Alltoallv got %d blocks for %d ranks", ErrLengthMismatch, len(blocks), p)
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimAlltoallv)
+	c.countCall(PrimAlltoallv)
 	out, err := alltoallvPairwise(c, blocks)
 	bytes := 0
 	for _, b := range blocks {
@@ -866,7 +866,7 @@ func alltoallvPairwise[T Scalar](c *Comm, blocks [][]T) ([][]T, error) {
 // broadcast of the counts and the flattened payload.
 func Allgatherv[T Scalar](c *Comm, data []T) ([][]T, error) {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimAllgather)
+	c.countCall(PrimAllgather)
 	out, err := allgathervLinear(c, data)
 	bytes := 0
 	for _, b := range out {
@@ -928,7 +928,7 @@ func allgathervLinear[T Scalar](c *Comm, data []T) ([][]T, error) {
 // slice (MPI leaves it undefined; zeros are the defined choice here).
 func Exscan[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimScan)
+	c.countCall(PrimScan)
 	out, err := exscanChain(c, data, op)
 	c.profExit(tok, PrimScan, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
 	return out, err

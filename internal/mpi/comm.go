@@ -56,6 +56,22 @@ func (c *Comm) WorldRank() int { return c.worldRank }
 // Stats returns a snapshot of the world's communication accounting.
 func (c *Comm) Stats() Snapshot { return c.world.stats.Snapshot() }
 
+// countCall records a primitive invocation for Table II accounting and
+// drives call-indexed fault injection: every user-facing primitive enters
+// through it exactly once, so an injector's "kill rank R at call N" is
+// deterministic regardless of transport. A kill takes effect on the
+// primitive's next runtime interaction — its delivery or its blocking
+// wait returns ErrRankKilled.
+func (c *Comm) countCall(p Primitive) {
+	c.world.stats.countCall(c.worldRank, p)
+	if in := c.world.opts.injector; in != nil {
+		c.mb.calls++
+		if in.AtCall(c.worldRank, int(c.mb.calls)) {
+			c.world.killRank(c.worldRank)
+		}
+	}
+}
+
 // checkPeer validates a peer rank within the communicator; wildcard allows
 // AnySource.
 func (c *Comm) checkPeer(peer int, wildcard bool) error {
@@ -171,7 +187,7 @@ func (c *Comm) traceComm(op string, start time.Time) {
 func (c *Comm) sendChecked(payload []byte, dest, tag int, sync bool) error {
 	n := len(payload)
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimSend)
+	c.countCall(PrimSend)
 	c.world.stats.addUserSent(c.worldRank, n)
 	msgid, err := c.sendEnvelopeOwned(c.ctx, payload, dest, tag, sync)
 	c.profExit(tok, PrimSend, c.members[dest], tag, n, msgid, 0, 0)
@@ -217,7 +233,7 @@ func (c *Comm) RecvBytes(src, tag int) ([]byte, Status, error) {
 		return nil, Status{}, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimRecv)
+	c.countCall(PrimRecv)
 	env, st, err := c.recvEnvelope(c.ctx, src, tag)
 	if err != nil {
 		c.profExit(tok, PrimRecv, -1, tag, 0, 0, 0, 0)
@@ -235,7 +251,7 @@ func (c *Comm) RecvBytes(src, tag int) ([]byte, Status, error) {
 func (c *Comm) isendChecked(payload []byte, dest, tag int) (*Request, error) {
 	n := len(payload)
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimIsend)
+	c.countCall(PrimIsend)
 	c.world.stats.addUserSent(c.worldRank, n)
 	r, err := c.isendEnvelopeOwned(c.ctx, payload, dest, tag)
 	var msgid int64
@@ -268,7 +284,7 @@ func (c *Comm) IrecvBytes(src, tag int) (*Request, error) {
 		return nil, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimIrecv)
+	c.countCall(PrimIrecv)
 	pr := c.mb.postRecv(c.ctx, src, tag)
 	peer := -1
 	if src != AnySource {
@@ -307,7 +323,7 @@ func checkSendrecv(c *Comm, dest, sendTag, src, recvTag int) error {
 // are caller-owned.
 func (c *Comm) sendrecvChecked(payload []byte, dest, sendTag, src, recvTag int) ([]byte, Status, error) {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimSendrecv)
+	c.countCall(PrimSendrecv)
 	c.world.stats.addUserSent(c.worldRank, len(payload))
 	n := len(payload)
 	pr := c.mb.postRecv(c.ctx, src, recvTag)
@@ -358,7 +374,7 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 		return Status{}, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimProbe)
+	c.countCall(PrimProbe)
 	start := time.Now()
 	st, err := c.mb.probe(c.ctx, src, tag)
 	c.traceComm("probe", start)
@@ -379,7 +395,7 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 		return Status{}, false, err
 	}
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimIprobe)
+	c.countCall(PrimIprobe)
 	st, ok := c.mb.iprobe(c.ctx, src, tag)
 	peer := -1
 	if ok {
@@ -393,7 +409,7 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 // MPI_Get_count, and records the primitive use for Table II accounting.
 func (c *Comm) GetCount(st Status, elemSize int) (int, error) {
 	tok := c.profEnter()
-	c.world.stats.countCall(c.worldRank, PrimGetCount)
+	c.countCall(PrimGetCount)
 	n, err := st.Count(elemSize)
 	c.profExit(tok, PrimGetCount, -1, st.Tag, st.Bytes, 0, 0, 0)
 	return n, err

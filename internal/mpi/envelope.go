@@ -9,8 +9,10 @@ import (
 
 // envelope kinds.
 const (
-	kindData int8 = iota // application or collective payload
-	kindAck              // rendezvous acknowledgement
+	kindData      int8 = iota // application or collective payload
+	kindAck                   // rendezvous acknowledgement
+	kindHeartbeat             // liveness beacon for the failure detector
+	kindAbort                 // cross-process abort propagation; payload is the cause
 )
 
 // envelope is the unit moved by a transport. src is the sender's rank

@@ -1,0 +1,470 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Fault-injection and failure-detection plane. The runtime models two
+// distinct ways a rank can stop participating:
+//
+//   - a *kill* (deterministic fault injection): the rank's mailbox goes
+//     dead, it silently stops sending and acknowledging — the Go-level
+//     equivalent of a process crash;
+//   - a *failure declaration*: the surviving ranks' view, established
+//     either synchronously (channel transport, where the runtime shares
+//     one address space) or by heartbeat silence (socket transports).
+//
+// Survivors observe failures as a RankFailedError from any blocked
+// operation, distinct from ErrDeadlock and ErrAborted, and can rebuild a
+// smaller world with Comm.Shrink (see ulfm.go).
+
+// ErrRankKilled is the error a fault-injected rank observes from its own
+// operations after its kill point: the rank is simulating a crash, so the
+// runtime does not abort the world on its behalf.
+var ErrRankKilled = errors.New("mpi: rank killed by fault injection")
+
+// ErrTimeout is wrapped by errors returned from blocked operations that
+// exceeded the per-operation deadline set with WithOpTimeout.
+var ErrTimeout = errors.New("mpi: operation deadline exceeded")
+
+// RankFailedError is returned from blocked operations when one or more
+// ranks have been declared failed (ULFM's MPI_ERR_PROC_FAILED). It is
+// distinct from ErrDeadlock (no rank can progress) and ErrAborted (a rank
+// requested shutdown): the world is still running, and survivors may
+// acknowledge the failure and continue on a shrunken communicator.
+type RankFailedError struct {
+	Ranks []int // world ranks declared failed, ascending
+}
+
+func (e *RankFailedError) Error() string {
+	if len(e.Ranks) == 1 {
+		return fmt.Sprintf("mpi: rank %d failed", e.Ranks[0])
+	}
+	return fmt.Sprintf("mpi: ranks %v failed", e.Ranks)
+}
+
+// Is makes errors.Is(err, &RankFailedError{}) match any rank-failure
+// error regardless of which ranks it names.
+func (e *RankFailedError) Is(target error) bool {
+	_, ok := target.(*RankFailedError)
+	return ok
+}
+
+// ErrRankFailed is the sentinel for errors.Is checks against rank
+// failures: errors.Is(err, mpi.ErrRankFailed).
+var ErrRankFailed error = &RankFailedError{}
+
+// FrameAction is an injector's verdict on one wire frame.
+type FrameAction int
+
+const (
+	FrameDeliver FrameAction = iota // pass the frame through unchanged
+	FrameDrop                       // discard the frame (lossy link)
+	FrameDup                        // deliver the frame twice
+)
+
+// Injector is the deterministic fault-injection interface consulted by
+// the runtime at its two interposition points. Implementations must be
+// safe for concurrent use by every rank. internal/faults provides a
+// seed-driven implementation parsed from spec strings.
+type Injector interface {
+	// AtCall is consulted as world rank r enters its n-th communication
+	// primitive (1-based, counted per rank). Returning true kills the
+	// rank: it goes silent and its own operations return ErrRankKilled.
+	AtCall(rank, call int) (kill bool)
+
+	// AtFrame is consulted for every data frame crossing a socket from
+	// world rank src to dst. A positive delay stalls the frame before the
+	// action applies. Ignored on the in-process channel transport, which
+	// has no frames.
+	AtFrame(src, dst int) (FrameAction, time.Duration)
+}
+
+// WithInjector attaches a fault-injection plan to the world. On RunTCP a
+// default heartbeat failure detector (DefaultHeartbeat) is installed
+// unless WithHeartbeat configured one explicitly.
+func WithInjector(in Injector) Option {
+	return func(o *options) { o.injector = in }
+}
+
+// DefaultHeartbeat is the failure-detection interval RunTCP installs when
+// an injector is attached without an explicit WithHeartbeat.
+const DefaultHeartbeat = 500 * time.Millisecond
+
+// WithHeartbeat enables heartbeat-based failure detection: every live
+// rank emits heartbeats at d/4 through the transport, and a rank silent
+// for longer than d is declared failed, unblocking survivors with a
+// RankFailedError. This is how socket transports detect a dead peer; the
+// channel transport declares kills synchronously and does not need it.
+func WithHeartbeat(d time.Duration) Option {
+	return func(o *options) { o.heartbeat = d }
+}
+
+// WithOpTimeout bounds every blocking operation (Recv, Probe, rendezvous
+// Send, collective hops) to d. An operation that cannot complete in time
+// returns an error wrapping ErrTimeout, letting applications give up on a
+// stalled link instead of hanging until the watchdog kills the world.
+func WithOpTimeout(d time.Duration) Option {
+	return func(o *options) { o.opTimeout = d }
+}
+
+// Lifecycle event kinds emitted through LifecycleHook.
+const (
+	LifeFailure    = "failure"    // a rank was killed or declared failed
+	LifeRetry      = "retry"      // a transport dial is being retried
+	LifeCheckpoint = "checkpoint" // module checkpoint saved or restored
+	LifeRecovery   = "recovery"   // survivors rebuilt a smaller world
+	LifeInject     = "inject"     // a frame fault was applied
+)
+
+// LifecycleEvent records a fault-tolerance event: a failure, a retry, a
+// checkpoint, a recovery step. Unlike Event (per-primitive), lifecycle
+// events are sparse and narrate the recovery timeline.
+type LifecycleEvent struct {
+	Rank   int    // world rank the event concerns
+	Kind   string // one of the Life* constants
+	Detail string
+	Time   time.Time
+}
+
+// LifecycleHook is implemented by hooks (see WithHook) that also want the
+// fault-tolerance timeline. The runtime checks for it by type assertion,
+// so a plain Hook keeps working unchanged.
+type LifecycleHook interface {
+	Lifecycle(LifecycleEvent)
+}
+
+// Lifecycle records an application-level fault-tolerance event (modules
+// report checkpoint saves/restores through it) on the world's hook, if
+// that hook implements LifecycleHook.
+func (c *Comm) Lifecycle(kind, detail string) {
+	c.world.emitLifecycle(c.worldRank, kind, detail)
+}
+
+func (w *World) emitLifecycle(rank int, kind, detail string) {
+	if lh, ok := w.opts.hook.(LifecycleHook); ok {
+		lh.Lifecycle(LifecycleEvent{Rank: rank, Kind: kind, Detail: detail, Time: time.Now()})
+	}
+}
+
+// initFaultState sizes the per-rank failure-tracking state. localRanks
+// lists the ranks hosted by this process (all of them for Run/RunTCP, one
+// for a multi-process worker).
+func (w *World) initFaultState(localRanks []int) {
+	w.killed = make([]atomic.Bool, w.size)
+	w.lastHeard = make([]atomic.Int64, w.size)
+	now := time.Now().UnixNano()
+	for r := range w.lastHeard {
+		w.lastHeard[r].Store(now)
+	}
+	w.failed = make(map[int]bool)
+	w.localRanks = localRanks
+}
+
+// killRank simulates a crash of a local rank: its mailbox goes dead (no
+// more matches, acks or posts), queued state is discarded, and — when no
+// heartbeat detector runs — the failure is declared synchronously so
+// survivors unblock at once instead of deadlocking.
+func (w *World) killRank(r int) {
+	if w.killed == nil || w.killed[r].Swap(true) {
+		return
+	}
+	mb := w.mailboxes[r]
+	mb.mu.Lock()
+	mb.dead = true
+	for _, e := range mb.unexpected {
+		putBuf(e.data)
+		putEnv(e)
+	}
+	mb.unexpected = nil
+	mb.pending = nil // abandoned: the dying rank never completes them
+	for seq := range mb.acks {
+		delete(mb.acks, seq)
+	}
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	w.emitLifecycle(r, LifeFailure, "rank killed by fault injection")
+	if w.opts.heartbeat <= 0 {
+		w.failRank(r, "killed (synchronous detection)")
+	}
+}
+
+// isKilled reports whether a rank was crashed by fault injection.
+func (w *World) isKilled(r int) bool {
+	return w.killed != nil && r >= 0 && r < len(w.killed) && w.killed[r].Load()
+}
+
+// failRank declares a rank failed on behalf of the whole world: the
+// failure epoch advances and every blocked rank wakes to observe a
+// RankFailedError.
+func (w *World) failRank(r int, why string) {
+	w.failMu.Lock()
+	if w.failed[r] {
+		w.failMu.Unlock()
+		return
+	}
+	w.failed[r] = true
+	w.failMu.Unlock()
+	w.failEpoch.Add(1)
+	w.emitLifecycle(r, LifeFailure, "rank declared failed: "+why)
+	w.broadcastAll()
+}
+
+// failedSet snapshots the failed ranks as a set.
+func (w *World) failedSet() map[int]bool {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	set := make(map[int]bool, len(w.failed))
+	for r := range w.failed {
+		set[r] = true
+	}
+	return set
+}
+
+// FailedRanks returns the world ranks currently declared failed, in
+// ascending order (ULFM's MPI_Comm_failure_ack + get_acked, read-only).
+func (c *Comm) FailedRanks() []int {
+	return c.world.failedRanks()
+}
+
+func (w *World) failedRanks() []int {
+	w.failMu.Lock()
+	ranks := make([]int, 0, len(w.failed))
+	for r := range w.failed {
+		ranks = append(ranks, r)
+	}
+	w.failMu.Unlock()
+	sort.Ints(ranks)
+	return ranks
+}
+
+// rankFailedError builds the error blocked operations return when the
+// failure epoch advanced past the rank's acknowledged epoch.
+func (w *World) rankFailedError() error {
+	return &RankFailedError{Ranks: w.failedRanks()}
+}
+
+// noteHeard refreshes the liveness timestamp of a rank; called for every
+// arriving envelope and every heartbeat when a detector is active.
+func (w *World) noteHeard(r int) {
+	if w.lastHeard != nil && r >= 0 && r < len(w.lastHeard) {
+		w.lastHeard[r].Store(time.Now().UnixNano())
+	}
+}
+
+// startAux launches the failure detector and the op-timeout ticker when
+// configured; stopAux tears them down after the ranks return.
+func (w *World) startAux() {
+	if w.opts.opTimeout <= 0 && w.opts.heartbeat <= 0 {
+		return
+	}
+	w.auxStop = make(chan struct{})
+	if w.opts.opTimeout > 0 {
+		w.auxWG.Add(1)
+		go w.opTimeoutTicker()
+	}
+	if w.opts.heartbeat > 0 {
+		w.auxWG.Add(2)
+		go w.heartbeatSender()
+		go w.heartbeatMonitor()
+	}
+}
+
+func (w *World) stopAux() {
+	if w.auxStop != nil {
+		close(w.auxStop)
+		w.auxWG.Wait()
+	}
+}
+
+// tickPeriod derives a polling period from a timeout: a quarter of it,
+// floored at 1ms so tight test timeouts do not spin.
+func tickPeriod(d time.Duration) time.Duration {
+	p := d / 4
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	return p
+}
+
+// opTimeoutTicker periodically wakes every blocked rank so the wait loops
+// re-check their per-operation deadlines.
+func (w *World) opTimeoutTicker() {
+	defer w.auxWG.Done()
+	t := time.NewTicker(tickPeriod(w.opts.opTimeout))
+	defer t.Stop()
+	for {
+		select {
+		case <-w.auxStop:
+			return
+		case <-t.C:
+			w.broadcastAll()
+		}
+	}
+}
+
+// heartbeatSender emits kindHeartbeat envelopes from every live local
+// rank to every peer at a quarter of the detection interval. Heartbeats
+// go straight to the transport — they bypass traffic accounting and the
+// watchdog's progress counter, so a heartbeating-but-stuck world still
+// trips the watchdog. The sender keeps heartbeating on behalf of ranks
+// whose functions returned (the "MPI runtime process" stays alive until
+// the world closes), so a finished peer is not mistaken for a dead one.
+func (w *World) heartbeatSender() {
+	defer w.auxWG.Done()
+	t := time.NewTicker(tickPeriod(w.opts.heartbeat))
+	defer t.Stop()
+	for {
+		select {
+		case <-w.auxStop:
+			return
+		case <-t.C:
+			for _, r := range w.localRanks {
+				if w.isKilled(r) {
+					continue
+				}
+				w.noteHeard(r)
+				for peer := 0; peer < w.size; peer++ {
+					if peer == r {
+						continue
+					}
+					hb := getEnv()
+					hb.kind = kindHeartbeat
+					hb.src, hb.wsrc, hb.wdst = r, r, peer
+					_ = w.transport.deliver(hb)
+				}
+			}
+		}
+	}
+}
+
+// heartbeatMonitor declares failed any rank silent for longer than the
+// heartbeat interval.
+func (w *World) heartbeatMonitor() {
+	defer w.auxWG.Done()
+	hb := w.opts.heartbeat
+	t := time.NewTicker(tickPeriod(hb))
+	defer t.Stop()
+	for {
+		select {
+		case <-w.auxStop:
+			return
+		case <-t.C:
+			now := time.Now().UnixNano()
+			for r := 0; r < w.size; r++ {
+				if now-w.lastHeard[r].Load() <= hb.Nanoseconds() {
+					continue
+				}
+				w.failMu.Lock()
+				already := w.failed[r]
+				w.failMu.Unlock()
+				if !already {
+					w.failRank(r, fmt.Sprintf("no heartbeat for %v", hb))
+				}
+			}
+		}
+	}
+}
+
+// blockedSnapshot renders the blocked-state of every local mailbox, the
+// same per-rank waitKind records the deadlock detector verifies, for the
+// watchdog's diagnostic.
+func (w *World) blockedSnapshot() string {
+	var sb strings.Builder
+	n := 0
+	for _, mb := range w.mailboxes {
+		mb.mu.Lock()
+		var desc string
+		if wi := mb.waiting; wi != nil {
+			switch wi.kind {
+			case waitRecv:
+				desc = fmt.Sprintf("rank %d blocked in recv(src=%d, tag=%d)", mb.rank, wi.pr.src, wi.pr.tag)
+			case waitProbe:
+				desc = fmt.Sprintf("rank %d blocked in probe(src=%d, tag=%d)", mb.rank, wi.src, wi.tag)
+			case waitAck:
+				desc = fmt.Sprintf("rank %d blocked in send-ack(seq=%d)", mb.rank, wi.seq)
+			}
+		}
+		mb.mu.Unlock()
+		if desc != "" {
+			if n > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(desc)
+			n++
+		}
+	}
+	if n == 0 {
+		return "no ranks blocked at snapshot time"
+	}
+	return sb.String()
+}
+
+// applyFrameFault consults the injector about one outbound data frame and
+// applies the verdict on the given connection. It reports whether the
+// frame was consumed (dropped), in which case the caller must not write
+// or recycle it again.
+func applyFrameFault(w *World, tc *tcpConn, e *envelope) (dropped bool) {
+	in := w.opts.injector
+	if in == nil || e.kind != kindData {
+		return false
+	}
+	act, delay := in.AtFrame(e.wsrc, e.wdst)
+	if act == FrameDeliver && delay <= 0 {
+		return false
+	}
+	if delay > 0 {
+		w.emitLifecycle(e.wsrc, LifeInject, fmt.Sprintf("delay frame %d->%d by %v", e.wsrc, e.wdst, delay))
+		time.Sleep(delay)
+	}
+	switch act {
+	case FrameDrop:
+		w.emitLifecycle(e.wsrc, LifeInject, fmt.Sprintf("drop frame %d->%d (%d bytes)", e.wsrc, e.wdst, len(e.data)))
+		putBuf(e.data)
+		putEnv(e)
+		return true
+	case FrameDup:
+		w.emitLifecycle(e.wsrc, LifeInject, fmt.Sprintf("duplicate frame %d->%d", e.wsrc, e.wdst))
+		_ = tc.writeEnvelope(e)
+	}
+	return false
+}
+
+// dialRetry dials addr with bounded exponential backoff: each attempt is
+// limited to attemptTimeout, the whole sequence to total. onRetry, when
+// non-nil, observes every failed attempt before its backoff sleep.
+func dialRetry(network, addr string, attemptTimeout, total time.Duration, onRetry func(attempt int, err error)) (net.Conn, error) {
+	deadline := time.Now().Add(total)
+	backoff := 25 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("mpi: dial %s: retry budget %v exhausted after %d attempts", addr, total, attempt-1)
+		}
+		d := attemptTimeout
+		if remain < d {
+			d = remain
+		}
+		conn, err := net.DialTimeout(network, addr, d)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Until(deadline) <= backoff {
+			return nil, fmt.Errorf("mpi: dial %s: %w (after %d attempts)", addr, err, attempt)
+		}
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package mpi
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,6 +17,18 @@ const (
 	waitProbe          // blocked in Probe on (ctx, src, tag)
 	waitAck            // blocked in a rendezvous Send on seq
 )
+
+func (k waitKind) String() string {
+	switch k {
+	case waitRecv:
+		return "recv"
+	case waitProbe:
+		return "probe"
+	case waitAck:
+		return "ack"
+	}
+	return "none"
+}
 
 // waitInfo records the blocking state of a rank, guarded by its mailbox
 // mutex. Exactly one of the fields past kind is meaningful.
@@ -74,6 +88,21 @@ type mailbox struct {
 	// finished is set when the rank's function has returned. A finished
 	// rank can never post again.
 	finished bool
+
+	// dead is set when fault injection kills the rank: arrivals are
+	// discarded, no acks are produced, and the rank's own blocked
+	// operations return ErrRankKilled.
+	dead bool
+
+	// failAck is the failure epoch this rank has acknowledged (via
+	// Comm.Shrink or Comm.Agree). While the world's epoch is ahead of it,
+	// blocked operations return a RankFailedError. Atomic because the
+	// deadlock detector reads it while the owner may store.
+	failAck atomic.Int64
+
+	// calls counts the rank's communication primitives for call-indexed
+	// fault injection. Owner-goroutine only.
+	calls int64
 }
 
 func newMailbox(rank int, w *World) *mailbox {
@@ -91,12 +120,41 @@ func newMailbox(rank int, w *World) *mailbox {
 // released, so concurrent cross-posts cannot order-deadlock on mailbox
 // mutexes.
 func (mb *mailbox) post(e *envelope) {
+	switch e.kind {
+	case kindHeartbeat:
+		// Pure liveness signal: absorb and recycle without touching the
+		// matching engine (heartbeats never carry a payload).
+		mb.world.noteHeard(e.wsrc)
+		putEnv(e)
+		return
+	case kindAbort:
+		// A peer process aborted its world; mirror it here so locally
+		// blocked ranks observe ErrAborted promptly. Handled before any
+		// mailbox lock: abortRemote broadcasts on every mailbox.
+		msg := string(e.data)
+		src := e.wsrc
+		putBuf(e.data)
+		putEnv(e)
+		mb.world.abortRemote(fmt.Errorf("%w: remote rank %d: %s", ErrAborted, src, msg))
+		return
+	}
+	if mb.world.opts.heartbeat > 0 {
+		// Any traffic proves the sender alive.
+		mb.world.noteHeard(e.wsrc)
+	}
 	if e.kind == kindData && mb.world.opts.hook != nil {
 		// Receiver-side arrival stamp for queue-latency attribution; taken
 		// before the lock so lock contention is not charged to the queue.
 		e.arrived = time.Now()
 	}
 	mb.mu.Lock()
+	if mb.dead {
+		// A killed rank's mailbox is a black hole: no matches, no acks.
+		mb.mu.Unlock()
+		putBuf(e.data)
+		putEnv(e)
+		return
+	}
 	if e.kind == kindAck {
 		mb.acks[e.seq] = true
 		mb.cond.Broadcast()
@@ -162,16 +220,52 @@ func (mb *mailbox) postRecv(ctx int32, src, tag int) *pendingRecv {
 	return pr
 }
 
-// waitRecv blocks until pr completes, the world stops, or deadlock is
-// detected. On success it removes pr from the posted queue and returns its
-// envelope.
+// stopErrLocked reports why this rank's blocked operation must give up,
+// or nil: the rank was killed, the world stopped (deadlock/abort), or the
+// failure epoch advanced past what the rank has acknowledged. Callers
+// hold mu.
+func (mb *mailbox) stopErrLocked() error {
+	if mb.dead {
+		return ErrRankKilled
+	}
+	if err := mb.world.stopErr(); err != nil {
+		return err
+	}
+	if mb.world.failEpoch.Load() > mb.failAck.Load() {
+		return mb.world.rankFailedError()
+	}
+	return nil
+}
+
+// opDeadline computes the per-operation deadline, zero when WithOpTimeout
+// is not configured. The op-timeout ticker wakes blocked waiters so the
+// deadline is actually observed.
+func (mb *mailbox) opDeadline() time.Time {
+	if d := mb.world.opts.opTimeout; d > 0 {
+		return time.Now().Add(d)
+	}
+	return time.Time{}
+}
+
+func deadlineExceeded(dl time.Time) bool {
+	return !dl.IsZero() && time.Now().After(dl)
+}
+
+// waitRecv blocks until pr completes, the world stops, a failure is
+// observed, or the operation deadline passes. On success it removes pr
+// from the posted queue and returns its envelope.
 func (mb *mailbox) waitRecv(pr *pendingRecv) (*envelope, error) {
+	dl := mb.opDeadline()
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for pr.env == nil {
-		if err := mb.world.stopErr(); err != nil {
+		if err := mb.stopErrLocked(); err != nil {
 			mb.dropPending(pr)
 			return nil, err
+		}
+		if deadlineExceeded(dl) {
+			mb.dropPending(pr)
+			return nil, fmt.Errorf("%w after %v: recv(src=%d, tag=%d)", ErrTimeout, mb.world.opts.opTimeout, pr.src, pr.tag)
 		}
 		mb.block(waitInfo{kind: waitRecv, pr: pr})
 	}
@@ -204,6 +298,7 @@ func (mb *mailbox) dropPending(pr *pendingRecv) {
 // probe blocks until an unexpected message matches (ctx, src, tag) and
 // returns its Status without consuming it.
 func (mb *mailbox) probe(ctx int32, src, tag int) (Status, error) {
+	dl := mb.opDeadline()
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -212,8 +307,11 @@ func (mb *mailbox) probe(ctx int32, src, tag int) (Status, error) {
 				return Status{Source: e.src, Tag: int(e.tag), Bytes: len(e.data)}, nil
 			}
 		}
-		if err := mb.world.stopErr(); err != nil {
+		if err := mb.stopErrLocked(); err != nil {
 			return Status{}, err
+		}
+		if deadlineExceeded(dl) {
+			return Status{}, fmt.Errorf("%w after %v: probe(src=%d, tag=%d)", ErrTimeout, mb.world.opts.opTimeout, src, tag)
 		}
 		mb.block(waitInfo{kind: waitProbe, ctx: ctx, src: src, tag: tag})
 	}
@@ -233,11 +331,15 @@ func (mb *mailbox) iprobe(ctx int32, src, tag int) (Status, bool) {
 
 // waitAck blocks until the rendezvous acknowledgement for seq arrives.
 func (mb *mailbox) waitAck(seq int64) error {
+	dl := mb.opDeadline()
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for !mb.acks[seq] {
-		if err := mb.world.stopErr(); err != nil {
+		if err := mb.stopErrLocked(); err != nil {
 			return err
+		}
+		if deadlineExceeded(dl) {
+			return fmt.Errorf("%w after %v: rendezvous send (seq=%d)", ErrTimeout, mb.world.opts.opTimeout, seq)
 		}
 		mb.block(waitInfo{kind: waitAck, seq: seq})
 	}

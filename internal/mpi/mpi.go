@@ -102,6 +102,9 @@ type options struct {
 	tracer          Tracer
 	hook            Hook
 	synchronousSend bool
+	injector        Injector      // fault-injection plan (see fault.go)
+	opTimeout       time.Duration // per-operation deadline; 0 = none
+	heartbeat       time.Duration // failure-detection interval; 0 = off
 }
 
 // Option configures a World created by Run or RunTCP.

@@ -53,10 +53,10 @@ func TestPoolRecycles(t *testing.T) {
 
 func TestReleaseSafeOnAnyBuffer(t *testing.T) {
 	Release(nil)
-	Release(make([]byte, 10))     // below the smallest class: dropped
-	Release(make([]byte, 100))    // pooled
-	Release(make([]byte, 1<<23))  // above the largest class: dropped
-	Release(getBuf(256))          // the normal case
+	Release(make([]byte, 10))    // below the smallest class: dropped
+	Release(make([]byte, 100))   // pooled
+	Release(make([]byte, 1<<23)) // above the largest class: dropped
+	Release(getBuf(256))         // the normal case
 }
 
 func TestEnvelopePool(t *testing.T) {

@@ -3,6 +3,7 @@ package mpi
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -213,7 +214,7 @@ func runWorker(fn func(*Comm) error, o procOptions) error {
 		return fmt.Errorf("mpi: worker listen: %w", err)
 	}
 	defer ln.Close()
-	cc, err := net.DialTimeout("tcp", coord, o.timeout)
+	cc, err := dialRetry("tcp", coord, 10*time.Second, o.timeout, nil)
 	if err != nil {
 		return fmt.Errorf("mpi: dialing coordinator: %w", err)
 	}
@@ -260,6 +261,7 @@ func runSingleRank(np, rank int, fn func(*Comm) error, mkTransport func(*World) 
 	for r := 0; r < np; r++ {
 		w.mailboxes[r] = newMailbox(r, w)
 	}
+	w.initFaultState([]int{rank})
 	t, err := mkTransport(w)
 	if err != nil {
 		return err
@@ -270,17 +272,28 @@ func runSingleRank(np, rank int, fn func(*Comm) error, mkTransport func(*World) 
 		w.watchdogCh = make(chan struct{})
 		go w.watchdog()
 	}
+	w.startAux()
 	c := newWorldComm(w, rank)
 	err = fn(c)
 	w.mailboxes[rank].markFinished()
 	w.finishedCount.Add(1)
+	if err != nil && !errors.Is(err, ErrRankKilled) {
+		// Propagate the failure so remote ranks blocked in Recv observe
+		// ErrAborted promptly instead of waiting out their watchdogs. A
+		// fault-injected kill stays silent: survivors must detect it.
+		w.abort(err)
+	}
 	if w.watchdogCh != nil {
 		close(w.watchdogCh)
 	}
+	w.stopAux()
 	if err != nil {
 		return fmt.Errorf("rank %d: %w", rank, err)
 	}
 	if werr := w.stopErr(); werr != nil {
+		if cause := w.abortCause(); cause != nil && cause.Error() != werr.Error() {
+			return fmt.Errorf("%w (cause: %v)", werr, cause)
+		}
 		return werr
 	}
 	return nil
@@ -324,7 +337,10 @@ func newProcessTransport(w *World, myRank int, addrs []string, ln net.Listener) 
 		t.startReader(conn)
 	}
 	for j := myRank + 1; j < np; j++ {
-		conn, err := net.DialTimeout("tcp", addrs[j], 30*time.Second)
+		peer := j
+		conn, err := dialRetry("tcp", addrs[j], 10*time.Second, 30*time.Second, func(attempt int, err error) {
+			w.emitLifecycle(myRank, LifeRetry, fmt.Sprintf("peer dial %d->%d attempt %d: %v", myRank, peer, attempt, err))
+		})
 		if err != nil {
 			t.close()
 			return nil, fmt.Errorf("mpi: rank %d dialing rank %d at %s: %w", myRank, j, addrs[j], err)
@@ -350,10 +366,32 @@ func (t *processTransport) deliver(e *envelope) error {
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection to rank %d", e.wdst)
 	}
+	if applyFrameFault(t.world, tc, e) {
+		return nil
+	}
 	err := tc.writeEnvelope(e)
 	putBuf(e.data)
 	putEnv(e)
 	return err
+}
+
+// notifyAbort forwards a local abort to every peer process so their
+// blocked ranks observe ErrAborted promptly (satisfying MPI_Abort's
+// whole-world semantics) instead of timing out on their watchdogs.
+func (t *processTransport) notifyAbort(cause error) {
+	msg := []byte(cause.Error())
+	for peer, tc := range t.conns {
+		if tc == nil || peer == t.myRank {
+			continue
+		}
+		e := getEnv()
+		e.kind = kindAbort
+		e.src, e.wsrc, e.wdst = t.myRank, t.myRank, peer
+		e.data = copyToPooled(msg)
+		_ = tc.writeEnvelope(e) // best effort: the peer may already be gone
+		putBuf(e.data)
+		putEnv(e)
+	}
 }
 
 func (t *processTransport) close() error {

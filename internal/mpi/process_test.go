@@ -1,10 +1,12 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"testing"
+	"time"
 )
 
 // multiProcPrograms is shared by parent and children: the children
@@ -73,6 +75,26 @@ var multiProcPrograms = Programs{
 		}
 		return nil
 	},
+	// abortblocked regression-tests cross-process abort propagation: the
+	// other ranks block in a Recv that will never be served, and must be
+	// woken with ErrAborted by rank 1's Abort — promptly, through the
+	// coordinator's broadcast, not via a timeout. A rank whose Recv
+	// surfaces the wrong error stalls deliberately, which trips the
+	// parent's elapsed-time assertion.
+	"abortblocked": func(c *Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(50 * time.Millisecond)
+			cause := fmt.Errorf("deliberate mp abort")
+			c.Abort(cause)
+			return cause
+		}
+		_, _, err := c.RecvBytes(1, 99) // rank 1 never sends on tag 99
+		if !errors.Is(err, ErrAborted) {
+			time.Sleep(20 * time.Second) // poison the parent's promptness check
+			return fmt.Errorf("blocked recv returned %v, want ErrAborted", err)
+		}
+		return nil
+	},
 }
 
 // runMP launches the program across processes. In a child it reports the
@@ -138,6 +160,34 @@ func TestMultiProcessFailurePropagates(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "rank") {
 		t.Fatalf("failure not attributed: %v", err)
+	}
+}
+
+// TestMultiProcessAbortPropagates checks the third transport honors the
+// same abort contract as the channel and TCP ones (see
+// TestAbortPropagationChannel/TCP in ft_test.go): ranks blocked in Recv
+// across process boundaries observe ErrAborted promptly when a peer
+// process aborts.
+func TestMultiProcessAbortPropagates(t *testing.T) {
+	start := time.Now()
+	err, worker := runMP(t, 3, "abortblocked", true)
+	if worker {
+		return
+	}
+	if err == nil {
+		t.Fatal("aborting world reported success")
+	}
+	// The abort is broadcast to every worker, so every child exits with
+	// the world-abort error (the parent reports the first by rank)...
+	if !strings.Contains(err.Error(), "process") {
+		t.Fatalf("child failure not reported: %v", err)
+	}
+	// ...and the blocked ranks must have been woken by the broadcast: a
+	// rank whose Recv saw the wrong error stalls 20s, and one that saw
+	// nothing would hang until the 60s coordinator timeout — both trip
+	// this bound.
+	if d := time.Since(start); d > 15*time.Second {
+		t.Fatalf("abort took %v to unblock the world", d)
 	}
 }
 

@@ -35,7 +35,7 @@ type Request struct {
 // the payload is nil.
 func (r *Request) Wait() ([]byte, Status, error) {
 	tok := r.comm.profEnter()
-	r.comm.world.stats.countCall(r.comm.worldRank, PrimWait)
+	r.comm.countCall(PrimWait)
 	b, st, err := r.wait()
 	r.waitEvent(tok)
 	return b, st, err
@@ -136,7 +136,7 @@ func Waitall(reqs ...*Request) error {
 			continue
 		}
 		tok := r.comm.profEnter()
-		r.comm.world.stats.countCall(r.comm.worldRank, PrimWait)
+		r.comm.countCall(PrimWait)
 		_, _, err := r.wait()
 		r.waitEvent(tok)
 		if err != nil && firstErr == nil {

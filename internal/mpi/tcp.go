@@ -25,6 +25,11 @@ func RunTCP(np int, fn func(*Comm) error, opts ...Option) error {
 	if o.watchdogTimeout == 0 {
 		opts = append(opts, WithWatchdog(30*time.Second))
 	}
+	if o.injector != nil && o.heartbeat == 0 {
+		// Fault-injection runs need a failure detector: without one a
+		// killed rank would only surface through the coarse watchdog.
+		opts = append(opts, WithHeartbeat(DefaultHeartbeat))
+	}
 	return run(np, fn, newTCPTransport, opts...)
 }
 
@@ -190,7 +195,9 @@ func newTCPTransport(w *World) (transport, error) {
 			dialWG.Add(1)
 			go func(i, j int) {
 				defer dialWG.Done()
-				conn, err := net.Dial("tcp", t.listeners[j].Addr().String())
+				conn, err := dialRetry("tcp", t.listeners[j].Addr().String(), 5*time.Second, 15*time.Second, func(attempt int, err error) {
+					w.emitLifecycle(i, LifeRetry, fmt.Sprintf("mesh dial %d->%d attempt %d: %v", i, j, attempt, err))
+				})
 				if err != nil {
 					results <- dialed{from: i, to: j, err: err}
 					return
@@ -252,6 +259,9 @@ func (t *tcpTransport) deliver(e *envelope) error {
 	tc := t.conns[e.wsrc][e.wdst]
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection %d→%d", e.wsrc, e.wdst)
+	}
+	if applyFrameFault(t.world, tc, e) {
+		return nil // frame dropped: the bytes never reach the wire
 	}
 	err := tc.writeEnvelope(e)
 	// The envelope's journey ends at the socket: its bytes are on the

@@ -1,0 +1,142 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// ULFM-style recovery: after a RankFailedError, surviving ranks
+// acknowledge the failure and rebuild a smaller world with Shrink, or
+// reach a fault-tolerant agreement with Agree. The model follows MPI's
+// User-Level Failure Mitigation proposal (MPI_Comm_shrink,
+// MPI_Comm_agree) scaled to this runtime: failure knowledge is shared
+// through the World's failure epoch, which every local rank observes
+// identically, so no extra consensus round is needed to agree on the
+// failed set. One deviation is documented on Agree.
+
+// Shrink acknowledges every currently-declared failure and returns a new
+// communicator containing only the surviving members of c, preserving
+// their relative order (MPI_Comm_shrink). It is collective over the
+// survivors: all of them must call Shrink after observing a
+// RankFailedError, and the call completes once they have all arrived.
+// Operations on the returned communicator run on a fresh context, so
+// stale traffic from the pre-failure world cannot be mismatched into it.
+func (c *Comm) Shrink() (*Comm, error) {
+	w := c.world
+	epoch := w.failEpoch.Load()
+	c.mb.failAck.Store(epoch)
+	failed := w.failedSet()
+
+	members := make([]int, 0, len(c.members))
+	newRank := -1
+	for _, wr := range c.members {
+		if failed[wr] {
+			continue
+		}
+		if wr == c.worldRank {
+			newRank = len(members)
+		}
+		members = append(members, wr)
+	}
+	if newRank == -1 {
+		return nil, fmt.Errorf("mpi: Shrink: calling rank %d is itself declared failed", c.worldRank)
+	}
+
+	// Negative colors are unreachable through Split (it treats them as
+	// "not a member"), so keying the shrunken context on the failure
+	// epoch in negative color space can never collide with user splits.
+	c.splitSeq++
+	ctx := w.ctxFor(ctxKey{parentCtx: c.ctx, splitSeq: c.splitSeq, color: -1 - int(epoch)})
+	nc := &Comm{
+		world:     w,
+		worldRank: c.worldRank,
+		rank:      newRank,
+		members:   members,
+		ctx:       ctx,
+		mb:        c.mb,
+	}
+	w.emitLifecycle(c.worldRank, LifeRecovery, fmt.Sprintf("shrink: %d survivors at epoch %d", len(members), epoch))
+	// Synchronize the survivors so the new world starts aligned; a
+	// further failure during this barrier surfaces as RankFailedError
+	// and the caller may Shrink again.
+	if err := nc.Barrier(); err != nil {
+		return nil, err
+	}
+	return nc, nil
+}
+
+// Agree performs a fault-tolerant agreement over the surviving ranks of c
+// and returns the logical AND of their flags (MPI_Comm_agree). Like
+// Shrink it acknowledges all currently-declared failures, so after a
+// successful Agree the survivors can keep using c for point-to-point
+// traffic among themselves. Deviation from ULFM: if a rank fails during
+// the agreement itself, Agree returns an error (typically a
+// RankFailedError) instead of completing; callers retry after Shrink.
+func (c *Comm) Agree(flag bool) (bool, error) {
+	w := c.world
+	epoch := w.failEpoch.Load()
+	c.mb.failAck.Store(epoch)
+	failed := w.failedSet()
+
+	// Survivors in communicator-rank order; the lowest survivor
+	// coordinates. Linear gather-and-rebroadcast: O(p) tiny eager
+	// messages, acceptable at teaching scale and trivially correct.
+	surv := make([]int, 0, len(c.members))
+	me := -1
+	for cr, wr := range c.members {
+		if failed[wr] {
+			continue
+		}
+		if cr == c.rank {
+			me = cr
+		}
+		surv = append(surv, cr)
+	}
+	if me == -1 {
+		return false, fmt.Errorf("mpi: Agree: calling rank %d is itself declared failed", c.worldRank)
+	}
+	tag := c.nextCollTag()
+	val := byte(0)
+	if flag {
+		val = 1
+	}
+	root := surv[0]
+	if c.rank == root {
+		out := val
+		for _, cr := range surv[1:] {
+			b, err := c.collRecv(cr, tag)
+			if err != nil {
+				return false, err
+			}
+			if len(b) != 1 {
+				putBuf(b)
+				return false, fmt.Errorf("%w: Agree vote of %d bytes", ErrLengthMismatch, len(b))
+			}
+			out &= b[0]
+			putBuf(b)
+		}
+		for _, cr := range surv[1:] {
+			buf := getBuf(1)
+			buf[0] = out
+			if err := c.collSendOwned(buf, cr, tag); err != nil {
+				return false, err
+			}
+		}
+		return out == 1, nil
+	}
+	buf := getBuf(1)
+	buf[0] = val
+	if err := c.collSendOwned(buf, root, tag); err != nil {
+		return false, err
+	}
+	b, err := c.collRecv(root, tag)
+	if err != nil {
+		return false, err
+	}
+	if len(b) != 1 {
+		putBuf(b)
+		return false, fmt.Errorf("%w: Agree result of %d bytes", ErrLengthMismatch, len(b))
+	}
+	out := b[0]
+	putBuf(b)
+	return out == 1, nil
+}

@@ -71,6 +71,18 @@ type World struct {
 	ctxNext    int32
 	ctxByKey   map[ctxKey]int32
 	watchdogCh chan struct{}
+
+	// Fault-tolerance state (fault.go). killed marks ranks crashed by
+	// injection; failed/failEpoch are the survivors' view of declared
+	// failures; lastHeard feeds the heartbeat monitor.
+	failMu     sync.Mutex
+	failed     map[int]bool
+	failEpoch  atomic.Int64
+	killed     []atomic.Bool
+	lastHeard  []atomic.Int64
+	localRanks []int
+	auxStop    chan struct{}
+	auxWG      sync.WaitGroup
 }
 
 // Run launches fn on np goroutine ranks connected by the in-process channel
@@ -104,6 +116,11 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 	for r := 0; r < np; r++ {
 		w.mailboxes[r] = newMailbox(r, w)
 	}
+	local := make([]int, np)
+	for r := range local {
+		local[r] = r
+	}
+	w.initFaultState(local)
 	if mkTransport != nil {
 		t, err := mkTransport(w)
 		if err != nil {
@@ -124,6 +141,7 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 		w.watchdogCh = make(chan struct{})
 		go w.watchdog()
 	}
+	w.startAux()
 
 	errs := make([]error, np)
 	var wg sync.WaitGroup
@@ -138,7 +156,11 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 			w.signalDetector()
 			if err != nil {
 				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
-				w.abort(err)
+				// A fault-injected kill simulates a crash: the survivors
+				// detect and handle it; the world must not abort.
+				if !errors.Is(err, ErrRankKilled) {
+					w.abort(err)
+				}
 			}
 		}(r)
 	}
@@ -147,10 +169,25 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 	if w.watchdogCh != nil {
 		close(w.watchdogCh)
 	}
+	w.stopAux()
 	if w.deadlocked.Load() {
 		// Blocked ranks already returned wrapped ErrDeadlock errors;
 		// make sure at least one surfaces even if a rank swallowed it.
 		errs = append(errs, ErrDeadlock)
+	}
+	if cause := w.abortCause(); cause != nil {
+		// Surface the abort cause (watchdog diagnostic, remote abort)
+		// unless some rank already returned exactly it.
+		dup := false
+		for _, e := range errs {
+			if e != nil && errors.Is(e, cause) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			errs = append(errs, cause)
+		}
 	}
 	return errors.Join(compactErrs(errs)...)
 }
@@ -176,7 +213,13 @@ func compactErrs(errs []error) []error {
 }
 
 // deliver routes an envelope through the transport with traffic accounting.
+// A killed sender's envelopes are discarded: a crashed rank sends nothing.
 func (w *World) deliver(e *envelope) error {
+	if w.isKilled(e.wsrc) {
+		putBuf(e.data)
+		putEnv(e)
+		return ErrRankKilled
+	}
 	w.stats.addWire(e.wsrc, e.wdst, e.wireBytes())
 	w.progress.Add(1)
 	return w.transport.deliver(e)
@@ -204,15 +247,47 @@ func (w *World) ctxFor(key ctxKey) int32 {
 	return id
 }
 
-// abort stops the world: every blocked rank returns ErrAborted.
-func (w *World) abort(cause error) {
+// abortNotifier is implemented by transports that must forward an abort
+// to remote peers (the multi-process mesh, where each process has its own
+// World): without it a remote rank blocked in Recv would only learn of
+// the abort from its watchdog.
+type abortNotifier interface {
+	notifyAbort(cause error)
+}
+
+// abort stops the world: every blocked rank returns ErrAborted. A
+// locally-originated abort is forwarded to remote peers when the
+// transport spans processes.
+func (w *World) abort(cause error) { w.abortWith(cause, true) }
+
+// abortRemote records an abort learned from a peer process; it is not
+// re-forwarded.
+func (w *World) abortRemote(cause error) { w.abortWith(cause, false) }
+
+func (w *World) abortWith(cause error, local bool) {
 	w.abortMu.Lock()
-	if w.abortErr == nil {
+	first := w.abortErr == nil
+	if first {
 		w.abortErr = cause
 	}
 	w.abortMu.Unlock()
 	w.aborted.Store(true)
+	if first && local {
+		if n, ok := w.transport.(abortNotifier); ok {
+			n.notifyAbort(cause)
+		}
+	}
 	w.broadcastAll()
+}
+
+// abortCause returns the first abort error recorded, or nil.
+func (w *World) abortCause() error {
+	if !w.aborted.Load() {
+		return nil
+	}
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
 }
 
 // stopErr reports why blocked operations must give up, or nil.
@@ -298,9 +373,15 @@ func (w *World) verifyDeadlock() bool {
 		}
 	}()
 	anyWaiting := false
+	epoch := w.failEpoch.Load()
 	for _, mb := range w.mailboxes {
-		if mb.finished {
+		if mb.finished || mb.dead {
 			continue
+		}
+		if mb.waiting != nil && mb.failAck.Load() < epoch {
+			// The rank will observe a RankFailedError as soon as it
+			// re-checks its wait predicate: not a deadlock.
+			return false
 		}
 		if mb.waiting == nil || mb.satisfiableLocked() {
 			return false
@@ -324,7 +405,7 @@ func (w *World) watchdog() {
 		case <-ticker.C:
 			cur := w.progress.Load()
 			if cur == last && w.blockedCount.Load() > 0 {
-				w.abort(fmt.Errorf("mpi: watchdog: no progress for %v", w.opts.watchdogTimeout))
+				w.abort(fmt.Errorf("mpi: watchdog: no progress for %v; %s", w.opts.watchdogTimeout, w.blockedSnapshot()))
 				return
 			}
 			last = cur

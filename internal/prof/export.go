@@ -54,11 +54,13 @@ func Flows(events []mpi.Event) []trace.Flow {
 
 // WriteChromeTrace exports the event stream as Chrome trace-event JSON
 // under the given pid and job name: one "X" slice per primitive, derived
-// compute slices for the gaps, and "s"/"f" flow pairs drawing message
-// arrows between rank timelines in Perfetto.
+// compute slices for the gaps, "s"/"f" flow pairs drawing message
+// arrows between rank timelines in Perfetto, and "i" instant markers for
+// fault-tolerance lifecycle events (failures, retries, checkpoints,
+// recoveries).
 func (p *Collector) WriteChromeTrace(w io.Writer, pid int, name string) error {
 	events := p.Events()
-	return trace.WriteChrome(w, pid, name, p.Epoch(), Intervals(events), Flows(events))
+	return trace.WriteChrome(w, pid, name, p.Epoch(), Intervals(events), Flows(events), p.Markers())
 }
 
 // jsonEvent is the stable external form of one profiling event. Times

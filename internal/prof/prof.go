@@ -24,11 +24,15 @@ import (
 )
 
 // Collector implements mpi.Hook by appending events under a mutex — the
-// cheapest safe thing to do inside the runtime's primitive exit path.
+// cheapest safe thing to do inside the runtime's primitive exit path. It
+// also implements mpi.LifecycleHook, so failures, retries, checkpoints,
+// and recoveries recorded by the fault-tolerance layer land in the same
+// stream and export as instant markers on the Chrome trace.
 type Collector struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	events []mpi.Event
+	mu        sync.Mutex
+	epoch     time.Time
+	events    []mpi.Event
+	lifecycle []mpi.LifecycleEvent
 }
 
 // New creates a Collector whose export time axis starts now.
@@ -42,6 +46,31 @@ func (p *Collector) Event(e mpi.Event) {
 	p.mu.Lock()
 	p.events = append(p.events, e)
 	p.mu.Unlock()
+}
+
+// Lifecycle records a fault-tolerance lifecycle event (mpi.LifecycleHook).
+func (p *Collector) Lifecycle(e mpi.LifecycleEvent) {
+	p.mu.Lock()
+	p.lifecycle = append(p.lifecycle, e)
+	p.mu.Unlock()
+}
+
+// LifecycleEvents returns a copy of the recorded lifecycle events.
+func (p *Collector) LifecycleEvents() []mpi.LifecycleEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]mpi.LifecycleEvent(nil), p.lifecycle...)
+}
+
+// Markers converts the recorded lifecycle events into Chrome instant
+// markers for the trace exporter.
+func (p *Collector) Markers() []trace.Marker {
+	evs := p.LifecycleEvents()
+	out := make([]trace.Marker, len(evs))
+	for i, e := range evs {
+		out[i] = trace.Marker{Rank: e.Rank, Name: e.Kind, Note: e.Detail, At: e.Time}
+	}
+	return out
 }
 
 // Events returns a copy of everything recorded so far.
@@ -62,6 +91,7 @@ func (p *Collector) Epoch() time.Time {
 func (p *Collector) Reset() {
 	p.mu.Lock()
 	p.events = p.events[:0]
+	p.lifecycle = p.lifecycle[:0]
 	p.epoch = time.Now()
 	p.mu.Unlock()
 }

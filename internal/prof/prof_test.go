@@ -3,6 +3,7 @@ package prof
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -435,5 +436,53 @@ func TestAccount(t *testing.T) {
 	}
 	if a.WaitFrac < 0 || a.WaitFrac > 1 {
 		t.Errorf("WaitFrac %f outside [0,1]", a.WaitFrac)
+	}
+}
+
+// killInjector kills one rank at its nth primitive; frames pass through.
+type killInjector struct{ rank, call int }
+
+func (k killInjector) AtCall(rank, call int) bool { return rank == k.rank && call == k.call }
+func (k killInjector) AtFrame(src, dst int) (mpi.FrameAction, time.Duration) {
+	return mpi.FrameDeliver, 0
+}
+
+// TestLifecycleMarkers checks the fault-tolerance timeline flows from the
+// runtime through the collector into the Chrome trace as instant events.
+func TestLifecycleMarkers(t *testing.T) {
+	pc := New()
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		if _, err := mpi.Allreduce(c, []float64{1}, mpi.OpSum[float64]); err != nil {
+			var rf *mpi.RankFailedError
+			if errors.As(err, &rf) {
+				c.Lifecycle(mpi.LifeRecovery, "survivor saw failure")
+			}
+			return nil // tolerate the injected failure
+		}
+		return nil
+	}, mpi.WithInjector(killInjector{rank: 2, call: 1}), mpi.WithHook(pc))
+	if err != nil && !errors.Is(err, mpi.ErrRankKilled) {
+		t.Fatalf("world error: %v", err)
+	}
+	evs := pc.LifecycleEvents()
+	kinds := make(map[string]int)
+	for _, e := range evs {
+		kinds[e.Kind]++
+	}
+	if kinds[mpi.LifeFailure] == 0 {
+		t.Fatalf("no %q lifecycle event recorded: %v", mpi.LifeFailure, kinds)
+	}
+	if kinds[mpi.LifeRecovery] == 0 {
+		t.Fatalf("no application %q event recorded: %v", mpi.LifeRecovery, kinds)
+	}
+	var buf bytes.Buffer
+	if err := pc.WriteChromeTrace(&buf, 0, "ft"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"i"`, `"cat":"lifecycle"`, `"name":"failure"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing %s", want)
+		}
 	}
 }

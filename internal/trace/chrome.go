@@ -21,7 +21,18 @@ type chromeEvent struct {
 	TID   int            `json:"tid"`
 	ID    int64          `json:"id,omitempty"`
 	BP    string         `json:"bp,omitempty"`
+	Scope string         `json:"s,omitempty"` // instant-event scope: g/p/t
 	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Marker is a zero-duration point event on a rank timeline — failures,
+// retries, checkpoints, recoveries. Exported as a Chrome instant event
+// ("i" phase), which Perfetto renders as a flag on the rank's track.
+type Marker struct {
+	Rank int
+	Name string // e.g. "failure", "checkpoint"
+	Note string // free-form detail shown in the args pane
+	At   time.Time
 }
 
 // Flow is one directed message edge between two rank timelines; exported
@@ -36,13 +47,14 @@ type Flow struct {
 	ToTime   time.Time // anchor inside the consuming slice
 }
 
-// WriteChrome exports intervals and message flows in the Chrome
-// trace-event JSON format under the given pid. A process_name metadata
-// record labels the job, so several jobs written with distinct pids can
-// be concatenated into one trace without their rank timelines colliding.
-func WriteChrome(w io.Writer, pid int, name string, epoch time.Time, ivs []Interval, flows []Flow) error {
+// WriteChrome exports intervals, message flows, and instant markers in
+// the Chrome trace-event JSON format under the given pid. A process_name
+// metadata record labels the job, so several jobs written with distinct
+// pids can be concatenated into one trace without their rank timelines
+// colliding.
+func WriteChrome(w io.Writer, pid int, name string, epoch time.Time, ivs []Interval, flows []Flow, markers []Marker) error {
 	us := func(t time.Time) float64 { return float64(t.Sub(epoch).Microseconds()) }
-	events := make([]chromeEvent, 0, len(ivs)+2*len(flows)+1)
+	events := make([]chromeEvent, 0, len(ivs)+2*len(flows)+len(markers)+1)
 	if name != "" {
 		events = append(events, chromeEvent{
 			Name:  "process_name",
@@ -82,6 +94,21 @@ func WriteChrome(w io.Writer, pid int, name string, epoch time.Time, ivs []Inter
 			BP:    "e", // bind to the enclosing slice so the arrow lands on the primitive
 		})
 	}
+	for _, m := range markers {
+		ev := chromeEvent{
+			Name:  m.Name,
+			Cat:   "lifecycle",
+			Phase: "i",
+			TsUS:  us(m.At),
+			PID:   pid,
+			TID:   m.Rank,
+			Scope: "t", // thread-scoped: the flag sits on the rank's track
+		}
+		if m.Note != "" {
+			ev.Args = map[string]any{"detail": m.Note}
+		}
+		events = append(events, ev)
+	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(map[string]any{"traceEvents": events}); err != nil {
 		return fmt.Errorf("trace: encoding chrome trace: %w", err)
@@ -100,5 +127,5 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	pid := t.pid
 	ivs := append([]Interval(nil), t.intervals...)
 	t.mu.Unlock()
-	return WriteChrome(w, pid, "", epoch, ivs, nil)
+	return WriteChrome(w, pid, "", epoch, ivs, nil, nil)
 }

@@ -206,12 +206,14 @@ func TestWriteChromeFlows(t *testing.T) {
 		FromRank: 0, FromTime: epoch.Add(time.Millisecond),
 		ToRank: 1, ToTime: epoch.Add(2 * time.Millisecond),
 	}}
+	markers := []Marker{{Rank: 1, Name: "failure", Note: "rank 2 declared failed", At: epoch.Add(time.Millisecond)}}
 	var buf bytes.Buffer
-	if err := WriteChrome(&buf, 9, "job", epoch, ivs, flows); err != nil {
+	if err := WriteChrome(&buf, 9, "job", epoch, ivs, flows, markers); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, `"bp":"e"`, `"pid":9`, `"id":42`} {
+	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, `"bp":"e"`, `"pid":9`, `"id":42`,
+		`"ph":"i"`, `"s":"t"`, `"name":"failure"`, `"cat":"lifecycle"`, `"detail":"rank 2 declared failed"`} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("trace %s is missing %s", out, want)
 		}
