@@ -7,6 +7,11 @@ GO ?= go
 # path guards (EXPERIMENTS.md records their baselines).
 MPI_BENCHES = BenchmarkModule1_PingPong|BenchmarkAblation_Transports|BenchmarkAblation_AllreduceAlgorithms|BenchmarkAblation_EagerVsRendezvous
 
+# The one-sided (RMA) microbenchmarks: Put/Get latency across the eager
+# boundary, fence-vs-lock epoch cost, and the RMA-vs-two-sided hash-join
+# build (EXPERIMENTS.md records their baselines in BENCH_rma.json).
+RMA_BENCHES = BenchmarkRMA_PutLatency|BenchmarkRMA_GetLatency|BenchmarkRMA_EpochSync|BenchmarkRMA_HashJoinBuild
+
 .PHONY: all build test race bench bench-all check faults fuzz report examples clean
 
 all: build test
@@ -19,7 +24,10 @@ check: faults
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestAlloc' ./internal/mpi
+	$(GO) test -race -run 'TestRMA' ./internal/mpi
+	$(GO) test -race -run 'TestJoinRMA' ./internal/modules/hashjoin
 	$(GO) test -race -run NONE -bench '$(MPI_BENCHES)' -benchtime=1x .
+	$(GO) test -race -run NONE -bench '$(RMA_BENCHES)' -benchtime=1x .
 
 # The fault-tolerance matrix: seeded deterministic injection across the
 # runtime (kill/shrink/agree, frame faults, abort propagation on all
@@ -27,7 +35,7 @@ check: faults
 # node-failure/requeue path — all under the race detector.
 faults:
 	$(GO) vet ./...
-	$(GO) test -race -run 'TestFault|TestAgree|TestShrink|TestFrame|TestAbortPropagation|TestMultiProcessAbortPropagates|TestOpTimeout|TestWatchdogDiagnostic|TestAllocHygiene' ./internal/mpi
+	$(GO) test -race -run 'TestFault|TestAgree|TestShrink|TestFrame|TestAbortPropagation|TestMultiProcessAbortPropagates|TestOpTimeout|TestWatchdogDiagnostic|TestAllocHygiene|TestRMAPutToFailedRank|TestRMALockDeadlockDetected' ./internal/mpi
 	$(GO) test -race ./internal/faults ./internal/ckpt
 	$(GO) test -race -run 'TestRestart|TestSortCheckpoint|TestSortRestart' ./internal/modules/kmeans ./internal/modules/distsort
 	$(GO) test -race -run 'TestNodeFail|TestRequeue|TestScheduledNodeFail|TestFailNode|TestBackoff|FuzzClusterFaultOps' ./internal/cluster
@@ -46,6 +54,7 @@ race:
 # benchstat-compatible log for before/after comparison.
 bench:
 	$(GO) test -run NONE -bench '$(MPI_BENCHES)' -benchmem -count=1 . | tee BENCH_mpi.json
+	$(GO) test -run NONE -bench '$(RMA_BENCHES)' -benchmem -count=1 . | tee BENCH_rma.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -55,6 +64,7 @@ bench-all:
 fuzz:
 	$(GO) test ./internal/mpi -fuzz=FuzzParseWire -fuzztime=10s
 	$(GO) test ./internal/mpi -fuzz=FuzzUnmarshalFloat64 -fuzztime=10s
+	$(GO) test ./internal/mpi -fuzz=FuzzRMAFrame -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzParseScript -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzClusterFaultOps -fuzztime=10s
 	$(GO) test ./internal/modules/distsort -fuzz=FuzzEquiDepthBoundaries -fuzztime=10s

@@ -630,6 +630,177 @@ func BenchmarkExtension_HashJoin(b *testing.B) {
 	})
 }
 
+// ---- One-sided (RMA) benchmarks: BENCH_rma.json ----
+
+// BenchmarkRMA_PutLatency measures completed-Put latency (Put + Flush)
+// across the eager/rendezvous boundary. The target rank parks in Free's
+// barrier: the progress engine services every request, so this is the
+// pure one-sided path with no target-side software in the loop.
+func BenchmarkRMA_PutLatency(b *testing.B) {
+	for _, size := range []int{8, 512, 4096, 65536} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			buf := make([]byte, size)
+			err := mpi.Run(2, func(c *mpi.Comm) error {
+				win, err := c.WinCreate(size)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := win.Put(1, 0, buf); err != nil {
+							return err
+						}
+						if err := win.Flush(); err != nil {
+							return err
+						}
+					}
+					b.StopTimer()
+				}
+				return win.Free()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(size))
+		})
+	}
+}
+
+// BenchmarkRMA_GetLatency measures the fetch round trip with a reused
+// destination buffer (GetInto), the one-sided analogue of ping-pong.
+func BenchmarkRMA_GetLatency(b *testing.B) {
+	for _, size := range []int{8, 512, 4096, 65536} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			err := mpi.Run(2, func(c *mpi.Comm) error {
+				win, err := c.WinCreate(size)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					dst := make([]byte, size)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := win.GetInto(dst, 1, 0); err != nil {
+							return err
+						}
+					}
+					b.StopTimer()
+				}
+				return win.Free()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(size))
+		})
+	}
+}
+
+// BenchmarkRMA_EpochSync compares the cost of the two epoch mechanisms
+// closing one 8-byte Put on 4 ranks: a collective fence versus a
+// passive-target lock/unlock of the neighbour.
+func BenchmarkRMA_EpochSync(b *testing.B) {
+	const np = 4
+	b.Run("fence-np4", func(b *testing.B) {
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			win, err := c.WinCreate(8 * np)
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, 8)
+			target := (c.Rank() + 1) % np
+			if c.Rank() == 0 {
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				if err := win.Put(target, 8*c.Rank(), buf); err != nil {
+					return err
+				}
+				if err := win.Fence(); err != nil {
+					return err
+				}
+			}
+			if c.Rank() == 0 {
+				b.StopTimer()
+			}
+			return win.Free()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("lock-np4", func(b *testing.B) {
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			win, err := c.WinCreate(8 * np)
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, 8)
+			target := (c.Rank() + 1) % np
+			if c.Rank() == 0 {
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				if err := win.Lock(target); err != nil {
+					return err
+				}
+				if err := win.Put(target, 8*c.Rank(), buf); err != nil {
+					return err
+				}
+				if err := win.Unlock(target); err != nil {
+					return err
+				}
+			}
+			if c.Rank() == 0 {
+				b.StopTimer()
+			}
+			return win.Free()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkRMA_HashJoinBuild compares the two build phases of the
+// extension join on identical relations: the two-sided exchange-and-map
+// build against the one-sided CAS-claim/Put deposit into remote windows
+// (EXPERIMENTS.md records the study).
+func BenchmarkRMA_HashJoinBuild(b *testing.B) {
+	const np, perRank = 4, 5_000
+	locals := make([][2][]hashjoin.Tuple, np)
+	for r := 0; r < np; r++ {
+		rng := rand.New(rand.NewSource(int64(r) + 77))
+		for i := 0; i < perRank; i++ {
+			locals[r][0] = append(locals[r][0], hashjoin.Tuple{Key: rng.Int63n(5000), Payload: rng.Int63()})
+			locals[r][1] = append(locals[r][1], hashjoin.Tuple{Key: rng.Int63n(5000), Payload: rng.Int63()})
+		}
+	}
+	b.Run("two-sided-np4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := mpi.Run(np, func(c *mpi.Comm) error {
+				_, _, err := hashjoin.Join(c, locals[c.Rank()][0], locals[c.Rank()][1])
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rma-np4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			err := mpi.Run(np, func(c *mpi.Comm) error {
+				_, _, err := hashjoin.JoinRMA(c, locals[c.Rank()][0], locals[c.Rank()][1])
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkExtension_WarmupGrading measures the auto-grader over the full
 // exercise set.
 func BenchmarkExtension_WarmupGrading(b *testing.B) {

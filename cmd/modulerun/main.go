@@ -13,6 +13,8 @@
 //	modulerun -weak kmeans -scale 1,2,4
 //	modulerun -checkpoint /tmp/kmeans.ckpt -ckpt-every 5   # checkpointed k-means
 //	modulerun -restart /tmp/kmeans.ckpt                    # resume, bit-identical
+//	modulerun -activity hash-join -rma                     # one-sided RMA build phase
+//	modulerun -activity hash-join -inject frame=delay:prob=0.02:seed=7 -transport tcp
 package main
 
 import (
@@ -22,10 +24,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/faults"
 	"repro/internal/modules/comm"
 	"repro/internal/modules/kmeans"
 	"repro/internal/mpi"
@@ -34,53 +38,154 @@ import (
 	"repro/internal/warmup"
 )
 
-func main() {
-	list := flag.Bool("list", false, "list activities and exit")
-	module := flag.Int("module", 0, "run every activity of one module (1-5)")
-	activity := flag.String("activity", "", "run one activity by name")
-	np := flag.Int("np", 0, "rank count (0 = activity default)")
-	transport := flag.String("transport", "channel", "transport: channel or tcp")
-	stats := flag.Bool("stats", false, "print the communication accounting after each run")
-	deadlock := flag.Bool("deadlock-demo", false, "run Module 1's intentional deadlock (and its fix)")
-	warmupName := flag.String("warmup", "", "grade the reference solution of one warmup exercise")
-	showTrace := flag.Bool("trace", false, "render a Gantt chart of compute/communication phases (profiler-derived)")
-	profile := flag.Bool("profile", false, "print the PMPI-style wait-state profile after each run")
-	scale := flag.String("scale", "", "comma-separated rank counts: run a strong-scaling study of -activity")
-	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON with message-flow arrows to this file (view in ui.perfetto.dev)")
-	weak := flag.String("weak", "", "run a weak-scaling study of a sized workload (see -list)")
-	checkpoint := flag.String("checkpoint", "", "run the Module-5 k-means with periodic checkpoints written to this file")
-	ckptEvery := flag.Int("ckpt-every", 5, "iterations between checkpoint saves (with -checkpoint)")
-	restart := flag.String("restart", "", "resume the Module-5 k-means from this checkpoint file (bit-identical to the uninterrupted run)")
-	flag.Parse()
+// options collects every modulerun flag. Keeping them in one struct (and
+// building the flag set in newFlagSet) lets the help test capture the
+// usage text and lets run be exercised without a process boundary.
+type options struct {
+	list       bool
+	module     int
+	activity   string
+	np         int
+	transport  string
+	stats      bool
+	deadlock   bool
+	warmupName string
+	showTrace  bool
+	profile    bool
+	scale      string
+	chrome     string
+	weak       string
+	checkpoint string
+	ckptEvery  int
+	restart    string
+	rma        bool
+	inject     string
+	heartbeat  time.Duration
+	opTimeout  time.Duration
+}
 
-	if err := run(*list, *module, *activity, *np, *transport, *stats, *deadlock, *warmupName, *showTrace, *profile, *scale, *chrome, *weak, *checkpoint, *ckptEvery, *restart); err != nil {
+// newFlagSet defines every flag on a fresh FlagSet bound to o. main and
+// the golden help test share this, so the documented surface cannot
+// drift from the parsed one.
+func newFlagSet(o *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("modulerun", flag.ContinueOnError)
+	fs.BoolVar(&o.list, "list", false, "list activities and exit")
+	fs.IntVar(&o.module, "module", 0, "run every activity of one module (1-5)")
+	fs.StringVar(&o.activity, "activity", "", "run one activity by name")
+	fs.IntVar(&o.np, "np", 0, "rank count (0 = activity default)")
+	fs.StringVar(&o.transport, "transport", "channel", "transport: channel or tcp")
+	fs.BoolVar(&o.stats, "stats", false, "print the communication accounting after each run")
+	fs.BoolVar(&o.deadlock, "deadlock-demo", false, "run Module 1's intentional deadlock (and its fix)")
+	fs.StringVar(&o.warmupName, "warmup", "", "grade the reference solution of one warmup exercise")
+	fs.BoolVar(&o.showTrace, "trace", false, "render a Gantt chart of compute/communication phases (profiler-derived)")
+	fs.BoolVar(&o.profile, "profile", false, "print the PMPI-style wait-state profile after each run")
+	fs.StringVar(&o.scale, "scale", "", "comma-separated rank counts: run a strong-scaling study of -activity")
+	fs.StringVar(&o.chrome, "chrome", "", "write a Chrome trace-event JSON with message-flow arrows to this file (view in ui.perfetto.dev)")
+	fs.StringVar(&o.weak, "weak", "", "run a weak-scaling study of a sized workload (see -list)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "run the Module-5 k-means with periodic checkpoints written to this file")
+	fs.IntVar(&o.ckptEvery, "ckpt-every", 5, "iterations between checkpoint saves (with -checkpoint)")
+	fs.StringVar(&o.restart, "restart", "", "resume the Module-5 k-means from this checkpoint file (bit-identical to the uninterrupted run)")
+	fs.BoolVar(&o.rma, "rma", false, "run the hash join with the one-sided RMA build phase (alone, or with -activity hash-join or -module 7)")
+	fs.StringVar(&o.inject, "inject", "", "deterministic fault plan for the run, e.g. rank=2:call=50:kill or frame=drop:prob=0.01:seed=7")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
+	fs.DurationVar(&o.opTimeout, "op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
+	return fs
+}
+
+func main() {
+	var o options
+	fs := newFlagSet(&o)
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2) // the flag package already reported the problem
+	}
+	if err := run(&o, fs); err != nil {
 		fmt.Fprintln(os.Stderr, "modulerun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, module int, activity string, np int, transport string, stats, deadlock bool, warmupName string, showTrace, profile bool, scale, chrome, weak, checkpoint string, ckptEvery int, restart string) error {
+// applyRMA resolves the -rma flag onto the activity/module selection:
+// the hash-join activity is substituted by its one-sided variant, and a
+// bare -rma runs hash-join-rma directly. Any other selection is a usage
+// error — the flag only swaps the Module-7 build phase.
+func applyRMA(o *options) error {
+	if !o.rma {
+		return nil
+	}
+	switch o.activity {
+	case "hash-join":
+		o.activity = "hash-join-rma"
+	case "hash-join-rma", "":
+	default:
+		return fmt.Errorf("-rma applies only to the hash-join activity (got -activity %s)", o.activity)
+	}
+	if o.activity == "" {
+		if o.module != 0 && o.module != 7 {
+			return fmt.Errorf("-rma applies only to module 7 (got -module %d)", o.module)
+		}
+		if o.module == 0 && !o.list {
+			o.activity = "hash-join-rma"
+		}
+	}
+	return nil
+}
+
+// faultOptions turns the fault-injection flags into runtime options for
+// a single launch. The scaling-study paths manage their own worlds, so
+// injection there is rejected rather than silently dropped.
+func faultOptions(o *options) (*faults.Plan, []mpi.Option, error) {
+	var opts []mpi.Option
+	var plan *faults.Plan
+	if o.inject != "" {
+		var err error
+		plan, err = faults.Parse(o.inject)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, mpi.WithInjector(plan))
+	}
+	if o.heartbeat > 0 {
+		opts = append(opts, mpi.WithHeartbeat(o.heartbeat))
+	}
+	if o.opTimeout > 0 {
+		opts = append(opts, mpi.WithOpTimeout(o.opTimeout))
+	}
+	return plan, opts, nil
+}
+
+func run(o *options, fs *flag.FlagSet) error {
 	tcp := false
-	switch transport {
+	switch o.transport {
 	case "channel":
 	case "tcp":
 		tcp = true
 	default:
-		return fmt.Errorf("unknown transport %q (channel or tcp)", transport)
+		return fmt.Errorf("unknown transport %q (channel or tcp)", o.transport)
+	}
+	if err := applyRMA(o); err != nil {
+		return err
+	}
+	plan, faultOpts, err := faultOptions(o)
+	if err != nil {
+		return err
+	}
+	if len(faultOpts) > 0 && (o.scale != "" || o.weak != "") {
+		return errors.New("-inject/-heartbeat/-op-timeout are unavailable with scaling studies (each study point owns its world)")
 	}
 
 	switch {
-	case checkpoint != "" || restart != "":
-		if checkpoint != "" && restart != "" {
+	case o.checkpoint != "" || o.restart != "":
+		if o.checkpoint != "" && o.restart != "" {
 			return errors.New("-checkpoint and -restart are exclusive (both name the checkpoint file)")
 		}
-		path, resume := checkpoint, false
-		if restart != "" {
-			path, resume = restart, true
+		path, resume := o.checkpoint, false
+		if o.restart != "" {
+			path, resume = o.restart, true
 		}
-		return runCheckpointKmeans(np, tcp, path, ckptEvery, resume)
+		return runCheckpointKmeans(o.np, tcp, path, o.ckptEvery, resume)
 
-	case list:
+	case o.list:
 		fmt.Printf("%-26s %-3s %-3s %s\n", "ACTIVITY", "MOD", "NP", "DESCRIPTION")
 		for _, a := range core.All() {
 			fmt.Printf("%-26s %-3d %-3d %s\n", a.Name, a.Module, a.DefaultNP, a.Description)
@@ -95,7 +200,7 @@ func run(list bool, module int, activity string, np int, transport string, stats
 		}
 		return nil
 
-	case deadlock:
+	case o.deadlock:
 		fmt.Println("running the head-to-head synchronous exchange (every rank sends first)...")
 		err := comm.DeadlockDemo(2)
 		if !errors.Is(err, mpi.ErrDeadlock) {
@@ -109,12 +214,12 @@ func run(list bool, module int, activity string, np int, transport string, stats
 		fmt.Println("  completed without deadlock")
 		return nil
 
-	case weak != "":
-		sa, ok := core.FindSized(weak)
+	case o.weak != "":
+		sa, ok := core.FindSized(o.weak)
 		if !ok {
-			return fmt.Errorf("no sized workload %q (try -list)", weak)
+			return fmt.Errorf("no sized workload %q (try -list)", o.weak)
 		}
-		ranks, err := parseRanks(scale)
+		ranks, err := parseRanks(o.scale)
 		if err != nil {
 			return err
 		}
@@ -129,12 +234,12 @@ func run(list bool, module int, activity string, np int, transport string, stats
 		fmt.Print(report)
 		return nil
 
-	case activity != "" && scale != "":
-		a, ok := core.Find(activity)
+	case o.activity != "" && o.scale != "":
+		a, ok := core.Find(o.activity)
 		if !ok {
-			return fmt.Errorf("no activity %q (try -list)", activity)
+			return fmt.Errorf("no activity %q (try -list)", o.activity)
 		}
-		ranks, err := parseRanks(scale)
+		ranks, err := parseRanks(o.scale)
 		if err != nil {
 			return err
 		}
@@ -149,42 +254,56 @@ func run(list bool, module int, activity string, np int, transport string, stats
 		fmt.Print(report)
 		return nil
 
-	case activity != "":
-		a, ok := core.Find(activity)
+	case o.activity != "":
+		a, ok := core.Find(o.activity)
 		if !ok {
-			return fmt.Errorf("no activity %q (try -list)", activity)
+			return fmt.Errorf("no activity %q (try -list)", o.activity)
 		}
-		return launch(a, np, tcp, stats, showTrace, profile, chrome, 1)
+		return reportFault(plan, launch(a, o, tcp, faultOpts, 1))
 
-	case warmupName != "":
-		ex, ok := warmup.Find(warmupName)
+	case o.warmupName != "":
+		ex, ok := warmup.Find(o.warmupName)
 		if !ok {
-			return fmt.Errorf("no warmup exercise %q (try -list)", warmupName)
+			return fmt.Errorf("no warmup exercise %q (try -list)", o.warmupName)
 		}
 		fmt.Printf("exercise: %s\n  %s\n", ex.Name, ex.Statement)
-		if err := warmup.GradeReference(ex, np); err != nil {
+		if err := warmup.GradeReference(ex, o.np); err != nil {
 			return err
 		}
 		fmt.Println("reference solution graded: full marks")
 		return nil
 
-	case module >= 1 && module <= 7:
+	case o.module >= 1 && o.module <= 7:
 		job := 0
 		for _, a := range core.All() {
-			if a.Module != module {
+			if a.Module != o.module {
 				continue
 			}
+			if o.rma && a.Name == "hash-join" {
+				continue // substituted by hash-join-rma below
+			}
 			job++
-			if err := launch(a, np, tcp, stats, showTrace, profile, chrome, job); err != nil {
+			if err := reportFault(plan, launch(a, o, tcp, faultOpts, job)); err != nil {
 				return err
 			}
 		}
 		return nil
 
 	default:
-		flag.Usage()
+		fs.Usage()
 		return errors.New("choose -list, -module, -activity, -warmup or -deadlock-demo")
 	}
+}
+
+// reportFault mirrors mpirun's kill-plan handling: the victim's own
+// ErrRankKilled is the expected outcome of a kill plan, not a failure of
+// the tool.
+func reportFault(plan *faults.Plan, err error) error {
+	if err != nil && plan != nil && errors.Is(err, mpi.ErrRankKilled) && !errors.Is(err, mpi.ErrRankFailed) {
+		fmt.Fprintf(os.Stderr, "modulerun: fault plan %q fired: %v\n", plan, err)
+		return nil
+	}
+	return err
 }
 
 // runCheckpointKmeans runs the Module-5 k-means workload (the same
@@ -258,34 +377,34 @@ func parseRanks(scale string) ([]int, error) {
 // layer when any observability output is requested. job becomes the
 // Chrome-trace pid, so traces from several activities can be merged in
 // Perfetto without rank timelines colliding.
-func launch(a core.Activity, np int, tcp, stats, showTrace, profile bool, chrome string, job int) error {
-	var opts []mpi.Option
+func launch(a core.Activity, o *options, tcp bool, faultOpts []mpi.Option, job int) error {
+	opts := append([]mpi.Option(nil), faultOpts...)
 	var pc *prof.Collector
-	if showTrace || profile || chrome != "" {
+	if o.showTrace || o.profile || o.chrome != "" {
 		pc = prof.New()
 		opts = append(opts, mpi.WithHook(pc))
 	}
-	summary, snap, err := a.Launch(np, tcp, opts...)
+	summary, snap, err := a.Launch(o.np, tcp, opts...)
 	if err != nil {
 		return fmt.Errorf("activity %s: %w", a.Name, err)
 	}
 	fmt.Printf("[module %d] %-26s %s\n", a.Module, a.Name, summary)
-	if stats {
+	if o.stats {
 		fmt.Print(snap.String())
 	}
 	if pc == nil {
 		return nil
 	}
-	if showTrace {
+	if o.showTrace {
 		ivs := pc.Intervals()
 		fmt.Print(trace.GanttOf(ivs, 72))
 		fmt.Print(trace.SummaryOf(ivs))
 	}
-	if profile {
+	if o.profile {
 		fmt.Print(prof.Report(pc.Events()))
 	}
-	if chrome != "" {
-		f, err := os.Create(chrome)
+	if o.chrome != "" {
+		f, err := os.Create(o.chrome)
 		if err != nil {
 			return err
 		}
@@ -296,7 +415,7 @@ func launch(a core.Activity, np int, tcp, stats, showTrace, profile bool, chrome
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", chrome)
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", o.chrome)
 	}
 	return nil
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestHelpGolden pins the -help output so flag drift (adding, renaming
+// or re-documenting a flag without regenerating the golden) fails CI.
+// Regenerate with: go test ./cmd/modulerun -run HelpGolden -update
+func TestHelpGolden(t *testing.T) {
+	var o options
+	fs := newFlagSet(&o)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "help.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("help output drifted from %s (regenerate with -update)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+	// The fault-tolerance and RMA flags must stay documented.
+	for _, f := range []string{"-rma", "-inject", "-heartbeat", "-op-timeout"} {
+		if !strings.Contains(got, f+" ") && !strings.Contains(got, f+"\n") {
+			t.Errorf("help output does not document %s", f)
+		}
+	}
+}
+
+// TestApplyRMA covers the -rma selection rules: substitution for the
+// hash-join activity and module 7, direct launch when bare, and usage
+// errors elsewhere.
+func TestApplyRMA(t *testing.T) {
+	cases := []struct {
+		name         string
+		in           options
+		wantActivity string
+		wantErr      bool
+	}{
+		{"off", options{activity: "hash-join"}, "hash-join", false},
+		{"substitutes activity", options{rma: true, activity: "hash-join"}, "hash-join-rma", false},
+		{"idempotent", options{rma: true, activity: "hash-join-rma"}, "hash-join-rma", false},
+		{"bare runs rma variant", options{rma: true}, "hash-join-rma", false},
+		{"module 7 untouched", options{rma: true, module: 7}, "", false},
+		{"wrong activity", options{rma: true, activity: "ping-pong"}, "", true},
+		{"wrong module", options{rma: true, module: 3}, "", true},
+		{"list unaffected", options{rma: true, list: true}, "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.in
+			err := applyRMA(&o)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("applyRMA(%+v): expected error", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("applyRMA(%+v): %v", tc.in, err)
+			}
+			if o.activity != tc.wantActivity {
+				t.Fatalf("applyRMA(%+v): activity = %q, want %q", tc.in, o.activity, tc.wantActivity)
+			}
+		})
+	}
+}
+
+// TestRunRMA runs the one-sided hash join end to end through the CLI
+// entry point, exactly as `modulerun -rma -np 2` would.
+func TestRunRMA(t *testing.T) {
+	o := options{rma: true, np: 2, transport: "channel"}
+	fs := newFlagSet(&options{})
+	if err := run(&o, fs); err != nil {
+		t.Fatalf("run -rma: %v", err)
+	}
+}
+
+// TestRunRejectsInjectWithScale pins the guard: fault flags do not
+// silently no-op in scaling studies.
+func TestRunRejectsInjectWithScale(t *testing.T) {
+	o := options{activity: "ping-pong", scale: "1,2", inject: "frame=drop:prob=0.5:seed=1", transport: "channel"}
+	fs := newFlagSet(&options{})
+	if err := run(&o, fs); err == nil {
+		t.Fatal("expected -inject with -scale to be rejected")
+	}
+}

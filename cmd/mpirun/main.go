@@ -12,6 +12,7 @@
 //	mpirun -np 2 -trace-out lat.json latency     # Perfetto trace with flows
 //	mpirun -np 4 -inject rank=2:call=50:kill resilient   # ULFM-style recovery
 //	mpirun -np 2 -transport tcp -inject frame=drop:prob=0.01:seed=7 -op-timeout 2s latency
+//	mpirun -np 4 rma                             # one-sided Put/Accumulate/CAS demo
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/faults"
@@ -43,26 +45,61 @@ func programs() []program {
 		{"pi", "Monte Carlo estimation of pi with a final reduction", 8, piEstimate},
 		{"barrier", "barrier latency", 8, barrierBench},
 		{"resilient", "iterative allreduce that survives injected rank failures (shrink + retry)", 4, resilient},
+		{"rma", "one-sided demo: every rank Puts, Accumulates and races a CAS into rank 0's window", 4, rmaDemo},
 	}
 }
 
-func main() {
-	np := flag.Int("np", 0, "rank count (0 = program default)")
-	transport := flag.String("transport", "channel", "transport: channel or tcp")
-	procs := flag.Bool("procs", false, "run each rank in its own OS process (true mpirun semantics)")
-	profile := flag.Bool("profile", false, "attach the PMPI-style profiler and print the wait-state profile")
-	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace with message-flow arrows to FILE")
-	inject := flag.String("inject", "", "deterministic fault plan, e.g. rank=2:call=50:kill or frame=drop:prob=0.01:seed=7")
-	heartbeat := flag.Duration("heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
-	opTimeout := flag.Duration("op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
-	flag.Parse()
+// options collects every mpirun flag; newFlagSet defines them on a
+// fresh FlagSet so the golden help test captures exactly the surface
+// main parses.
+type options struct {
+	np        int
+	transport string
+	procs     bool
+	profile   bool
+	traceOut  string
+	inject    string
+	heartbeat time.Duration
+	opTimeout time.Duration
+}
 
-	name := flag.Arg(0)
+func newFlagSet(o *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("mpirun", flag.ContinueOnError)
+	fs.IntVar(&o.np, "np", 0, "rank count (0 = program default)")
+	fs.StringVar(&o.transport, "transport", "channel", "transport: channel or tcp")
+	fs.BoolVar(&o.procs, "procs", false, "run each rank in its own OS process (true mpirun semantics)")
+	fs.BoolVar(&o.profile, "profile", false, "attach the PMPI-style profiler and print the wait-state profile")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome/Perfetto trace with message-flow arrows to FILE")
+	fs.StringVar(&o.inject, "inject", "", "deterministic fault plan, e.g. rank=2:call=50:kill or frame=drop:prob=0.01:seed=7")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
+	fs.DurationVar(&o.opTimeout, "op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
+	return fs
+}
+
+// programList renders the no-argument program listing (also golden-tested).
+func programList() string {
+	var b strings.Builder
+	b.WriteString("programs:\n")
+	for _, p := range programs() {
+		fmt.Fprintf(&b, "  %-10s (np=%d)  %s\n", p.name, p.np, p.desc)
+	}
+	return b.String()
+}
+
+func main() {
+	var o options
+	fs := newFlagSet(&o)
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2) // the flag package already reported the problem
+	}
+	np, transport, procs := &o.np, &o.transport, &o.procs
+	profile, traceOut := &o.profile, &o.traceOut
+	inject, heartbeat, opTimeout := &o.inject, &o.heartbeat, &o.opTimeout
+
+	name := fs.Arg(0)
 	if name == "" {
-		fmt.Println("programs:")
-		for _, p := range programs() {
-			fmt.Printf("  %-10s (np=%d)  %s\n", p.name, p.np, p.desc)
-		}
+		fmt.Print(programList())
 		os.Exit(2)
 	}
 	var prog *program

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s (regenerate with -update)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestHelpGolden pins the -help output; the fault-injection flags from
+// the fault-tolerance layer must stay documented.
+// Regenerate with: go test ./cmd/mpirun -run HelpGolden -update
+func TestHelpGolden(t *testing.T) {
+	var o options
+	fs := newFlagSet(&o)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	got := buf.String()
+	checkGolden(t, "help.golden", got)
+	for _, f := range []string{"-inject", "-heartbeat", "-op-timeout"} {
+		if !strings.Contains(got, f+" ") && !strings.Contains(got, f+"\n") {
+			t.Errorf("help output does not document %s", f)
+		}
+	}
+}
+
+// TestProgramListGolden pins the no-argument program listing, including
+// the one-sided rma demo.
+func TestProgramListGolden(t *testing.T) {
+	got := programList()
+	checkGolden(t, "programs.golden", got)
+	if !strings.Contains(got, "rma") {
+		t.Error("program listing does not include the rma demo")
+	}
+}
+
+// TestRMADemo runs the demo program in process on both transports; its
+// internal window checks make it self-verifying.
+func TestRMADemo(t *testing.T) {
+	if err := mpi.Run(4, rmaDemo); err != nil {
+		t.Fatalf("channel: %v", err)
+	}
+	if err := mpi.RunTCP(3, rmaDemo); err != nil {
+		t.Fatalf("tcp: %v", err)
+	}
+}

@@ -11,6 +11,7 @@
 package hashjoin
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -98,26 +99,34 @@ func Join(c *mpi.Comm, build, probe []Tuple) ([]Pair, Result, error) {
 	res.ProbeDur = time.Since(probeStart)
 	res.LocalMatches = len(out)
 
-	// Global cardinality and balance via MPI_Reduce onto rank 0.
-	counts, err := mpi.Reduce(c, []int64{int64(len(out)), int64(len(myBuild))}, mpi.OpSum, 0)
-	if err != nil {
+	if err := finishStats(c, &res, len(out), len(myBuild)); err != nil {
 		return nil, res, err
 	}
-	maxBuild, err := mpi.Reduce(c, []int64{int64(len(myBuild))}, mpi.OpMax, 0)
-	if err != nil {
-		return nil, res, err
+	res.Elapsed = time.Since(start)
+	return out, res, nil
+}
+
+// finishStats reduces the global match count and build balance onto rank
+// 0, in place (MPI_Reduce via the allocation-free ReduceInto variant).
+func finishStats(c *mpi.Comm, res *Result, localMatches, myBuildN int) error {
+	counts := []int64{int64(localMatches), int64(myBuildN)}
+	if err := mpi.ReduceInto(c, counts, mpi.OpSum, 0); err != nil {
+		return err
+	}
+	maxBuild := []int64{int64(myBuildN)}
+	if err := mpi.ReduceInto(c, maxBuild, mpi.OpMax, 0); err != nil {
+		return err
 	}
 	if c.Rank() == 0 {
 		res.Matches = counts[0]
-		mean := float64(counts[1]) / float64(p)
+		mean := float64(counts[1]) / float64(res.NP)
 		if mean > 0 {
 			res.Imbalance = float64(maxBuild[0]) / mean
 		} else {
 			res.Imbalance = 1
 		}
 	}
-	res.Elapsed = time.Since(start)
-	return out, res, nil
+	return nil
 }
 
 // exchange hash-partitions tuples by key and redistributes them with the
@@ -142,12 +151,14 @@ func exchange(c *mpi.Comm, tuples []Tuple, tag int) ([]Tuple, error) {
 		reqs = append(reqs, req)
 	}
 	flat := append([]int64(nil), parts[r]...)
+	var scratch []int64 // reused across receives: the loop is allocation-free once grown
 	for i := 0; i < p-1; i++ {
-		blk, _, err := mpi.Recv[int64](c, mpi.AnySource, tag)
+		blk, _, err := mpi.RecvInto(c, scratch[:0], mpi.AnySource, tag)
 		if err != nil {
 			return nil, err
 		}
 		flat = append(flat, blk...)
+		scratch = blk
 	}
 	if err := mpi.Waitall(reqs...); err != nil {
 		return nil, err
@@ -176,4 +187,139 @@ func Sequential(build, probe []Tuple) []Pair {
 		}
 	}
 	return out
+}
+
+// RMA build phase: instead of exchanging build tuples with two-sided
+// sends and building a local map, every rank deposits its build tuples
+// directly into the owning rank's window — a distributed open-addressing
+// hash table. A slot is 24 bytes: a state word claimed with
+// CompareAndSwap (so concurrent origins never collide), then the key and
+// payload written with Put. One Fence closes the build epoch, after
+// which each owner scans its own region. The probe side stays two-sided,
+// so the equivalence tests compare exactly the phase the ISSUE swaps.
+
+// slotBytes is the window footprint of one build tuple: state, key,
+// payload — three little-endian int64 words.
+const slotBytes = 24
+
+// hashSlot maps a key to its home slot with a different mixer than
+// hashKey, so the owner assignment and the in-window position are
+// independent.
+func hashSlot(k int64, slots int) int {
+	x := uint64(k) * 0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return int(x & uint64(slots-1))
+}
+
+// nextPow2 returns the smallest power of two >= n (and >= 2).
+func nextPow2(n int) int {
+	p := 2
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// JoinRMA executes the distributed hash join with a one-sided build
+// phase over an RMA window. The returned pairs are this rank's matches,
+// exactly as Join produces (up to ordering).
+func JoinRMA(c *mpi.Comm, build, probe []Tuple) ([]Pair, Result, error) {
+	p := c.Size()
+	start := time.Now()
+	res := Result{NP: p, BuildN: len(build), ProbeN: len(probe)}
+
+	// Size the table: every rank counts its build tuples per owner, an
+	// Allreduce sums the vector, and the window is provisioned for twice
+	// the most loaded owner (load factor <= 0.5, uniform across ranks so
+	// slot arithmetic needs no per-target metadata).
+	perOwner := make([]int64, p)
+	for _, t := range build {
+		perOwner[hashKey(t.Key, p)]++
+	}
+	if err := mpi.AllreduceInto(c, perOwner, mpi.OpSum); err != nil {
+		return nil, res, fmt.Errorf("hashjoin: rma sizing: %w", err)
+	}
+	maxLoad := int64(1)
+	for _, n := range perOwner {
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	slots := nextPow2(int(2 * maxLoad))
+
+	buildStart := time.Now()
+	win, err := c.WinCreate(slots * slotBytes)
+	if err != nil {
+		return nil, res, fmt.Errorf("hashjoin: rma window: %w", err)
+	}
+	// Deposit: claim a slot at the owner with CAS (linear probing on
+	// contention), then Put the tuple body. The kv scratch is reused, so
+	// the deposit loop does not allocate per tuple.
+	var kv []byte
+	for _, t := range build {
+		owner := hashKey(t.Key, p)
+		slot := hashSlot(t.Key, slots)
+		for {
+			old, err := win.CompareAndSwap(owner, slot*slotBytes, 0, 1)
+			if err != nil {
+				return nil, res, fmt.Errorf("hashjoin: rma claim: %w", err)
+			}
+			if old == 0 {
+				break
+			}
+			slot = (slot + 1) & (slots - 1)
+		}
+		kv = mpi.AppendMarshal(kv[:0], []int64{t.Key, t.Payload})
+		if err := win.Put(owner, slot*slotBytes+8, kv); err != nil {
+			return nil, res, fmt.Errorf("hashjoin: rma put: %w", err)
+		}
+	}
+	if err := win.Fence(); err != nil {
+		return nil, res, fmt.Errorf("hashjoin: rma fence: %w", err)
+	}
+	// Scan the local region: every claimed slot holds one build tuple
+	// owned by this rank.
+	local := win.Local()
+	myBuildN := 0
+	table := make(map[int64][]int64)
+	for s := 0; s < slots; s++ {
+		b := local[s*slotBytes:]
+		if int64(binary.LittleEndian.Uint64(b)) == 0 {
+			continue
+		}
+		key := int64(binary.LittleEndian.Uint64(b[8:]))
+		payload := int64(binary.LittleEndian.Uint64(b[16:]))
+		table[key] = append(table[key], payload)
+		myBuildN++
+	}
+	res.BuildDur = time.Since(buildStart)
+
+	// Probe side is unchanged: two-sided exchange, then local probing.
+	partStart := time.Now()
+	myProbe, err := exchange(c, probe, tagProbe)
+	if err != nil {
+		return nil, res, fmt.Errorf("hashjoin: probe exchange: %w", err)
+	}
+	res.PartitionDur = time.Since(partStart)
+
+	probeStart := time.Now()
+	var out []Pair
+	for _, t := range myProbe {
+		for _, bp := range table[t.Key] {
+			out = append(out, Pair{BuildPayload: bp, ProbePayload: t.Payload})
+		}
+	}
+	res.ProbeDur = time.Since(probeStart)
+	res.LocalMatches = len(out)
+
+	if err := win.Free(); err != nil {
+		return nil, res, fmt.Errorf("hashjoin: rma free: %w", err)
+	}
+	if err := finishStats(c, &res, len(out), myBuildN); err != nil {
+		return nil, res, err
+	}
+	res.Elapsed = time.Since(start)
+	return out, res, nil
 }

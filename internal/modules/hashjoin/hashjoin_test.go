@@ -223,3 +223,130 @@ func TestJoinUsesModulePrimitives(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// runJoinRMA is runJoin for the one-sided build path, parameterized over
+// the transport (the RMA subsystem must behave identically on both).
+func runJoinRMA(t *testing.T, ranks int, build, probe []Tuple, tcp bool) ([]Pair, Result) {
+	t.Helper()
+	matches := make([][]Pair, ranks)
+	var res Result
+	run := mpi.Run
+	if tcp {
+		run = mpi.RunTCP
+	}
+	err := run(ranks, func(c *mpi.Comm) error {
+		var lb, lp []Tuple
+		for i := c.Rank(); i < len(build); i += ranks {
+			lb = append(lb, build[i])
+		}
+		for i := c.Rank(); i < len(probe); i += ranks {
+			lp = append(lp, probe[i])
+		}
+		out, r, err := JoinRMA(c, lb, lp)
+		if err != nil {
+			return err
+		}
+		matches[c.Rank()] = out
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Pair
+	for _, m := range matches {
+		all = append(all, m...)
+	}
+	return all, res
+}
+
+// TestJoinRMAMatchesTwoSided is the ISSUE's equivalence criterion: after
+// canonical ordering, the RMA build phase must produce bit-identical
+// join output to the two-sided path (and hence to the sequential
+// reference), on both transports.
+func TestJoinRMAMatchesTwoSided(t *testing.T) {
+	build, probe := makeRelations(1500, 2000, 400, 11)
+	want := Sequential(build, probe)
+	sortPairs(want)
+	for _, ranks := range []int{1, 2, 4} {
+		for _, tcp := range []bool{false, true} {
+			name := fmt.Sprintf("np=%d/channel", ranks)
+			if tcp {
+				name = fmt.Sprintf("np=%d/tcp", ranks)
+			}
+			ranks, tcp := ranks, tcp
+			t.Run(name, func(t *testing.T) {
+				twoSided, _ := runJoin(t, ranks, build, probe)
+				sortPairs(twoSided)
+				got, res := runJoinRMA(t, ranks, build, probe, tcp)
+				sortPairs(got)
+				if len(got) != len(want) {
+					t.Fatalf("%d matches, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("pair %d vs sequential: %+v != %+v", i, got[i], want[i])
+					}
+					if got[i] != twoSided[i] {
+						t.Fatalf("pair %d vs two-sided: %+v != %+v", i, got[i], twoSided[i])
+					}
+				}
+				if res.Matches != int64(len(want)) {
+					t.Fatalf("global count %d, want %d", res.Matches, len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestJoinRMADuplicateKeys: the open-addressed window must keep every
+// duplicate (linear probing, not overwrite).
+func TestJoinRMADuplicateKeys(t *testing.T) {
+	var build, probe []Tuple
+	for i := 0; i < 5; i++ {
+		build = append(build, Tuple{Key: 7, Payload: int64(i)})
+	}
+	for i := 0; i < 3; i++ {
+		probe = append(probe, Tuple{Key: 7, Payload: int64(100 + i)})
+	}
+	got, res := runJoinRMA(t, 4, build, probe, false)
+	if len(got) != 15 || res.Matches != 15 {
+		t.Fatalf("cross product %d (global %d), want 15", len(got), res.Matches)
+	}
+}
+
+// TestJoinRMAUsesOneSidedPrimitives pins the build phase to the RMA
+// subsystem: the accounting must show window creation, CAS claims and
+// Puts, and must not show the two-sided build-exchange volume.
+func TestJoinRMAUsesOneSidedPrimitives(t *testing.T) {
+	build, probe := makeRelations(400, 400, 100, 12)
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		var lb, lp []Tuple
+		for i := c.Rank(); i < len(build); i += 3 {
+			lb = append(lb, build[i])
+		}
+		for i := c.Rank(); i < len(probe); i += 3 {
+			lp = append(lp, probe[i])
+		}
+		if _, _, err := JoinRMA(c, lb, lp); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			snap := c.Stats()
+			for _, p := range []mpi.Primitive{mpi.PrimRMAWinCreate, mpi.PrimRMACas, mpi.PrimRMAPut, mpi.PrimRMAFence, mpi.PrimRMAWinFree} {
+				if snap.TotalCalls(p) == 0 {
+					return fmt.Errorf("expected %v in accounting, got %v", p, snap.PrimitivesUsed())
+				}
+			}
+			if snap.TotalCalls(mpi.PrimRMAPut) < int64(len(build)) {
+				return fmt.Errorf("only %d Puts for %d build tuples", snap.TotalCalls(mpi.PrimRMAPut), len(build))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

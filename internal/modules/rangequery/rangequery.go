@@ -155,8 +155,8 @@ func Distributed(c *mpi.Comm, pts data.Points, queries []data.Rect, method Metho
 	searchDur := time.Since(searchStart)
 	tested := testedBefore()
 
-	total, err := mpi.Reduce(c, []int64{hits, tested}, mpi.OpSum, 0)
-	if err != nil {
+	total := []int64{hits, tested}
+	if err := mpi.ReduceInto(c, total, mpi.OpSum, 0); err != nil {
 		return Result{}, err
 	}
 	res := Result{

@@ -18,6 +18,7 @@ type Comm struct {
 	ctx       int32 // user context; ctx+1 is the collective shadow context
 	collSeq   int64 // lockstep collective sequence number
 	splitSeq  int64 // lockstep Split sequence number
+	winSeq    int32 // lockstep window-creation sequence number (rma.go)
 	mb        *mailbox
 
 	// blockedAcc accumulates time this rank has spent blocked inside the

@@ -13,6 +13,8 @@ const (
 	kindAck                   // rendezvous acknowledgement
 	kindHeartbeat             // liveness beacon for the failure detector
 	kindAbort                 // cross-process abort propagation; payload is the cause
+	kindRMAReq                // one-sided operation request; payload is an RMA header (+ data)
+	kindRMAResp               // one-sided reply carrying fetched data (Get, CompareAndSwap)
 )
 
 // envelope is the unit moved by a transport. src is the sender's rank

@@ -187,6 +187,10 @@ func (w *World) killRank(r int) {
 	for seq := range mb.acks {
 		delete(mb.acks, seq)
 	}
+	for seq, b := range mb.rmaResp {
+		putBuf(b)
+		delete(mb.rmaResp, seq)
+	}
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
 	w.emitLifecycle(r, LifeFailure, "rank killed by fault injection")
@@ -389,6 +393,8 @@ func (w *World) blockedSnapshot() string {
 				desc = fmt.Sprintf("rank %d blocked in probe(src=%d, tag=%d)", mb.rank, wi.src, wi.tag)
 			case waitAck:
 				desc = fmt.Sprintf("rank %d blocked in send-ack(seq=%d)", mb.rank, wi.seq)
+			case waitRMA:
+				desc = fmt.Sprintf("rank %d blocked in rma-fetch(seq=%d)", mb.rank, wi.seq)
 			}
 		}
 		mb.mu.Unlock()
@@ -412,7 +418,7 @@ func (w *World) blockedSnapshot() string {
 // or recycle it again.
 func applyFrameFault(w *World, tc *tcpConn, e *envelope) (dropped bool) {
 	in := w.opts.injector
-	if in == nil || e.kind != kindData {
+	if in == nil || (e.kind != kindData && e.kind != kindRMAReq && e.kind != kindRMAResp) {
 		return false
 	}
 	act, delay := in.AtFrame(e.wsrc, e.wdst)

@@ -16,6 +16,7 @@ const (
 	waitRecv           // blocked in Recv/Wait(Irecv) on pr
 	waitProbe          // blocked in Probe on (ctx, src, tag)
 	waitAck            // blocked in a rendezvous Send on seq
+	waitRMA            // blocked in a one-sided Get/CompareAndSwap on a reply seq
 )
 
 func (k waitKind) String() string {
@@ -26,6 +27,8 @@ func (k waitKind) String() string {
 		return "probe"
 	case waitAck:
 		return "ack"
+	case waitRMA:
+		return "rma"
 	}
 	return "none"
 }
@@ -77,6 +80,12 @@ type mailbox struct {
 	unexpected []*envelope    // FIFO of unmatched arrivals
 	pending    []*pendingRecv // FIFO of posted receives
 	acks       map[int64]bool // rendezvous acks received, by sequence
+
+	// rmaResp holds fetched payloads of one-sided Get/CompareAndSwap
+	// replies, keyed by request sequence. Entries are pooled buffers whose
+	// ownership passes to the waiting origin; allocated lazily because
+	// most worlds never issue RMA.
+	rmaResp map[int64][]byte
 
 	// waiting is non-nil while the rank's goroutine is blocked in
 	// cond.Wait; the deadlock detector reads it while holding mu. It
@@ -136,6 +145,36 @@ func (mb *mailbox) post(e *envelope) {
 		putBuf(e.data)
 		putEnv(e)
 		mb.world.abortRemote(fmt.Errorf("%w: remote rank %d: %s", ErrAborted, src, msg))
+		return
+	case kindRMAReq:
+		// One-sided operation: serviced here, on the delivering goroutine —
+		// the per-window progress engine — without involving the target
+		// rank's application thread and before any mailbox lock (the
+		// handler replies through deliver, which takes mailbox locks).
+		if mb.world.opts.heartbeat > 0 {
+			mb.world.noteHeard(e.wsrc)
+		}
+		mb.world.handleRMAReq(mb, e)
+		return
+	case kindRMAResp:
+		if mb.world.opts.heartbeat > 0 {
+			mb.world.noteHeard(e.wsrc)
+		}
+		mb.mu.Lock()
+		if mb.dead {
+			mb.mu.Unlock()
+			putBuf(e.data)
+			putEnv(e)
+			return
+		}
+		if mb.rmaResp == nil {
+			mb.rmaResp = make(map[int64][]byte)
+		}
+		// Ownership of the fetched payload passes to the waiting origin.
+		mb.rmaResp[e.seq] = e.data
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+		putEnv(e)
 		return
 	}
 	if mb.world.opts.heartbeat > 0 {
@@ -347,6 +386,27 @@ func (mb *mailbox) waitAck(seq int64) error {
 	return nil
 }
 
+// waitRMAResp blocks until the one-sided reply for seq arrives and returns
+// its payload, whose ownership passes to the caller.
+func (mb *mailbox) waitRMAResp(seq int64) ([]byte, error) {
+	dl := mb.opDeadline()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if b, ok := mb.rmaResp[seq]; ok {
+			delete(mb.rmaResp, seq)
+			return b, nil
+		}
+		if err := mb.stopErrLocked(); err != nil {
+			return nil, err
+		}
+		if deadlineExceeded(dl) {
+			return nil, fmt.Errorf("%w after %v: rma fetch (seq=%d)", ErrTimeout, mb.world.opts.opTimeout, seq)
+		}
+		mb.block(waitInfo{kind: waitRMA, seq: seq})
+	}
+}
+
 // tryAck reports whether the acknowledgement for seq has arrived, without
 // blocking, consuming it on success.
 func (mb *mailbox) tryAck(seq int64) bool {
@@ -406,6 +466,9 @@ func (mb *mailbox) satisfiableLocked() bool {
 		return false
 	case waitAck:
 		return mb.acks[wi.seq]
+	case waitRMA:
+		_, ok := mb.rmaResp[wi.seq]
+		return ok
 	}
 	return true
 }

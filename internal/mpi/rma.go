@@ -1,0 +1,857 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// One-sided communication (RMA): the fourth pillar of the runtime next to
+// point-to-point, collectives and the fault plane. A Win exposes a
+// rank-local byte region that every member of the communicator can
+// access remotely with Put, Get, Accumulate and CompareAndSwap, without
+// the target rank calling a matching receive.
+//
+// Requests travel as kindRMAReq envelopes and are serviced by the
+// delivering goroutine inside mailbox.post — the per-window progress
+// engine. On the channel transport that is the origin's own goroutine
+// (delivery is synchronous), on socket transports the connection reader;
+// either way the target's application thread never participates, which
+// is the defining property of one-sided semantics. Completion reuses the
+// rendezvous machinery: Put/Accumulate/Lock/Unlock are confirmed with
+// kindAck, Get/CompareAndSwap return data in a kindRMAResp envelope.
+//
+// Synchronization follows MPI's two epoch models. Active target:
+// Win.Fence drains outstanding acknowledgements and barriers, making all
+// prior accesses visible everywhere. Passive target: Win.Lock /
+// Win.LockShared open an access epoch on one target (exclusive or
+// shared), Win.Unlock completes pending operations there and releases
+// it; contended locks queue FIFO at the target and are granted by
+// deferred acknowledgement.
+//
+// Fault semantics match the two-sided path: requests to a killed rank
+// are discarded and the origin observes the failure epoch — a blocked or
+// subsequent operation returns a RankFailedError — after which survivors
+// can Shrink and create a fresh window.
+
+// AccOp selects the combining operator of Win.Accumulate.
+type AccOp byte
+
+const (
+	AccReplace AccOp = iota // overwrite target elements (MPI_REPLACE)
+	AccSum                  // elementwise sum (MPI_SUM)
+	AccMax                  // elementwise max (MPI_MAX)
+	AccMin                  // elementwise min (MPI_MIN)
+)
+
+func (op AccOp) String() string {
+	switch op {
+	case AccReplace:
+		return "REPLACE"
+	case AccSum:
+		return "SUM"
+	case AccMax:
+		return "MAX"
+	case AccMin:
+		return "MIN"
+	}
+	return fmt.Sprintf("AccOp(%d)", int(op))
+}
+
+// RMA operation codes, first byte of every kindRMAReq payload.
+const (
+	rmaPut byte = iota + 1
+	rmaGet
+	rmaAcc
+	rmaCas
+	rmaLock
+	rmaUnlock
+)
+
+// Element kinds for Accumulate, packed into the header's dtype nibble.
+const (
+	rmaElemInt64 byte = iota
+	rmaElemFloat64
+)
+
+// rmaReqHeaderLen is the fixed prefix of a kindRMAReq payload:
+// op(1) dtype(1) offset(8) aux(8). aux is op-specific — requested length
+// for Get, compare value for CompareAndSwap, shared flag for Lock.
+const rmaReqHeaderLen = 1 + 1 + 8 + 8
+
+// putRMAReq encodes the request header into b[:rmaReqHeaderLen].
+func putRMAReq(b []byte, op, dtype byte, offset, aux int64) {
+	b[0] = op
+	b[1] = dtype
+	binary.LittleEndian.PutUint64(b[2:], uint64(offset))
+	binary.LittleEndian.PutUint64(b[10:], uint64(aux))
+}
+
+// parseRMAReq decodes and validates a kindRMAReq payload. The returned
+// offset/aux are op-specific; the data portion is b[rmaReqHeaderLen:].
+func parseRMAReq(b []byte) (op, dtype byte, offset, aux int64, err error) {
+	if len(b) < rmaReqHeaderLen {
+		return 0, 0, 0, 0, fmt.Errorf("mpi: short RMA request: %d bytes", len(b))
+	}
+	op = b[0]
+	dtype = b[1]
+	offset = int64(binary.LittleEndian.Uint64(b[2:]))
+	aux = int64(binary.LittleEndian.Uint64(b[10:]))
+	n := len(b) - rmaReqHeaderLen
+	switch op {
+	case rmaPut:
+		// Any payload length.
+	case rmaGet:
+		if n != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("mpi: RMA get carries %d payload bytes", n)
+		}
+		if aux < 0 {
+			return 0, 0, 0, 0, fmt.Errorf("mpi: RMA get of negative length %d", aux)
+		}
+	case rmaAcc:
+		if dtype>>4 > rmaElemFloat64 || AccOp(dtype&0x0f) > AccMin {
+			return 0, 0, 0, 0, fmt.Errorf("mpi: RMA accumulate dtype %#x invalid", dtype)
+		}
+		if n%8 != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("mpi: RMA accumulate payload %d bytes is not a whole number of elements", n)
+		}
+	case rmaCas:
+		if n != 8 {
+			return 0, 0, 0, 0, fmt.Errorf("mpi: RMA compare-and-swap payload %d bytes, want 8", n)
+		}
+	case rmaLock:
+		if n != 0 || (aux != 0 && aux != 1) {
+			return 0, 0, 0, 0, fmt.Errorf("mpi: malformed RMA lock request")
+		}
+	case rmaUnlock:
+		if n != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("mpi: RMA unlock carries %d payload bytes", n)
+		}
+	default:
+		return 0, 0, 0, 0, fmt.Errorf("mpi: unknown RMA op %d", op)
+	}
+	if offset < 0 {
+		return 0, 0, 0, 0, fmt.Errorf("mpi: negative RMA offset %d", offset)
+	}
+	return op, dtype, offset, aux, nil
+}
+
+// winKey identifies a window across ranks (and processes): the creating
+// communicator's context plus a per-communicator creation sequence that
+// every member advances in lockstep. The key crosses the wire in the
+// envelope's (ctx, tag) fields, so no global id agreement is needed.
+type winKey struct {
+	ctx int32
+	seq int32
+}
+
+// lockWaiter is a queued passive-target lock request awaiting its grant.
+type lockWaiter struct {
+	origin int // world rank to acknowledge on grant
+	seq    int64
+	shared bool
+}
+
+// winTarget is the target-side state of one rank's window region. The
+// progress engine mutates it under mu, which is only ever taken from
+// mailbox.post → handleRMAReq and released before any mailbox lock is
+// acquired for the reply; the owning rank may read and write buf
+// directly between epochs (Win.Local).
+type winTarget struct {
+	mu     sync.Mutex
+	buf    []byte
+	excl   bool // an exclusive lock is held
+	shared int  // count of shared locks held
+	queue  []lockWaiter
+}
+
+// winState is the world-side record of one window: one target per world
+// rank (nil for ranks outside the communicator, or hosted by another
+// process). refs counts local registrations so Free can retire the entry.
+type winState struct {
+	key     winKey
+	targets []*winTarget
+	refs    int
+}
+
+// windowFor returns (creating if needed) the winState for key.
+func (w *World) windowFor(key winKey) *winState {
+	w.winMu.Lock()
+	defer w.winMu.Unlock()
+	st, ok := w.windows[key]
+	if !ok {
+		st = &winState{key: key, targets: make([]*winTarget, w.size)}
+		w.windows[key] = st
+	}
+	st.refs++
+	return st
+}
+
+// dropWindow releases one rank's registration, deleting the window once
+// the last local rank freed it.
+func (w *World) dropWindow(st *winState) {
+	w.winMu.Lock()
+	defer w.winMu.Unlock()
+	st.refs--
+	if st.refs <= 0 {
+		delete(w.windows, st.key)
+	}
+}
+
+// Win is one rank's handle on a window: a remotely accessible memory
+// region of every member of the communicator. Like Comm, a Win is not
+// safe for concurrent use by multiple goroutines of the same rank.
+type Win struct {
+	c  *Comm
+	st *winState
+	// local is this rank's own region (st.targets[worldRank]).
+	local *winTarget
+	// pendingAcks are outstanding Put/Accumulate confirmations, drained
+	// by Fence, Flush, Unlock and Free. The slice is reused across
+	// epochs, keeping the eager Put path allocation-free.
+	pendingAcks []int64
+	// lastMsgID is the flow id of the most recent request, carried out of
+	// the unexported helpers for profExit. Owner-goroutine only.
+	lastMsgID int64
+	freed     bool
+}
+
+// WinCreate collectively creates a window exposing localSize bytes of
+// this rank on the communicator (MPI_Win_create). Every member must call
+// it with its own (possibly different) size; the call returns once all
+// regions are registered, so any member may immediately issue one-sided
+// operations on any other.
+func (c *Comm) WinCreate(localSize int) (*Win, error) {
+	if localSize < 0 {
+		return nil, fmt.Errorf("mpi: WinCreate: negative window size %d", localSize)
+	}
+	tok := c.profEnter()
+	c.countCall(PrimRMAWinCreate)
+	if err := c.rmaLiveErr(); err != nil {
+		c.profExit(tok, PrimRMAWinCreate, -1, -1, 0, 0, 0, 0)
+		return nil, err
+	}
+	c.winSeq++
+	st := c.world.windowFor(winKey{ctx: c.ctx, seq: c.winSeq})
+	t := &winTarget{buf: make([]byte, localSize)}
+	c.world.winMu.Lock()
+	st.targets[c.worldRank] = t
+	c.world.winMu.Unlock()
+	win := &Win{c: c, st: st, local: t}
+	err := c.Barrier()
+	c.profExit(tok, PrimRMAWinCreate, -1, -1, localSize, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return win, nil
+}
+
+// Free collectively retires the window (MPI_Win_free). It completes this
+// rank's outstanding operations, synchronizes, and releases the region.
+func (w *Win) Free() error {
+	if w.freed {
+		return fmt.Errorf("mpi: Win already freed")
+	}
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAWinFree)
+	err := w.drainAcks()
+	if err == nil {
+		err = w.c.Barrier()
+	}
+	w.freed = true
+	w.c.world.dropWindow(w.st)
+	w.c.profExit(tok, PrimRMAWinFree, -1, -1, 0, 0, 0, 0)
+	return err
+}
+
+// Local returns this rank's own window region. The owner may read and
+// write it freely between epochs (after a Fence, or while holding its
+// own lock); touching it while remote accesses are in flight is a data
+// race, exactly as in MPI.
+func (w *Win) Local() []byte { return w.local.buf }
+
+// rmaLiveErr fast-fails a one-sided operation when the rank is dead, the
+// world stopped, or a failure epoch is unacknowledged — the lock-free
+// mirror of mailbox.stopErrLocked, so a Put to a failed rank surfaces a
+// RankFailedError instead of silently blackholing.
+func (c *Comm) rmaLiveErr() error {
+	if c.world.isKilled(c.worldRank) {
+		return ErrRankKilled
+	}
+	if err := c.world.stopErr(); err != nil {
+		return err
+	}
+	if c.world.failEpoch.Load() > c.mb.failAck.Load() {
+		return c.world.rankFailedError()
+	}
+	return nil
+}
+
+// checkAccess validates target rank and the [offset, offset+n) range.
+// The range check is origin-side when the target region is hosted in
+// this process (always, for Run/RunTCP); a remote process's region is
+// validated by its own progress engine.
+func (w *Win) checkAccess(target, offset, n int) error {
+	if w.freed {
+		return fmt.Errorf("mpi: operation on freed Win")
+	}
+	if err := w.c.checkPeer(target, false); err != nil {
+		return err
+	}
+	if offset < 0 || n < 0 {
+		return fmt.Errorf("mpi: RMA access [%d, %d+%d) invalid", offset, offset, n)
+	}
+	if t := w.st.targets[w.c.members[target]]; t != nil && offset+n > len(t.buf) {
+		return fmt.Errorf("mpi: RMA access [%d, %d) outside window of %d bytes on rank %d", offset, offset+n, len(t.buf), target)
+	}
+	return nil
+}
+
+// request builds, accounts and delivers one kindRMAReq envelope. The
+// payload is copied into a pooled buffer behind the header, so the
+// caller keeps ownership of data. Returns the allocated sequence (always
+// nonzero: every request is confirmed) and the flow id (zero without a
+// hook).
+func (w *Win) request(target int, op, dtype byte, offset, aux int64, data []byte) (seq, msgid int64, err error) {
+	c := w.c
+	env := getEnv()
+	env.kind = kindRMAReq
+	env.src = c.rank
+	env.wsrc = c.worldRank
+	env.wdst = c.members[target]
+	env.ctx = w.st.key.ctx
+	env.tag = w.st.key.seq
+	seq = c.world.nextSeq()
+	env.seq = seq
+	if c.world.opts.hook != nil {
+		msgid = c.world.nextMsgID()
+		env.msgid = msgid
+	}
+	buf := getBuf(rmaReqHeaderLen + len(data))
+	putRMAReq(buf, op, dtype, offset, aux)
+	copy(buf[rmaReqHeaderLen:], data)
+	env.data = buf
+	if err := c.world.deliver(env); err != nil {
+		return 0, msgid, err
+	}
+	return seq, msgid, nil
+}
+
+// Put copies data into the target rank's window at byte offset
+// (MPI_Put). It returns as soon as the request is delivered and the
+// local buffer is reusable; remote completion is established by Fence,
+// Flush or Unlock, which also surface a target failure as a
+// RankFailedError.
+func (w *Win) Put(target, offset int, data []byte) error {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAPut)
+	err := w.putChecked(target, offset, data)
+	var msgid int64
+	if err == nil {
+		msgid = w.lastMsgID
+	}
+	w.c.profExit(tok, PrimRMAPut, w.peerOf(target), -1, len(data), msgid, 0, 0)
+	return err
+}
+
+func (w *Win) putChecked(target, offset int, data []byte) error {
+	if err := w.checkAccess(target, offset, len(data)); err != nil {
+		return err
+	}
+	if err := w.c.rmaLiveErr(); err != nil {
+		return err
+	}
+	w.c.world.stats.addUserSent(w.c.worldRank, len(data))
+	seq, msgid, err := w.request(target, rmaPut, 0, int64(offset), 0, data)
+	if err != nil {
+		return err
+	}
+	w.lastMsgID = msgid
+	w.pendingAcks = append(w.pendingAcks, seq)
+	return nil
+}
+
+// peerOf maps a communicator rank to a world rank for event reporting,
+// tolerating the out-of-range values rejected by checkAccess.
+func (w *Win) peerOf(target int) int {
+	if target < 0 || target >= len(w.c.members) {
+		return -1
+	}
+	return w.c.members[target]
+}
+
+// Get fetches n bytes from the target rank's window at byte offset
+// (MPI_Get). It blocks until the data arrives; the returned buffer is
+// caller-owned and may be recycled with Release.
+func (w *Win) Get(target, offset, n int) ([]byte, error) {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAGet)
+	b, msgid, err := w.getChecked(target, offset, n)
+	w.c.profExit(tok, PrimRMAGet, w.peerOf(target), -1, len(b), msgid, 0, 0)
+	return b, err
+}
+
+// GetInto fetches len(dst) bytes from the target's window at offset into
+// dst, recycling the wire buffer — the allocation-free variant.
+func (w *Win) GetInto(dst []byte, target, offset int) error {
+	b, err := w.Get(target, offset, len(dst))
+	if err != nil {
+		return err
+	}
+	copy(dst, b)
+	putBuf(b)
+	return nil
+}
+
+func (w *Win) getChecked(target, offset, n int) ([]byte, int64, error) {
+	if err := w.checkAccess(target, offset, n); err != nil {
+		return nil, 0, err
+	}
+	if err := w.c.rmaLiveErr(); err != nil {
+		return nil, 0, err
+	}
+	seq, msgid, err := w.request(target, rmaGet, 0, int64(offset), int64(n), nil)
+	if err != nil {
+		return nil, msgid, err
+	}
+	start := time.Now()
+	b, err := w.c.mb.waitRMAResp(seq)
+	w.c.traceComm("rma-get", start)
+	if err != nil {
+		return nil, msgid, err
+	}
+	if len(b) != n {
+		putBuf(b)
+		return nil, msgid, fmt.Errorf("mpi: RMA get of %d bytes at offset %d rejected by target %d (window freed or out of range)", n, offset, target)
+	}
+	w.c.world.stats.addUserRecv(w.c.worldRank, len(b))
+	return b, msgid, nil
+}
+
+// Accumulate combines vals into the target's window at byte offset with
+// op, element by element (MPI_Accumulate over MPI_INT64_T). Target
+// elements are interpreted as little-endian int64, the window's native
+// encoding. Like Put it completes locally at once; the target applies
+// each Accumulate atomically with respect to other RMA operations.
+func (w *Win) Accumulate(target, offset int, vals []int64, op AccOp) error {
+	return w.accumulate(target, offset, rmaElemInt64, int64Bytes(vals), op, len(vals))
+}
+
+// AccumulateFloat64 is Accumulate over float64 elements.
+func (w *Win) AccumulateFloat64(target, offset int, vals []float64, op AccOp) error {
+	return w.accumulate(target, offset, rmaElemFloat64, float64Bytes(vals), op, len(vals))
+}
+
+func int64Bytes(vals []int64) []byte     { return AppendMarshal(getBuf(8 * len(vals))[:0], vals) }
+func float64Bytes(vals []float64) []byte { return AppendMarshal(getBuf(8 * len(vals))[:0], vals) }
+
+func (w *Win) accumulate(target, offset int, elem byte, payload []byte, op AccOp, nvals int) error {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAAcc)
+	err := w.accChecked(target, offset, elem, payload, op)
+	putBuf(payload)
+	var msgid int64
+	if err == nil {
+		msgid = w.lastMsgID
+	}
+	w.c.profExit(tok, PrimRMAAcc, w.peerOf(target), -1, 8*nvals, msgid, 0, 0)
+	return err
+}
+
+func (w *Win) accChecked(target, offset int, elem byte, payload []byte, op AccOp) error {
+	if op > AccMin {
+		return fmt.Errorf("mpi: Accumulate: unknown op %v", op)
+	}
+	if err := w.checkAccess(target, offset, len(payload)); err != nil {
+		return err
+	}
+	if err := w.c.rmaLiveErr(); err != nil {
+		return err
+	}
+	w.c.world.stats.addUserSent(w.c.worldRank, len(payload))
+	seq, msgid, err := w.request(target, rmaAcc, elem<<4|byte(op), int64(offset), 0, payload)
+	if err != nil {
+		return err
+	}
+	w.lastMsgID = msgid
+	w.pendingAcks = append(w.pendingAcks, seq)
+	return nil
+}
+
+// CompareAndSwap atomically compares the int64 at the target's window
+// offset with compare and, if equal, stores swap; the previous value is
+// returned either way (MPI_Compare_and_swap). It blocks for the reply.
+func (w *Win) CompareAndSwap(target, offset int, compare, swap int64) (int64, error) {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMACas)
+	old, msgid, err := w.casChecked(target, offset, compare, swap)
+	w.c.profExit(tok, PrimRMACas, w.peerOf(target), -1, 8, msgid, 0, 0)
+	return old, err
+}
+
+func (w *Win) casChecked(target, offset int, compare, swap int64) (int64, int64, error) {
+	if err := w.checkAccess(target, offset, 8); err != nil {
+		return 0, 0, err
+	}
+	if err := w.c.rmaLiveErr(); err != nil {
+		return 0, 0, err
+	}
+	var swapBuf [8]byte
+	binary.LittleEndian.PutUint64(swapBuf[:], uint64(swap))
+	seq, msgid, err := w.request(target, rmaCas, 0, int64(offset), compare, swapBuf[:])
+	if err != nil {
+		return 0, msgid, err
+	}
+	start := time.Now()
+	b, err := w.c.mb.waitRMAResp(seq)
+	w.c.traceComm("rma-cas", start)
+	if err != nil {
+		return 0, msgid, err
+	}
+	if len(b) != 8 {
+		putBuf(b)
+		return 0, msgid, fmt.Errorf("mpi: RMA compare-and-swap at offset %d rejected by target %d (window freed or out of range)", offset, target)
+	}
+	old := int64(binary.LittleEndian.Uint64(b))
+	putBuf(b)
+	return old, msgid, nil
+}
+
+// Fence closes the current active-target epoch (MPI_Win_fence): it
+// completes this rank's outstanding operations, then barriers, so on
+// return every member's operations issued before its Fence are visible
+// in every window region.
+func (w *Win) Fence() error {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAFence)
+	err := w.drainAcks()
+	if err == nil {
+		err = w.c.Barrier()
+	}
+	w.c.profExit(tok, PrimRMAFence, -1, -1, 0, 0, 0, 0)
+	return err
+}
+
+// Flush completes all outstanding Put/Accumulate operations issued by
+// this rank, on every target, without synchronizing ranks
+// (MPI_Win_flush_all). Inside a lock epoch it guarantees remote
+// completion of prior operations.
+func (w *Win) Flush() error {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAFlush)
+	err := w.drainAcks()
+	w.c.profExit(tok, PrimRMAFlush, -1, -1, 0, 0, 0, 0)
+	return err
+}
+
+// drainAcks waits for every outstanding confirmation. On failure the
+// epoch is abandoned (pending list cleared) so survivors can Shrink and
+// continue on a fresh window.
+func (w *Win) drainAcks() error {
+	if len(w.pendingAcks) == 0 {
+		return nil
+	}
+	start := time.Now()
+	var err error
+	for _, seq := range w.pendingAcks {
+		if err = w.c.mb.waitAck(seq); err != nil {
+			break
+		}
+	}
+	w.c.traceComm("rma-drain", start)
+	w.pendingAcks = w.pendingAcks[:0]
+	return err
+}
+
+// Lock opens an exclusive passive-target access epoch on the target
+// rank's region (MPI_Win_lock with MPI_LOCK_EXCLUSIVE). It blocks until
+// the target's progress engine grants the lock; contended requests queue
+// FIFO at the target.
+func (w *Win) Lock(target int) error { return w.lock(target, false) }
+
+// LockShared opens a shared passive-target access epoch
+// (MPI_LOCK_SHARED): any number of ranks may hold it concurrently, but
+// it excludes — and is excluded by — Lock holders.
+func (w *Win) LockShared(target int) error { return w.lock(target, true) }
+
+func (w *Win) lock(target int, shared bool) error {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMALock)
+	msgid, err := w.lockChecked(target, shared)
+	w.c.profExit(tok, PrimRMALock, w.peerOf(target), -1, 0, msgid, 0, 0)
+	return err
+}
+
+func (w *Win) lockChecked(target int, shared bool) (int64, error) {
+	if err := w.checkAccess(target, 0, 0); err != nil {
+		return 0, err
+	}
+	if err := w.c.rmaLiveErr(); err != nil {
+		return 0, err
+	}
+	var aux int64
+	if shared {
+		aux = 1
+	}
+	seq, msgid, err := w.request(target, rmaLock, 0, 0, aux, nil)
+	if err != nil {
+		return msgid, err
+	}
+	start := time.Now()
+	err = w.c.mb.waitAck(seq)
+	w.c.traceComm("rma-lock", start)
+	return msgid, err
+}
+
+// Unlock closes the passive-target epoch on target (MPI_Win_unlock):
+// outstanding operations are completed first, then the lock is released,
+// which may grant queued waiters.
+func (w *Win) Unlock(target int) error {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAUnlock)
+	msgid, err := w.unlockChecked(target)
+	w.c.profExit(tok, PrimRMAUnlock, w.peerOf(target), -1, 0, msgid, 0, 0)
+	return err
+}
+
+func (w *Win) unlockChecked(target int) (int64, error) {
+	if err := w.checkAccess(target, 0, 0); err != nil {
+		return 0, err
+	}
+	if err := w.drainAcks(); err != nil {
+		return 0, err
+	}
+	if err := w.c.rmaLiveErr(); err != nil {
+		return 0, err
+	}
+	seq, msgid, err := w.request(target, rmaUnlock, 0, 0, 0, nil)
+	if err != nil {
+		return msgid, err
+	}
+	start := time.Now()
+	err = w.c.mb.waitAck(seq)
+	w.c.traceComm("rma-unlock", start)
+	return msgid, err
+}
+
+// handleRMAReq is the progress engine: it applies one one-sided request
+// to the target's window region and replies. Called from mailbox.post on
+// the delivering goroutine, before any mailbox lock; mb is the target's
+// mailbox. Lock order is winMu → winTarget.mu, both released before the
+// reply is delivered (which takes the origin's mailbox lock).
+func (w *World) handleRMAReq(mb *mailbox, e *envelope) {
+	origin, target := e.wsrc, e.wdst
+	key := winKey{ctx: e.ctx, seq: e.tag}
+	seq, msgid := e.seq, e.msgid
+	data := e.data
+	putEnv(e)
+	if w.isKilled(target) {
+		// A crashed rank services nothing: no apply, no reply. The origin
+		// observes the failure epoch instead.
+		putBuf(data)
+		return
+	}
+	op, dtype, offset, aux, perr := parseRMAReq(data)
+	if perr != nil {
+		putBuf(data)
+		return
+	}
+	w.winMu.Lock()
+	st := w.windows[key]
+	var t *winTarget
+	if st != nil && target >= 0 && target < len(st.targets) {
+		t = st.targets[target]
+	}
+	w.winMu.Unlock()
+	if t == nil {
+		// Unknown or already-freed window: reply defensively so a
+		// misordered origin errors instead of hanging.
+		putBuf(data)
+		switch op {
+		case rmaGet, rmaCas:
+			w.rmaRespond(target, origin, key, seq, nil)
+		default:
+			mb.sendAck(origin, key.ctx, seq)
+		}
+		return
+	}
+
+	payload := data[rmaReqHeaderLen:]
+	bytes := len(payload)
+	var prim Primitive
+	var resp []byte   // non-nil ⇒ reply with kindRMAResp
+	needResp := false // Get/CAS always reply, even on a rejected access
+	deferred := false // Lock queued: the ack is sent on a later Unlock
+	var granted []lockWaiter
+
+	t.mu.Lock()
+	switch op {
+	case rmaPut:
+		prim = PrimRMAPut
+		if int(offset)+len(payload) <= len(t.buf) {
+			copy(t.buf[offset:], payload)
+		}
+	case rmaGet:
+		prim = PrimRMAGet
+		needResp = true
+		n := int(aux)
+		bytes = n
+		if int(offset)+n <= len(t.buf) {
+			resp = getBuf(n)
+			copy(resp, t.buf[offset:int(offset)+n])
+		}
+	case rmaAcc:
+		prim = PrimRMAAcc
+		if int(offset)+len(payload) <= len(t.buf) {
+			applyAccumulate(t.buf[offset:int(offset)+len(payload)], dtype>>4, AccOp(dtype&0x0f), payload)
+		}
+	case rmaCas:
+		prim = PrimRMACas
+		needResp = true
+		bytes = 8
+		if int(offset)+8 <= len(t.buf) {
+			old := binary.LittleEndian.Uint64(t.buf[offset:])
+			if int64(old) == aux {
+				copy(t.buf[offset:int(offset)+8], payload)
+			}
+			resp = getBuf(8)
+			binary.LittleEndian.PutUint64(resp, old)
+		}
+	case rmaLock:
+		prim = PrimRMALock
+		bytes = 0
+		shared := aux == 1
+		if len(t.queue) == 0 && t.grantableLocked(shared) {
+			t.acquireLocked(shared)
+		} else {
+			t.queue = append(t.queue, lockWaiter{origin: origin, seq: seq, shared: shared})
+			deferred = true
+		}
+	case rmaUnlock:
+		prim = PrimRMAUnlock
+		bytes = 0
+		granted = t.releaseLocked()
+	}
+	t.mu.Unlock()
+	putBuf(data)
+
+	// Target-side mirror event: the one-sided op as seen by the target's
+	// progress engine. RecvID pairs it with the origin's SendID so the
+	// Chrome exporter draws origin→target arrows, and the counts are
+	// transport-independent, which the parity tests pin down.
+	if h := w.opts.hook; h != nil {
+		h.Event(Event{Rank: target, Prim: prim, Peer: origin, Tag: -1, Bytes: bytes, Start: time.Now(), RecvID: msgid})
+	}
+
+	if needResp {
+		w.rmaRespond(target, origin, key, seq, resp)
+	} else if !deferred {
+		mb.sendAck(origin, key.ctx, seq)
+	}
+	for _, g := range granted {
+		mb.sendAck(g.origin, key.ctx, g.seq)
+	}
+}
+
+// rmaRespond delivers a kindRMAResp envelope carrying fetched data (nil
+// for a rejected access) from the target back to the origin.
+func (w *World) rmaRespond(target, origin int, key winKey, seq int64, data []byte) {
+	env := getEnv()
+	env.kind = kindRMAResp
+	env.src = target
+	env.wsrc = target
+	env.wdst = origin
+	env.ctx = key.ctx
+	env.tag = key.seq
+	env.seq = seq
+	env.data = data
+	_ = w.deliver(env)
+}
+
+// grantableLocked reports whether a new lock of the given mode is
+// compatible with the holders. Caller holds t.mu.
+func (t *winTarget) grantableLocked(shared bool) bool {
+	if shared {
+		return !t.excl
+	}
+	return !t.excl && t.shared == 0
+}
+
+func (t *winTarget) acquireLocked(shared bool) {
+	if shared {
+		t.shared++
+	} else {
+		t.excl = true
+	}
+}
+
+// releaseLocked releases one holder and promotes queued waiters in FIFO
+// order — a run of consecutive shared requests is granted together.
+// Caller holds t.mu; the returned waiters must be acknowledged after it
+// is released.
+func (t *winTarget) releaseLocked() (granted []lockWaiter) {
+	if t.excl {
+		t.excl = false
+	} else if t.shared > 0 {
+		t.shared--
+	}
+	for len(t.queue) > 0 {
+		next := t.queue[0]
+		if !t.grantableLocked(next.shared) {
+			break
+		}
+		t.acquireLocked(next.shared)
+		granted = append(granted, next)
+		t.queue = t.queue[1:]
+	}
+	return granted
+}
+
+// applyAccumulate combines payload into dst element by element. Both are
+// the same length, a whole number of 8-byte elements (parseRMAReq
+// validated that), in the canonical little-endian encoding.
+func applyAccumulate(dst []byte, elem byte, op AccOp, payload []byte) {
+	for i := 0; i+8 <= len(payload); i += 8 {
+		cur := binary.LittleEndian.Uint64(dst[i:])
+		val := binary.LittleEndian.Uint64(payload[i:])
+		var out uint64
+		if elem == rmaElemFloat64 {
+			c, v := math.Float64frombits(cur), math.Float64frombits(val)
+			var r float64
+			switch op {
+			case AccReplace:
+				r = v
+			case AccSum:
+				r = c + v
+			case AccMax:
+				r = math.Max(c, v)
+			case AccMin:
+				r = math.Min(c, v)
+			}
+			out = math.Float64bits(r)
+		} else {
+			c, v := int64(cur), int64(val)
+			var r int64
+			switch op {
+			case AccReplace:
+				r = v
+			case AccSum:
+				r = c + v
+			case AccMax:
+				r = c
+				if v > c {
+					r = v
+				}
+			case AccMin:
+				r = c
+				if v < c {
+					r = v
+				}
+			}
+			out = uint64(r)
+		}
+		binary.LittleEndian.PutUint64(dst[i:], out)
+	}
+}

@@ -33,6 +33,18 @@ const (
 	PrimProbe
 	PrimIprobe
 	PrimGetCount
+	// One-sided (RMA) primitives. Only Discretionary activities may use
+	// them: they are outside the paper's Table II matrix.
+	PrimRMAPut
+	PrimRMAGet
+	PrimRMAAcc
+	PrimRMACas
+	PrimRMAFence
+	PrimRMALock
+	PrimRMAUnlock
+	PrimRMAFlush
+	PrimRMAWinCreate
+	PrimRMAWinFree
 	numPrimitives
 )
 
@@ -42,6 +54,9 @@ var primitiveNames = [numPrimitives]string{
 	"MPI_Allgather", "MPI_Reduce", "MPI_Allreduce", "MPI_Scan",
 	"MPI_Alltoall", "MPI_Alltoallv", "MPI_Barrier", "MPI_Sendrecv",
 	"MPI_Probe", "MPI_Iprobe", "MPI_Get_count",
+	"MPI_Put", "MPI_Get", "MPI_Accumulate", "MPI_Compare_and_swap",
+	"MPI_Win_fence", "MPI_Win_lock", "MPI_Win_unlock", "MPI_Win_flush",
+	"MPI_Win_create", "MPI_Win_free",
 }
 
 // String returns the MPI-style name of the primitive.

@@ -72,6 +72,12 @@ type World struct {
 	ctxByKey   map[ctxKey]int32
 	watchdogCh chan struct{}
 
+	// One-sided RMA window registry (rma.go). Keyed by (comm ctx, window
+	// sequence), which every member rank derives identically, so the key
+	// itself crosses the wire and no global id agreement is needed.
+	winMu   sync.Mutex
+	windows map[winKey]*winState
+
 	// Fault-tolerance state (fault.go). killed marks ranks crashed by
 	// injection; failed/failEpoch are the survivors' view of declared
 	// failures; lastHeard feeds the heartbeat monitor.
@@ -110,6 +116,7 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 		detectorDone: make(chan struct{}),
 		ctxNext:      2, // 0/1 are the world's user/collective contexts
 		ctxByKey:     make(map[ctxKey]int32),
+		windows:      make(map[winKey]*winState),
 	}
 	w.seqCounter.Store(0)
 	w.mailboxes = make([]*mailbox, np)

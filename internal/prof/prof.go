@@ -159,11 +159,23 @@ func Account(events []mpi.Event) Accounting {
 		a.WaitFrac = float64(blocked) / float64(span)
 	}
 	for _, e := range events {
-		if sendsPayload(e.Prim) {
-			a.CommBytes += int64(e.Bytes)
+		if !sendsPayload(e.Prim) {
+			continue
 		}
+		if isRMA(e.Prim) && e.SendID == 0 {
+			// Target-side mirror of a one-sided op: the origin event with
+			// the same bytes is already counted.
+			continue
+		}
+		a.CommBytes += int64(e.Bytes)
 	}
 	return a
+}
+
+// isRMA reports whether p is a one-sided primitive, whose target-side
+// mirror events share the origin's Primitive and Bytes.
+func isRMA(p mpi.Primitive) bool {
+	return p >= mpi.PrimRMAPut && p <= mpi.PrimRMAWinFree
 }
 
 // sendsPayload reports whether the primitive's Bytes field counts data
@@ -175,7 +187,8 @@ func sendsPayload(p mpi.Primitive) bool {
 		mpi.PrimBcast, mpi.PrimScatter, mpi.PrimScatterv,
 		mpi.PrimGather, mpi.PrimGatherv, mpi.PrimAllgather,
 		mpi.PrimReduce, mpi.PrimAllreduce, mpi.PrimScan,
-		mpi.PrimAlltoall, mpi.PrimAlltoallv:
+		mpi.PrimAlltoall, mpi.PrimAlltoallv,
+		mpi.PrimRMAPut, mpi.PrimRMAAcc, mpi.PrimRMACas:
 		return true
 	}
 	return false

@@ -486,3 +486,69 @@ func TestLifecycleMarkers(t *testing.T) {
 		}
 	}
 }
+
+// TestRMATargetWaitFixture: rank 1 holds an exclusive lock on its own
+// window while rank 0's Lock request queues at the target. Rank 0's
+// blocked time must be attributed to the (0 waits on 1) rma-target-wait
+// edge.
+func TestRMATargetWaitFixture(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	pc := New()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		w, err := c.WinCreate(8)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			if err := w.Lock(1); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil { // rank 0 may now contend
+				return err
+			}
+			time.Sleep(delay)
+			if err := w.Unlock(1); err != nil {
+				return err
+			}
+		} else {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if err := w.Lock(1); err != nil { // queues behind the holder
+				return err
+			}
+			if err := w.Unlock(1); err != nil {
+				return err
+			}
+		}
+		return w.Free()
+	}, mpi.WithHook(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WaitStates(pc.Events(), 0)
+	got, ok := findWait(ws, RMATargetWait, 0, 1)
+	if !ok {
+		t.Fatalf("no rma-target-wait state for (waiter 0, peer 1); states: %+v", ws)
+	}
+	if got.Wait < delay/2 {
+		t.Errorf("rma-target wait %v, want at least %v", got.Wait, delay/2)
+	}
+}
+
+// TestAccountRMAMirrorSkip: target-side mirror events repeat the origin's
+// Primitive and Bytes; accounting must count the payload exactly once.
+func TestAccountRMAMirrorSkip(t *testing.T) {
+	now := time.Now()
+	events := []mpi.Event{
+		{Rank: 0, Prim: mpi.PrimRMAPut, Peer: 1, Bytes: 100, Start: now, SendID: 7},
+		{Rank: 1, Prim: mpi.PrimRMAPut, Peer: 0, Bytes: 100, Start: now, RecvID: 7}, // mirror
+		{Rank: 0, Prim: mpi.PrimRMAAcc, Peer: 1, Bytes: 24, Start: now, SendID: 8},
+		{Rank: 1, Prim: mpi.PrimRMAAcc, Peer: 0, Bytes: 24, Start: now, RecvID: 8}, // mirror
+		{Rank: 0, Prim: mpi.PrimRMAGet, Peer: 1, Bytes: 64, Start: now, SendID: 9}, // fetch: not send volume
+	}
+	a := Account(events)
+	if a.CommBytes != 124 {
+		t.Fatalf("CommBytes = %d, want 124 (origin Put 100 + origin Acc 24, mirrors skipped)", a.CommBytes)
+	}
+}

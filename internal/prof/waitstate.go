@@ -22,6 +22,10 @@ const (
 	// CollectiveWait: a rank blocked inside a collective waiting for the
 	// other members to arrive or make progress.
 	CollectiveWait
+	// RMATargetWait: a one-sided operation blocked on the target's
+	// progress engine — a fetch (Get, CompareAndSwap) awaiting its reply,
+	// a Lock awaiting its grant, or a Flush/Unlock draining completions.
+	RMATargetWait
 )
 
 func (k WaitKind) String() string {
@@ -32,6 +36,8 @@ func (k WaitKind) String() string {
 		return "late-receiver"
 	case CollectiveWait:
 		return "collective-wait"
+	case RMATargetWait:
+		return "rma-target-wait"
 	}
 	return fmt.Sprintf("WaitKind(%d)", int(k))
 }
@@ -126,6 +132,20 @@ func classify(e mpi.Event) (WaitKind, int, bool) {
 		mpi.PrimGather, mpi.PrimGatherv, mpi.PrimAllgather, mpi.PrimReduce,
 		mpi.PrimAllreduce, mpi.PrimScan, mpi.PrimAlltoall, mpi.PrimAlltoallv:
 		return CollectiveWait, -1, true
+	case mpi.PrimRMAFence, mpi.PrimRMAWinCreate, mpi.PrimRMAWinFree:
+		// Epoch-closing RMA calls barrier internally: blocking there is the
+		// members arriving, not any single target being slow.
+		return CollectiveWait, -1, true
+	case mpi.PrimRMAPut, mpi.PrimRMAGet, mpi.PrimRMAAcc, mpi.PrimRMACas,
+		mpi.PrimRMALock, mpi.PrimRMAUnlock, mpi.PrimRMAFlush:
+		if e.SendID == 0 && e.Peer >= 0 && e.Dur == 0 {
+			// Target-side mirror event: the progress engine never blocks.
+			return 0, 0, false
+		}
+		if e.Peer >= 0 {
+			return RMATargetWait, e.Peer, true
+		}
+		return RMATargetWait, -1, true
 	}
 	return 0, 0, false
 }
