@@ -12,7 +12,7 @@ MPI_BENCHES = BenchmarkModule1_PingPong|BenchmarkAblation_Transports|BenchmarkAb
 # build (EXPERIMENTS.md records their baselines in BENCH_rma.json).
 RMA_BENCHES = BenchmarkRMA_PutLatency|BenchmarkRMA_GetLatency|BenchmarkRMA_EpochSync|BenchmarkRMA_HashJoinBuild
 
-.PHONY: all build test race bench bench-all check faults fuzz report examples clean
+.PHONY: all build test race bench bench-all check faults fuzz report examples metrics-demo clean
 
 all: build test
 
@@ -26,6 +26,8 @@ check: faults
 	$(GO) test -race -run 'TestAlloc' ./internal/mpi
 	$(GO) test -race -run 'TestRMA' ./internal/mpi
 	$(GO) test -race -run 'TestJoinRMA' ./internal/modules/hashjoin
+	$(GO) test -run 'TestAlloc|TestEvent' ./internal/telemetry
+	$(GO) test -race -run 'TestMetricsEndpointsLive|TestTransportCounterParity|TestGatherMerged' ./internal/telemetry
 	$(GO) test -race -run NONE -bench '$(MPI_BENCHES)' -benchtime=1x .
 	$(GO) test -race -run NONE -bench '$(RMA_BENCHES)' -benchtime=1x .
 
@@ -50,11 +52,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# MPI runtime benchmarks with allocation stats, teed to a
-# benchstat-compatible log for before/after comparison.
+# MPI runtime benchmarks with allocation stats, converted to
+# deterministic JSON (sorted names, fixed key order) so the committed
+# baselines diff cleanly between runs.
 bench:
-	$(GO) test -run NONE -bench '$(MPI_BENCHES)' -benchmem -count=1 . | tee BENCH_mpi.json
-	$(GO) test -run NONE -bench '$(RMA_BENCHES)' -benchmem -count=1 . | tee BENCH_rma.json
+	$(GO) test -run NONE -bench '$(MPI_BENCHES)' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_mpi.json
+	$(GO) test -run NONE -bench '$(RMA_BENCHES)' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_rma.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -72,6 +75,14 @@ fuzz:
 # Regenerate every table and figure of the paper.
 report:
 	$(GO) run ./cmd/evalreport -all
+
+# Live-telemetry walkthrough: a multi-rank run with per-rank /metrics +
+# pprof endpoints and the Finalize-time cross-rank merge, then the
+# scheduler's gauge endpoint on a demo workload.
+metrics-demo:
+	$(GO) run ./cmd/mpirun -np 4 -metrics-addr 127.0.0.1:0 pi
+	$(GO) run ./cmd/modulerun -activity kmeans-weighted-means -metrics
+	$(GO) run ./cmd/sbatch -demo backfill -metrics
 
 examples:
 	$(GO) run ./examples/quickstart

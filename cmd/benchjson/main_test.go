@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.00GHz
+BenchmarkZeta/large-8         	     100	   1234.5 ns/op	 512.3 MB/s	      64 B/op	       2 allocs/op
+BenchmarkAlpha-8              	 5000000	      35.33 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseDeterministic(t *testing.T) {
+	doc, err := Parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	// Sorted by name regardless of input order.
+	if doc.Benchmarks[0].Name != "BenchmarkAlpha" || doc.Benchmarks[1].Name != "BenchmarkZeta/large" {
+		t.Fatalf("order: %q, %q", doc.Benchmarks[0].Name, doc.Benchmarks[1].Name)
+	}
+	z := doc.Benchmarks[1]
+	if z.Procs != 8 || z.Iterations != 100 || z.NsPerOp != 1234.5 || z.MBPerS != 512.3 ||
+		z.BytesPerOp != 64 || z.AllocsPerOp != 2 {
+		t.Fatalf("zeta parsed as %+v", z)
+	}
+	if doc.CPU != "Example CPU @ 2.00GHz" || doc.Pkg != "repro" {
+		t.Fatalf("header parsed as %+v", doc)
+	}
+
+	// Marshaling twice yields identical bytes: stable key order.
+	a, _ := json.Marshal(doc)
+	b, _ := json.Marshal(doc)
+	if string(a) != string(b) {
+		t.Fatal("marshaling is not deterministic")
+	}
+	want := `"name":"BenchmarkAlpha","procs":8,"iterations":5000000,"ns_per_op":35.33,"bytes_per_op":0,"allocs_per_op":0`
+	if !strings.Contains(string(a), want) {
+		t.Fatalf("key order drifted:\n%s", a)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
+		t.Fatal("expected an error for input with no benchmarks")
+	}
+}

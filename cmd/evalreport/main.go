@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -43,39 +44,39 @@ func main() {
 	all := flag.Bool("all", false, "render everything")
 	flag.Parse()
 
-	if err := run(*table, *figure, *question, *quizbank, *claims, *roofline, *all); err != nil {
+	if err := run(os.Stdout, *table, *figure, *question, *quizbank, *claims, *roofline, *all); err != nil {
 		fmt.Fprintln(os.Stderr, "evalreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure, question int, quizbank, claims, roofline, all bool) error {
+func run(w io.Writer, table, figure, question int, quizbank, claims, roofline, all bool) error {
 	ran := false
 	if all || table == 1 {
-		header("Table I: student learning outcomes")
-		fmt.Print(curriculum.RenderTableI())
+		header(w, "Table I: student learning outcomes")
+		fmt.Fprint(w, curriculum.RenderTableI())
 		ran = true
 	}
 	if all || table == 2 {
-		header("Table II: MPI primitives per module (paper)")
-		fmt.Print(curriculum.RenderTableII())
-		if err := verifyTable2(); err != nil {
+		header(w, "Table II: MPI primitives per module (paper)")
+		fmt.Fprint(w, curriculum.RenderTableII())
+		if err := verifyTable2(w); err != nil {
 			return err
 		}
 		ran = true
 	}
 	if all || table == 3 {
-		header("Table III: cohort demographics")
-		fmt.Print(curriculum.RenderTableIII())
-		fmt.Printf("cohort size %d, traditional CS background %d\n",
+		header(w, "Table III: cohort demographics")
+		fmt.Fprint(w, curriculum.RenderTableIII())
+		fmt.Fprintf(w, "cohort size %d, traditional CS background %d\n",
 			curriculum.CohortSize(), curriculum.TraditionalCSCount())
 		ran = true
 	}
 	if all || table == 4 {
-		header("Table IV: quiz statistics (reconstructed dataset)")
+		header(w, "Table IV: quiz statistics (reconstructed dataset)")
 		st := quiz.Reconstructed.Stats()
-		fmt.Print(st.Render())
-		fmt.Println("\nresiduals against the published Table IV:")
+		fmt.Fprint(w, st.Render())
+		fmt.Fprintln(w, "\nresiduals against the published Table IV:")
 		res := st.CompareToPaper()
 		keys := make([]string, 0, len(res))
 		for k := range res {
@@ -83,66 +84,66 @@ func run(table, figure, question int, quizbank, claims, roofline, all bool) erro
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("  %-20s %.5f\n", k, res[k])
+			fmt.Fprintf(w, "  %-20s %.5f\n", k, res[k])
 		}
 		ran = true
 	}
 	if all || figure == 1 {
-		header("Figure 1: speedup of the two quiz-question programs (modeled)")
-		if err := figure1(); err != nil {
+		header(w, "Figure 1: speedup of the two quiz-question programs (modeled)")
+		if err := figure1(w); err != nil {
 			return err
 		}
 		ran = true
 	}
 	if all || figure == 2 {
-		header("Figure 2: pre/post quiz scores per student")
-		fmt.Print(quiz.RenderFigure2(quiz.Reconstructed))
+		header(w, "Figure 2: pre/post quiz scores per student")
+		fmt.Fprint(w, quiz.RenderFigure2(quiz.Reconstructed))
 		ran = true
 	}
 	if all || question == 4 {
-		header("Section IV-B: example quiz question")
+		header(w, "Section IV-B: example quiz question")
 		q, err := quiz.CoSchedulingQuestion(perfmodel.DefaultMachine())
 		if err != nil {
 			return err
 		}
-		fmt.Println(q.Text)
+		fmt.Fprintln(w, q.Text)
 		for i, c := range q.Choices {
 			marker := " "
 			if i == q.Answer {
 				marker = "*"
 			}
-			fmt.Printf("  (%d) %s %s\n", i+1, c, marker)
+			fmt.Fprintf(w, "  (%d) %s %s\n", i+1, c, marker)
 		}
-		fmt.Println("(* = answer derived from the co-scheduling model)")
+		fmt.Fprintln(w, "(* = answer derived from the co-scheduling model)")
 		ran = true
 	}
 	if all || quizbank {
-		header("Quiz bank: answers derived from the simulators")
+		header(w, "Quiz bank: answers derived from the simulators")
 		bank, err := quiz.Bank(perfmodel.DefaultMachine())
 		if err != nil {
 			return err
 		}
 		for _, q := range bank {
-			fmt.Printf("quiz %d: %s\n", q.Quiz, q.Text)
+			fmt.Fprintf(w, "quiz %d: %s\n", q.Quiz, q.Text)
 			for i, choice := range q.Choices {
 				marker := " "
 				if i == q.Answer {
 					marker = "*"
 				}
-				fmt.Printf("  (%d)%s %s\n", i+1, marker, choice)
+				fmt.Fprintf(w, "  (%d)%s %s\n", i+1, marker, choice)
 			}
 		}
 		ran = true
 	}
 	if all || claims {
-		header("Per-module claims, measured (§III-C…F)")
-		if err := moduleClaims(); err != nil {
+		header(w, "Per-module claims, measured (§III-C…F)")
+		if err := moduleClaims(w); err != nil {
 			return err
 		}
 		ran = true
 	}
 	if all || roofline {
-		header("Roofline: where the module kernels sit")
+		header(w, "Roofline: where the module kernels sit")
 		m := perfmodel.DefaultMachine()
 		brute, indexed := rangequery.Kernels(100_000, 10_000, 2, 0.95)
 		kernels := []perfmodel.Kernel{
@@ -152,7 +153,7 @@ func run(table, figure, question int, quizbank, claims, roofline, all bool) erro
 			indexed,
 			kmeans.IterationKernel(100_000, 2, 64, 32, kmeans.WeightedMeans),
 		}
-		fmt.Print(m.RooflineChart(kernels, 64, 16))
+		fmt.Fprint(w, m.RooflineChart(kernels, 64, 16))
 		ran = true
 	}
 	if !ran {
@@ -164,7 +165,7 @@ func run(table, figure, question int, quizbank, claims, roofline, all bool) erro
 
 // moduleClaims measures the headline claim of each module and prints the
 // EXPERIMENTS.md numbers live.
-func moduleClaims() error {
+func moduleClaims(w io.Writer) error {
 	// Module 2: cache miss rates of the two kernels.
 	cache, err := perfmodel.NewCache(256*1024, 64, 8)
 	if err != nil {
@@ -174,7 +175,7 @@ func moduleClaims() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("module 2 (locality): row-wise miss rate %.1f%%, tiled %.1f%% (%.0fx fewer misses)\n",
+	fmt.Fprintf(w, "module 2 (locality): row-wise miss rate %.1f%%, tiled %.1f%% (%.0fx fewer misses)\n",
 		rep.RowWiseMissRate*100, rep.TiledMissRate*100, float64(rep.RowWiseMisses)/float64(rep.TiledMisses))
 
 	// Module 3: imbalance across splitters on exponential data.
@@ -195,7 +196,7 @@ func moduleClaims() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("module 3 (balance): %s splitter imbalance %.2f on exponential keys\n", sp, imb)
+		fmt.Fprintf(w, "module 3 (balance): %s splitter imbalance %.2f on exponential keys\n", sp, imb)
 	}
 
 	// Module 4: pruning + modeled scalability split.
@@ -226,7 +227,7 @@ func moduleClaims() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("module 4 (efficiency vs scalability): R-tree prunes %.1f%% of work; modeled speedup at 20 ranks: brute %.1fx vs indexed %.1fx; 2-node placement gain %.2fx\n",
+	fmt.Fprintf(w, "module 4 (efficiency vs scalability): R-tree prunes %.1f%% of work; modeled speedup at 20 ranks: brute %.1fx vs indexed %.1fx; 2-node placement gain %.2fx\n",
 		pruned*100, bsp[19], isp[19], float64(one)/float64(two))
 
 	// Module 5: communication volumes of the two options.
@@ -248,18 +249,18 @@ func moduleClaims() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("module 5 (communication): %-22v %6d wire bytes/iteration\n", opt, wire/int64(iters))
+		fmt.Fprintf(w, "module 5 (communication): %-22v %6d wire bytes/iteration\n", opt, wire/int64(iters))
 	}
 	return nil
 }
 
-func header(s string) {
-	fmt.Printf("\n=== %s ===\n", s)
+func header(w io.Writer, s string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", s)
 }
 
 // verifyTable2 runs the modules and prints the runtime verification.
-func verifyTable2() error {
-	fmt.Println("\nruntime verification (primitives actually invoked by the implementations):")
+func verifyTable2(w io.Writer) error {
+	fmt.Fprintln(w, "\nruntime verification (primitives actually invoked by the implementations):")
 	checks, err := core.VerifyTableII()
 	if err != nil {
 		return err
@@ -269,14 +270,14 @@ func verifyTable2() error {
 		if !mc.OK() {
 			status = fmt.Sprintf("MISMATCH missing=%v unexpected=%v", mc.MissingRequired, mc.Unexpected)
 		}
-		fmt.Printf("  module %d: %-8s used: %s\n", mc.Module, status, strings.Join(mc.Used, ", "))
+		fmt.Fprintf(w, "  module %d: %-8s used: %s\n", mc.Module, status, strings.Join(mc.Used, ", "))
 	}
 	return nil
 }
 
 // figure1 prints the two modeled speedup curves: Program 1 saturating
 // like Figure 1(a), Program 2 near-linear like Figure 1(b).
-func figure1() error {
+func figure1(w io.Writer) error {
 	m := perfmodel.DefaultMachine()
 	ranks := []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
 	p1 := perfmodel.MemoryBoundKernel("program1", 1e11, 0.1)
@@ -289,13 +290,13 @@ func figure1() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%6s %22s %22s\n", "cores", "Program 1 (mem-bound)", "Program 2 (cpu-bound)")
+	fmt.Fprintf(w, "%6s %22s %22s\n", "cores", "Program 1 (mem-bound)", "Program 2 (cpu-bound)")
 	for _, p := range ranks {
-		fmt.Printf("%6d %10.2f %s %10.2f %s\n",
+		fmt.Fprintf(w, "%6d %10.2f %s %10.2f %s\n",
 			p, c1[p], sparkbar(c1[p], 20), c2[p], sparkbar(c2[p], 20))
 	}
-	fmt.Printf("\nProgram 1 saturates near %.1f cores (node bandwidth / core bandwidth);\n", m.SaturationCores())
-	fmt.Println("Program 2 scales almost linearly to 20 cores — the Figure 1 shapes.")
+	fmt.Fprintf(w, "\nProgram 1 saturates near %.1f cores (node bandwidth / core bandwidth);\n", m.SaturationCores())
+	fmt.Fprintln(w, "Program 2 scales almost linearly to 20 cores — the Figure 1 shapes.")
 	return nil
 }
 

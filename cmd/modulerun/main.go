@@ -24,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ckpt"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/modules/kmeans"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/warmup"
 )
@@ -62,6 +64,7 @@ type options struct {
 	inject     string
 	heartbeat  time.Duration
 	opTimeout  time.Duration
+	metrics    bool
 }
 
 // newFlagSet defines every flag on a fresh FlagSet bound to o. main and
@@ -89,6 +92,7 @@ func newFlagSet(o *options) *flag.FlagSet {
 	fs.StringVar(&o.inject, "inject", "", "deterministic fault plan for the run, e.g. rank=2:call=50:kill or frame=drop:prob=0.01:seed=7")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
 	fs.DurationVar(&o.opTimeout, "op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
+	fs.BoolVar(&o.metrics, "metrics", false, "serve per-rank /metrics + /debug/pprof/ endpoints (ephemeral ports) during each activity and print the cross-rank merged snapshot")
 	return fs
 }
 
@@ -382,7 +386,53 @@ func launch(a core.Activity, o *options, tcp bool, faultOpts []mpi.Option, job i
 	var pc *prof.Collector
 	if o.showTrace || o.profile || o.chrome != "" {
 		pc = prof.New()
-		opts = append(opts, mpi.WithHook(pc))
+	}
+	var set *telemetry.MPISet
+	var servers []*telemetry.Server
+	var merged *telemetry.Merged
+	if o.metrics {
+		np := o.np
+		if np <= 0 {
+			np = a.DefaultNP
+		}
+		set = telemetry.NewMPISet(np)
+		var serr error
+		servers, serr = telemetry.ServeRanks("127.0.0.1:0", set)
+		if serr != nil {
+			return serr
+		}
+		defer telemetry.CloseAll(servers)
+		fmt.Fprint(os.Stderr, telemetry.ListenMap(servers))
+		// Wrap this launch's copy of the activity so the registry
+		// snapshots are gathered to rank 0 as the final collective.
+		orig := a.Run
+		var mu sync.Mutex
+		a.Run = func(c *mpi.Comm) (string, error) {
+			s, err := orig(c)
+			if err != nil {
+				return s, err
+			}
+			m, gerr := set.Gather(c, 0)
+			if gerr != nil {
+				return s, fmt.Errorf("telemetry gather: %w", gerr)
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				merged = m
+				mu.Unlock()
+			}
+			return s, nil
+		}
+	}
+	var hooks []mpi.Hook
+	if pc != nil {
+		hooks = append(hooks, pc)
+	}
+	if set != nil {
+		hooks = append(hooks, set)
+	}
+	if h := mpi.MultiHook(hooks...); h != nil {
+		opts = append(opts, mpi.WithHook(h))
 	}
 	summary, snap, err := a.Launch(o.np, tcp, opts...)
 	if err != nil {
@@ -391,6 +441,16 @@ func launch(a core.Activity, o *options, tcp bool, faultOpts []mpi.Option, job i
 	fmt.Printf("[module %d] %-26s %s\n", a.Module, a.Name, summary)
 	if o.stats {
 		fmt.Print(snap.String())
+	}
+	if set != nil {
+		if lerr := telemetry.SelfScrape(servers[0].URL()); lerr != nil {
+			return fmt.Errorf("metrics self-scrape: %w", lerr)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: rank 0 page scrape-valid (%s)\n", servers[0].URL())
+		if merged != nil {
+			fmt.Print(merged.Table(8))
+			fmt.Print(merged.StragglerReport())
+		}
 	}
 	if pc == nil {
 		return nil

@@ -23,11 +23,13 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 )
 
 type program struct {
@@ -53,14 +55,15 @@ func programs() []program {
 // fresh FlagSet so the golden help test captures exactly the surface
 // main parses.
 type options struct {
-	np        int
-	transport string
-	procs     bool
-	profile   bool
-	traceOut  string
-	inject    string
-	heartbeat time.Duration
-	opTimeout time.Duration
+	np          int
+	transport   string
+	procs       bool
+	profile     bool
+	traceOut    string
+	inject      string
+	heartbeat   time.Duration
+	opTimeout   time.Duration
+	metricsAddr string
 }
 
 func newFlagSet(o *options) *flag.FlagSet {
@@ -73,6 +76,7 @@ func newFlagSet(o *options) *flag.FlagSet {
 	fs.StringVar(&o.inject, "inject", "", "deterministic fault plan, e.g. rank=2:call=50:kill or frame=drop:prob=0.01:seed=7")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
 	fs.DurationVar(&o.opTimeout, "op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve per-rank /metrics + /debug/pprof/ endpoints at HOST:PORT (port 0 = ephemeral per rank, fixed port P = P+rank) and print the cross-rank merged snapshot at exit")
 	return fs
 }
 
@@ -125,6 +129,23 @@ func main() {
 		}
 		collector = prof.New()
 	}
+	var set *telemetry.MPISet
+	var servers []*telemetry.Server
+	if o.metricsAddr != "" {
+		if *procs {
+			fmt.Fprintln(os.Stderr, "mpirun: -metrics-addr is unavailable with -procs (per-rank registries live in the launching process)")
+			os.Exit(1)
+		}
+		set = telemetry.NewMPISet(ranks)
+		var serr error
+		servers, serr = telemetry.ServeRanks(o.metricsAddr, set)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "mpirun:", serr)
+			os.Exit(1)
+		}
+		defer telemetry.CloseAll(servers)
+		fmt.Fprint(os.Stderr, telemetry.ListenMap(servers))
+	}
 	var plan *faults.Plan
 	if *inject != "" {
 		if *procs {
@@ -138,6 +159,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var merged *telemetry.Merged
 	var err error
 	if *procs {
 		ps := make(mpi.Programs)
@@ -154,8 +176,15 @@ func main() {
 		}
 	} else {
 		var opts []mpi.Option
+		var hooks []mpi.Hook
 		if collector != nil {
-			opts = append(opts, mpi.WithHook(collector))
+			hooks = append(hooks, collector)
+		}
+		if set != nil {
+			hooks = append(hooks, set)
+		}
+		if hook := mpi.MultiHook(hooks...); hook != nil {
+			opts = append(opts, mpi.WithHook(hook))
 		}
 		if plan != nil {
 			opts = append(opts, mpi.WithInjector(plan))
@@ -166,11 +195,32 @@ func main() {
 		if *opTimeout > 0 {
 			opts = append(opts, mpi.WithOpTimeout(*opTimeout))
 		}
+		run := prog.run
+		if set != nil {
+			// Gather every rank's registry snapshot to rank 0 as the
+			// program's final collective; rank 0 keeps the merged view.
+			var mu sync.Mutex
+			run = func(c *mpi.Comm) error {
+				if err := prog.run(c); err != nil {
+					return err
+				}
+				m, err := set.Gather(c, 0)
+				if err != nil {
+					return fmt.Errorf("telemetry gather: %w", err)
+				}
+				if c.Rank() == 0 {
+					mu.Lock()
+					merged = m
+					mu.Unlock()
+				}
+				return nil
+			}
+		}
 		switch *transport {
 		case "channel":
-			err = mpi.Run(ranks, prog.run, opts...)
+			err = mpi.Run(ranks, run, opts...)
 		case "tcp":
-			err = mpi.RunTCP(ranks, prog.run, opts...)
+			err = mpi.RunTCP(ranks, run, opts...)
 		default:
 			err = fmt.Errorf("unknown transport %q", *transport)
 		}
@@ -184,6 +234,19 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "mpirun:", err)
 			os.Exit(1)
+		}
+	}
+	if set != nil {
+		if lerr := telemetry.SelfScrape(servers[0].URL()); lerr != nil {
+			fmt.Fprintln(os.Stderr, "mpirun: metrics self-scrape:", lerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: rank 0 page scrape-valid (%s)\n", servers[0].URL())
+		if merged != nil {
+			fmt.Println()
+			fmt.Println("cross-rank telemetry (merged at Finalize):")
+			fmt.Print(merged.Table(12))
+			fmt.Print(merged.StragglerReport())
 		}
 	}
 	if collector != nil {

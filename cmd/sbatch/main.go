@@ -26,6 +26,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -34,35 +35,67 @@ func main() {
 	jobs := flag.String("jobs", "", "comma-separated name:tasks:duration job list")
 	script := flag.String("script", "", "SLURM batch script to parse and submit")
 	runtime := flag.Duration("runtime", 30*time.Second, "simulated runtime for -script jobs")
+	metrics := flag.Bool("metrics", false, "serve the scheduler's gauge registry at /metrics (+ /debug/pprof/) on an ephemeral port during the run")
 	flag.Parse()
 
-	if err := run(*demo, *nodes, *jobs, *script, *runtime); err != nil {
+	var g *cluster.Gauges
+	var srv *telemetry.Server
+	if *metrics {
+		reg := telemetry.NewRegistry()
+		g = cluster.NewGauges(reg)
+		var err error
+		srv, err = telemetry.NewServer(0, "127.0.0.1:0", reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbatch:", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, telemetry.ListenMap([]*telemetry.Server{srv}))
+	}
+	err := run(*demo, *nodes, *jobs, *script, *runtime, g)
+	if srv != nil {
+		if lerr := telemetry.SelfScrape(srv.URL()); lerr != nil {
+			fmt.Fprintln(os.Stderr, "sbatch: metrics self-scrape:", lerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: scheduler page scrape-valid (%s)\n", srv.URL())
+		_ = srv.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(demo string, nodes int, jobs, script string, runtime time.Duration) error {
+// observe refreshes the scheduler gauges when -metrics is on; the
+// simulated cluster is single-threaded, so gauges are sampled at phase
+// boundaries rather than from inside the event loop.
+func observe(g *cluster.Gauges, c *cluster.Cluster) {
+	if g != nil {
+		g.Observe(c)
+	}
+}
+
+func run(demo string, nodes int, jobs, script string, runtime time.Duration, g *cluster.Gauges) error {
 	switch demo {
 	case "backfill":
-		return demoBackfill()
+		return demoBackfill(g)
 	case "twins":
 		return demoTwins()
 	case "quiz4":
 		return demoQuiz4()
 	case "sacct":
-		return demoSacct()
+		return demoSacct(g)
 	case "faults":
-		return demoFaults()
+		return demoFaults(g)
 	case "":
 		if script != "" {
-			return runScript(nodes, script, runtime)
+			return runScript(nodes, script, runtime, g)
 		}
 		if jobs == "" {
 			flag.Usage()
 			return errors.New("choose -demo, -jobs or -script")
 		}
-		return runJobList(nodes, jobs)
+		return runJobList(nodes, jobs, g)
 	default:
 		return fmt.Errorf("unknown demo %q", demo)
 	}
@@ -70,7 +103,7 @@ func run(demo string, nodes int, jobs, script string, runtime time.Duration) err
 
 // runScript parses a SLURM batch script, submits it to a fresh cluster
 // with the given simulated runtime, and reports its lifecycle.
-func runScript(nodes int, path string, runtime time.Duration) error {
+func runScript(nodes int, path string, runtime time.Duration, g *cluster.Gauges) error {
 	body, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -91,7 +124,9 @@ func runScript(nodes int, path string, runtime time.Duration) error {
 	fmt.Printf("Submitted batch job %d\n", id)
 	fmt.Printf("  name=%q ntasks=%d ntasks-per-node=%d exclusive=%v time-limit=%v\n",
 		spec.Name, spec.Tasks, spec.TasksPerNode, spec.Exclusive, spec.TimeLimit)
+	observe(g, c)
 	c.Drain()
+	observe(g, c)
 	j, err := c.Status(id)
 	if err != nil {
 		return err
@@ -103,7 +138,7 @@ func runScript(nodes int, path string, runtime time.Duration) error {
 	return nil
 }
 
-func runJobList(nodes int, list string) error {
+func runJobList(nodes int, list string, g *cluster.Gauges) error {
 	c, err := cluster.New(nodes, perfmodel.DefaultMachine())
 	if err != nil {
 		return err
@@ -127,11 +162,13 @@ func runJobList(nodes int, list string) error {
 		}
 		fmt.Printf("Submitted batch job %d (%s)\n", id, parts[0])
 	}
+	observe(g, c)
 	fmt.Println("\nsqueue at t=0:")
 	fmt.Print(c.Squeue())
 	fmt.Println("sinfo at t=0:")
 	fmt.Print(c.Sinfo())
 	c.Drain()
+	observe(g, c)
 	fmt.Println("\ncompletion report:")
 	for _, j := range c.Jobs() {
 		fmt.Printf("  job %d %-12s %v  submit %-8v start %-8v end %-8v\n",
@@ -143,7 +180,7 @@ func runJobList(nodes int, list string) error {
 	return nil
 }
 
-func demoBackfill() error {
+func demoBackfill(g *cluster.Gauges) error {
 	fmt.Println("EASY backfill: a wide job waits while a short narrow job slips ahead")
 	c, err := cluster.New(1, perfmodel.DefaultMachine())
 	if err != nil {
@@ -158,9 +195,11 @@ func demoBackfill() error {
 			return err
 		}
 	}
+	observe(g, c)
 	fmt.Println("\nsqueue just after submission (small-4core backfilled, wide waits):")
 	fmt.Print(c.Squeue())
 	c.Drain()
+	observe(g, c)
 	fmt.Println("\ncompletion report:")
 	for _, j := range c.Jobs() {
 		fmt.Printf("  job %d %-12s start %-6v end %-6v\n", j.ID, j.Spec.Name, j.StartTime, j.EndTime)
@@ -229,7 +268,7 @@ func demoTwins() error {
 // and feeds the measured communication volume and wait fraction into the
 // cluster's accounting ledger, the way a site's sacct records more than
 // the scheduler alone can see.
-func demoSacct() error {
+func demoSacct(g *cluster.Gauges) error {
 	fmt.Println("sacct: profiled module runs feeding the accounting ledger")
 	c, err := cluster.New(2, perfmodel.DefaultMachine())
 	if err != nil {
@@ -268,7 +307,9 @@ func demoSacct() error {
 			return err
 		}
 	}
+	observe(g, c)
 	c.Drain()
+	observe(g, c)
 	fmt.Println("\nsacct:")
 	fmt.Print(c.Sacct())
 	fmt.Println("\nCOMMBYTES and WAIT% come straight from the hook event stream of the")
@@ -281,7 +322,7 @@ func demoSacct() error {
 // the MPI runtime uses) kills a resident job, --requeue resubmits it
 // with exponential backoff, and the job finishes on the surviving node
 // while the failed one sits down until repair.
-func demoFaults() error {
+func demoFaults(g *cluster.Gauges) error {
 	fmt.Println("node failure and --requeue: the scheduler side of fault tolerance")
 	plan, err := faults.Parse("node=0:at=20s")
 	if err != nil {
@@ -309,11 +350,13 @@ func demoFaults() error {
 		return err
 	}
 	c.RunUntil(25 * time.Second)
+	observe(g, c)
 	fmt.Println("\nsqueue just after the failure (alpha requeued, backing off):")
 	fmt.Print(c.Squeue())
 	fmt.Println("sinfo (node 0 is down):")
 	fmt.Print(c.Sinfo())
 	c.Drain()
+	observe(g, c)
 	fmt.Println("\ncompletion report:")
 	for _, j := range c.Jobs() {
 		fmt.Printf("  job %d %-6s %v  restarts %d  start %-6v end %-6v\n",

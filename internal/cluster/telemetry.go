@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Gauges pushes scheduler state into a telemetry registry. The cluster
+// simulator is deliberately single-threaded (event-driven virtual time,
+// no locks), so these are explicit-update gauges: call Observe between
+// simulation phases rather than letting a scraper pull racy state.
+type Gauges struct {
+	queueDepth  telemetry.Gauge
+	jobsRunning telemetry.Gauge
+	completed   telemetry.Gauge
+	requeues    telemetry.Gauge
+	nodeStates  map[string]telemetry.Gauge
+	utilization telemetry.Gauge // fraction × 1e6 (registry values are int64)
+	jobsPerSec  telemetry.Gauge // rate × 1e6
+}
+
+// utilScale fixes the fixed-point factor for fractional gauges.
+const utilScale = 1e6
+
+// NewGauges registers the scheduler series on reg.
+func NewGauges(reg *telemetry.Registry) *Gauges {
+	g := &Gauges{
+		queueDepth:  reg.Gauge("cluster_queue_depth", "Pending jobs awaiting placement."),
+		jobsRunning: reg.Gauge("cluster_jobs_running", "Jobs currently executing."),
+		completed:   reg.Gauge("cluster_jobs_completed_total", "Jobs that ran to completion."),
+		requeues:    reg.Gauge("cluster_requeues_total", "Job resubmissions after node failures."),
+		nodeStates:  make(map[string]telemetry.Gauge),
+		utilization: reg.Gauge("cluster_utilization_ppm", "Allocated core fraction, parts per million."),
+		jobsPerSec:  reg.Gauge("cluster_jobs_per_second_ppm", "Completed jobs per simulated second, parts per million."),
+	}
+	for _, st := range []string{"idle", "allocated", "allocated(excl)", "mixed", "down"} {
+		g.nodeStates[st] = reg.Gauge("cluster_nodes", "Nodes by scheduler state.", telemetry.L("state", st))
+	}
+	return g
+}
+
+// Observe snapshots c into the gauges. Call it from the goroutine driving
+// the simulation.
+func (g *Gauges) Observe(c *Cluster) {
+	g.queueDepth.Set(int64(len(c.order)))
+	running := 0
+	completed := 0
+	requeues := 0
+	for _, j := range c.jobs {
+		switch j.State {
+		case Running:
+			running++
+		case Completed:
+			completed++
+		}
+		requeues += j.Restarts
+	}
+	g.jobsRunning.Set(int64(running))
+	g.completed.Set(int64(completed))
+	g.requeues.Set(int64(requeues))
+
+	counts := map[string]int64{"idle": 0, "allocated": 0, "allocated(excl)": 0, "mixed": 0, "down": 0}
+	for _, n := range c.nodes {
+		state := "idle"
+		switch {
+		case n.down:
+			state = "down"
+		case n.exclusive:
+			state = "allocated(excl)"
+		case n.freeCores == 0:
+			state = "allocated"
+		case len(n.jobs) > 0:
+			state = "mixed"
+		}
+		counts[state]++
+	}
+	for st, gauge := range g.nodeStates {
+		gauge.Set(counts[st])
+	}
+
+	g.utilization.Set(int64(c.Utilization() * utilScale))
+	rate := 0.0
+	if mk := c.Stats().Makespan; mk > 0 {
+		rate = float64(completed) / mk.Seconds()
+	}
+	g.jobsPerSec.Set(int64(rate * utilScale))
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestGaugesObserve drives a small workload and checks the scheduler
+// gauges at each phase: a full node with a queued job, then the drained
+// end state — and that the exposition of the cluster registry lints.
+func TestGaugesObserve(t *testing.T) {
+	c := newTestCluster(t, 1)
+	reg := telemetry.NewRegistry()
+	g := NewGauges(reg)
+
+	if _, err := c.Submit(JobSpec{Name: "a", Tasks: 32, BaseTime: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(JobSpec{Name: "b", Tasks: 32, BaseTime: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	g.Observe(c)
+	snap := values(reg)
+	if snap["cluster_queue_depth"] != 1 {
+		t.Fatalf("queue depth = %g, want 1 (one job running, one queued)", snap["cluster_queue_depth"])
+	}
+	if snap["cluster_jobs_running"] != 1 {
+		t.Fatalf("jobs running = %g, want 1", snap["cluster_jobs_running"])
+	}
+	if snap["cluster_nodes{state=allocated}"] != 1 {
+		t.Fatalf("allocated nodes = %g, want 1", snap["cluster_nodes{state=allocated}"])
+	}
+	if snap["cluster_utilization_ppm"] != 1e6 {
+		t.Fatalf("utilization = %g ppm, want 1e6 (node full)", snap["cluster_utilization_ppm"])
+	}
+
+	c.Drain()
+	g.Observe(c)
+	snap = values(reg)
+	if snap["cluster_queue_depth"] != 0 || snap["cluster_jobs_running"] != 0 {
+		t.Fatalf("drained cluster still shows work: %v", snap)
+	}
+	if snap["cluster_jobs_completed_total"] != 2 {
+		t.Fatalf("completed = %g, want 2", snap["cluster_jobs_completed_total"])
+	}
+	if snap["cluster_nodes{state=idle}"] != 1 {
+		t.Fatalf("idle nodes = %g, want 1", snap["cluster_nodes{state=idle}"])
+	}
+	if snap["cluster_jobs_per_second_ppm"] <= 0 {
+		t.Fatalf("jobs/s = %g, want > 0", snap["cluster_jobs_per_second_ppm"])
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.Lint(buf.Bytes()); err != nil {
+		t.Fatalf("cluster exposition fails lint: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `cluster_nodes{state="allocated(excl)"}`) {
+		t.Fatalf("exposition missing node-state series:\n%s", buf.String())
+	}
+}
+
+// values flattens a registry snapshot into key → value.
+func values(reg *telemetry.Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for _, ss := range reg.Snapshot() {
+		out[ss.Key()] = ss.Value
+	}
+	return out
+}

@@ -341,6 +341,7 @@ func (w *World) heartbeatSender() {
 					hb := getEnv()
 					hb.kind = kindHeartbeat
 					hb.src, hb.wsrc, hb.wdst = r, r, peer
+					hbSent.Add(1)
 					_ = w.transport.deliver(hb)
 				}
 			}

@@ -45,6 +45,47 @@ func WithHook(h Hook) Option {
 	return func(o *options) { o.hook = h }
 }
 
+// multiHook fans one event stream out to several hooks, so a post-mortem
+// collector (prof) and a live registry (telemetry) can observe the same
+// run. Lifecycle events are forwarded to the members that implement
+// LifecycleHook.
+type multiHook []Hook
+
+// MultiHook composes hooks into one. Nil members are dropped; with zero
+// or one live member it returns nil or the member itself, preserving the
+// single-hook fast path.
+func MultiHook(hooks ...Hook) Hook {
+	var live multiHook
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// Event forwards to every member in attachment order.
+func (m multiHook) Event(e Event) {
+	for _, h := range m {
+		h.Event(e)
+	}
+}
+
+// Lifecycle forwards to the members that implement LifecycleHook.
+func (m multiHook) Lifecycle(e LifecycleEvent) {
+	for _, h := range m {
+		if lh, ok := h.(LifecycleHook); ok {
+			lh.Lifecycle(e)
+		}
+	}
+}
+
 // profToken carries the entry state of an instrumented primitive between
 // profEnter and profExit.
 type profToken struct {

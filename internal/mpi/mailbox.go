@@ -133,6 +133,7 @@ func (mb *mailbox) post(e *envelope) {
 	case kindHeartbeat:
 		// Pure liveness signal: absorb and recycle without touching the
 		// matching engine (heartbeats never carry a payload).
+		hbRecv.Add(1)
 		mb.world.noteHeard(e.wsrc)
 		putEnv(e)
 		return

@@ -3,6 +3,7 @@ package mpi
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Buffer, envelope and posted-receive recycling for the zero-copy data
@@ -41,6 +42,34 @@ type bufClass struct {
 
 var bufClasses [numBufClasses]bufClass
 
+// Pool telemetry: hits are getBuf calls satisfied from a free list,
+// misses fall through to make. inFlight tracks capacity bytes handed out
+// by getBuf and not yet returned via putBuf; buffers the application
+// keeps (never Released) stay counted, so the gauge reads as "pool bytes
+// the runtime cannot reuse right now".
+var (
+	poolHits     atomic.Int64
+	poolMisses   atomic.Int64
+	poolInFlight atomic.Int64
+)
+
+// PoolBufStats is a point-in-time view of the payload buffer pool,
+// exported for the telemetry registry.
+type PoolBufStats struct {
+	Hits          int64 // getBuf calls served from a free list
+	Misses        int64 // getBuf calls that had to allocate
+	BytesInFlight int64 // capacity bytes checked out and not yet recycled
+}
+
+// PoolStats reports cumulative buffer-pool counters for this process.
+func PoolStats() PoolBufStats {
+	return PoolBufStats{
+		Hits:          poolHits.Load(),
+		Misses:        poolMisses.Load(),
+		BytesInFlight: poolInFlight.Load(),
+	}
+}
+
 // maxFreePerClass bounds per-class retention so the pool cannot grow
 // without limit: many small buffers, a handful of large ones.
 func maxFreePerClass(class int) int {
@@ -70,6 +99,8 @@ func getBuf(n int) []byte {
 	}
 	class := classFor(n)
 	if class < 0 {
+		poolMisses.Add(1)
+		poolInFlight.Add(int64(n))
 		return make([]byte, n)
 	}
 	bc := &bufClasses[class]
@@ -79,9 +110,13 @@ func getBuf(n int) []byte {
 		bc.free[m-1] = nil
 		bc.free = bc.free[:m-1]
 		bc.mu.Unlock()
+		poolHits.Add(1)
+		poolInFlight.Add(int64(cap(b)))
 		return b[:n]
 	}
 	bc.mu.Unlock()
+	poolMisses.Add(1)
+	poolInFlight.Add(int64(1 << (minBufClassBits + class)))
 	return make([]byte, n, 1<<(minBufClassBits+class))
 }
 
@@ -94,6 +129,7 @@ func putBuf(b []byte) {
 	if c < 1<<minBufClassBits {
 		return
 	}
+	poolInFlight.Add(-int64(c))
 	class := bits.Len(uint(c)) - 1 - minBufClassBits // floor(log2(cap))
 	if class >= numBufClasses {
 		class = numBufClasses - 1

@@ -67,6 +67,30 @@ func (p Primitive) String() string {
 	return primitiveNames[p]
 }
 
+// Primitives returns every defined primitive in numeric order, so
+// external instrumentation (e.g. internal/telemetry) can size and label
+// per-primitive series without hard-coding the count.
+func Primitives() []Primitive {
+	out := make([]Primitive, numPrimitives)
+	for i := range out {
+		out[i] = Primitive(i)
+	}
+	return out
+}
+
+// Heartbeat telemetry: process-wide counters for liveness envelopes,
+// which bypass the per-world traffic accounting by design.
+var (
+	hbSent atomic.Int64
+	hbRecv atomic.Int64
+)
+
+// HeartbeatStats reports the cumulative number of heartbeat envelopes
+// sent and absorbed by this process across all worlds.
+func HeartbeatStats() (sent, received int64) {
+	return hbSent.Load(), hbRecv.Load()
+}
+
 // PrimitiveByName resolves an MPI-style name ("MPI_Send") to a Primitive.
 func PrimitiveByName(name string) (Primitive, bool) {
 	for i, n := range primitiveNames {

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/mpi"
+	"repro/internal/prof"
+)
+
+// imbalancedWorkload makes rank skew unmistakable: before each of three
+// barriers, rank r sleeps r*25ms. The highest rank arrives last every
+// time, so it blocks least — it is the straggler the others wait on.
+func imbalancedWorkload(c *mpi.Comm) error {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Duration(c.Rank()) * 25 * time.Millisecond)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestGatherMergedStragglerAgreesWithProf is the acceptance check: the
+// Finalize-time merged snapshot's imbalance verdict must agree with the
+// profiler's wait-state ranking of the same run, on both transports.
+func TestGatherMergedStragglerAgreesWithProf(t *testing.T) {
+	const np = 4
+	for _, tc := range []struct {
+		name string
+		run  func(int, func(*mpi.Comm) error, ...mpi.Option) error
+	}{
+		{"channel", mpi.Run},
+		{"tcp", mpi.RunTCP},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			set := NewMPISet(np)
+			collector := prof.New()
+			var mu sync.Mutex
+			var merged *Merged
+			err := tc.run(np, func(c *mpi.Comm) error {
+				if err := imbalancedWorkload(c); err != nil {
+					return err
+				}
+				m, err := set.Gather(c, 0)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					mu.Lock()
+					merged = m
+					mu.Unlock()
+				}
+				return nil
+			}, mpi.WithHook(mpi.MultiHook(collector, set)), mpi.WithWatchdog(time.Minute))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if merged == nil {
+				t.Fatal("rank 0 received no merged snapshot")
+			}
+			if merged.Ranks != np {
+				t.Fatalf("merged %d ranks, want %d", merged.Ranks, np)
+			}
+
+			straggler, _, imb := merged.Straggler()
+			if straggler != np-1 {
+				t.Errorf("telemetry straggler = rank %d, want %d (blocked: %v)",
+					straggler, np-1, merged.BlockedSeconds())
+			}
+			if imb <= 0 {
+				t.Errorf("imbalance = %g, want > 0", imb)
+			}
+
+			// The profiler's independent verdict over the same event stream.
+			summary := prof.Summarize(collector.Events())
+			ranking := summary.BlockedRanking()
+			if ranking[0] != straggler {
+				t.Errorf("prof wait-state ranking %v disagrees with telemetry straggler %d", ranking, straggler)
+			}
+
+			// Both views integrate the same Blocked durations, so per-rank
+			// values agree up to the gather-collective's own blocking
+			// (recorded by prof after telemetry snapshotted).
+			blocked := merged.BlockedSeconds()
+			for r := 0; r < np; r++ {
+				profSec := summary.Blocked[r].Seconds()
+				if diff := profSec - blocked[r]; diff < -0.001 || diff > 0.050 {
+					t.Errorf("rank %d blocked: telemetry %.4fs vs prof %.4fs", r, blocked[r], profSec)
+				}
+			}
+
+			// Render paths: the table ranks mpi_blocked_seconds_total among
+			// the imbalanced series, and the straggler report names the rank.
+			if table := merged.Table(10); !strings.Contains(table, "mpi_blocked_seconds_total") {
+				t.Errorf("merged table missing blocked series:\n%s", table)
+			}
+			if rep := merged.StragglerReport(); !strings.Contains(rep, "rank 3") {
+				t.Errorf("straggler report does not name rank 3:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestMergeSnapshotsUnion: series missing on some rank read as zero, and
+// histogram series merge count+sum per rank.
+func TestMergeSnapshotsUnion(t *testing.T) {
+	a := RegSnapshot{Rank: 0, Series: []SeriesSnap{
+		{Name: "x_total", Kind: "counter", Value: 5},
+		{Name: "h_seconds", Kind: "histogram", Count: 3, Sum: 0.5},
+	}}
+	b := RegSnapshot{Rank: 1, Series: []SeriesSnap{
+		{Name: "y_total", Kind: "counter", Value: 7},
+	}}
+	m, err := MergeSnapshots([]RegSnapshot{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup("x_total").Value; got[0] != 5 || got[1] != 0 {
+		t.Fatalf("x_total = %v", got)
+	}
+	if got := m.Lookup("y_total").Value; got[0] != 0 || got[1] != 7 {
+		t.Fatalf("y_total = %v", got)
+	}
+	h := m.Lookup("h_seconds")
+	if h.Value[0] != 3 || h.Sum[0] != 0.5 {
+		t.Fatalf("h_seconds = %+v", h)
+	}
+}
+
+// TestStragglerKmeansImbalance is the EXPERIMENTS.md mini-study: a
+// data-parallel kmeans iteration loop where rank 0 holds 4× the points
+// of every other rank. Each iteration ends in an Allreduce of the
+// partial centroid sums, so the light ranks block on the heavy one —
+// and the straggler gauges must finger rank 0.
+func TestStragglerKmeansImbalance(t *testing.T) {
+	const (
+		np    = 4
+		k     = 8
+		dim   = 4
+		iters = 12
+		base  = 3000 // points per light rank; rank 0 holds 4× this
+	)
+	set := NewMPISet(np)
+	collector := prof.New()
+	var mu sync.Mutex
+	var merged *Merged
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		n := base
+		if c.Rank() == 0 {
+			n = 4 * base
+		}
+		pts, _ := data.GaussianMixture(n, dim, k, 0.5, 10, int64(42+c.Rank()))
+		// Shared deterministic centroids so every rank reduces the same
+		// k×dim matrix.
+		cent, _ := data.GaussianMixture(k, dim, k, 0.5, 10, 7)
+		sums := make([]float64, k*dim+k)
+		for it := 0; it < iters; it++ {
+			for i := range sums {
+				sums[i] = 0
+			}
+			// Assignment: the O(n·k·dim) compute phase — 4× heavier on rank 0.
+			for i := 0; i < pts.N(); i++ {
+				p := pts.At(i)
+				best, bestD := 0, data.SquaredDistance(p, cent.At(0))
+				for j := 1; j < k; j++ {
+					if d := data.SquaredDistance(p, cent.At(j)); d < bestD {
+						best, bestD = j, d
+					}
+				}
+				for d := 0; d < dim; d++ {
+					sums[best*dim+d] += p[d]
+				}
+				sums[k*dim+best]++
+			}
+			// Global centroid update: the collective the light ranks wait in.
+			if err := mpi.AllreduceInto(c, sums, mpi.OpSum); err != nil {
+				return err
+			}
+			for j := 0; j < k; j++ {
+				if cnt := sums[k*dim+j]; cnt > 0 {
+					for d := 0; d < dim; d++ {
+						cent.Coords[j*dim+d] = sums[j*dim+d] / cnt
+					}
+				}
+			}
+		}
+		m, err := set.Gather(c, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			merged = m
+			mu.Unlock()
+		}
+		return nil
+	}, mpi.WithHook(mpi.MultiHook(collector, set)), mpi.WithWatchdog(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggler, _, imb := merged.Straggler()
+	if straggler != 0 {
+		t.Fatalf("straggler = rank %d, want 0 (blocked: %v)", straggler, merged.BlockedSeconds())
+	}
+	if ranking := prof.Summarize(collector.Events()).BlockedRanking(); ranking[0] != 0 {
+		t.Fatalf("prof ranking %v does not agree", ranking)
+	}
+	t.Logf("straggler gauges on imbalanced kmeans: blocked=%v imbalance=%.1f%%",
+		merged.BlockedSeconds(), imb*100)
+	t.Logf("allreduce latency per rank (count): %v", merged.Lookup(`mpi_latency_seconds{prim=MPI_Allreduce}`).Value)
+}
+
+// TestBalancedKmeansControl is the study's control arm: equal shares on
+// every rank should show a far smaller blocked-time spread.
+func TestBalancedKmeansControl(t *testing.T) {
+	const np = 4
+	set := NewMPISet(np)
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		buf := make([]float64, 64)
+		for it := 0; it < 12; it++ {
+			// Equal synthetic compute on every rank.
+			x := 0.0
+			for i := 0; i < 200000; i++ {
+				x += float64(i % 7)
+			}
+			buf[0] = x
+			if err := mpi.AllreduceInto(c, buf, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+		_, err := set.Gather(c, 0)
+		return err
+	}, mpi.WithHook(set), mpi.WithWatchdog(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+}

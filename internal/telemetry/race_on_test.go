@@ -1,0 +1,9 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled mirrors internal/mpi's flag: allocation and timing
+// assertions are skipped under the race detector, whose instrumentation
+// allocates and slows the measured paths; the traffic itself still runs
+// so -race exercises every atomic.
+const raceEnabled = true

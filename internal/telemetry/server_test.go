@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// scrape GETs a metrics URL and returns the body.
+func scrape(url string) ([]byte, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// TestMetricsEndpointsLive runs a multi-rank world on both transports
+// with every rank's endpoint up, scrapes each rank MID-RUN (while the
+// other ranks are still communicating — the -race smoke for concurrent
+// update+scrape) and again after, and lints every page.
+func TestMetricsEndpointsLive(t *testing.T) {
+	const np = 3
+	for _, tc := range []struct {
+		name string
+		run  func(int, func(*mpi.Comm) error, ...mpi.Option) error
+	}{
+		{"channel", mpi.Run},
+		{"tcp", mpi.RunTCP},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			set := NewMPISet(np)
+			servers, err := ServeRanks("127.0.0.1:0", set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer CloseAll(servers)
+			if got := ListenMap(servers); strings.Count(got, "metrics: rank") != np {
+				t.Fatalf("listen map missing ranks:\n%s", got)
+			}
+
+			var scrapeErr error
+			var once sync.Once
+			err = tc.run(np, func(c *mpi.Comm) error {
+				// Phase 1: traffic so counters move.
+				buf := []float64{float64(c.Rank())}
+				for i := 0; i < 50; i++ {
+					if _, err := mpi.Allreduce(c, buf, mpi.OpSum); err != nil {
+						return err
+					}
+				}
+				// Rank 0 scrapes every endpoint while peers keep going.
+				if c.Rank() == 0 {
+					for _, s := range servers {
+						page, err := scrape(s.URL())
+						if err == nil {
+							err = Lint(page)
+						}
+						if err != nil {
+							once.Do(func() { scrapeErr = fmt.Errorf("mid-run rank %d: %w", s.Rank, err) })
+						}
+					}
+				}
+				// Phase 2: more traffic during/after the scrape.
+				for i := 0; i < 50; i++ {
+					if _, err := mpi.Allreduce(c, buf, mpi.OpSum); err != nil {
+						return err
+					}
+				}
+				return c.Barrier()
+			}, mpi.WithHook(set))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scrapeErr != nil {
+				t.Fatal(scrapeErr)
+			}
+			// Post-run: every rank's page is scrape-valid and shows the
+			// exact call count.
+			for r, s := range servers {
+				page, err := scrape(s.URL())
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+				if err := Lint(page); err != nil {
+					t.Fatalf("rank %d page fails lint: %v", r, err)
+				}
+				want := `mpi_calls_total{prim="MPI_Allreduce"} 100`
+				if !strings.Contains(string(page), want) {
+					t.Fatalf("rank %d page missing %q", r, want)
+				}
+				if !strings.Contains(string(page), "mpi_pool_hits_total") {
+					t.Fatalf("rank %d page missing process registry", r)
+				}
+			}
+			// pprof is wired on the same mux.
+			resp, err := http.Get("http://" + servers[0].Addr + "/debug/pprof/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("pprof index: %s", resp.Status)
+			}
+		})
+	}
+}
+
+// TestServeRanksFixedPorts checks the explicit-port layout (base+rank).
+func TestServeRanksFixedPorts(t *testing.T) {
+	set := NewMPISet(2)
+	servers, err := ServeRanks("127.0.0.1:0", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(servers)
+	if len(servers) != 2 {
+		t.Fatalf("got %d servers, want 2", len(servers))
+	}
+	if servers[0].Addr == servers[1].Addr {
+		t.Fatalf("ranks share an address: %s", servers[0].Addr)
+	}
+}
