@@ -8,9 +8,10 @@ GO ?= go
 MPI_BENCHES = BenchmarkModule1_PingPong|BenchmarkAblation_Transports|BenchmarkAblation_AllreduceAlgorithms|BenchmarkAblation_EagerVsRendezvous
 
 # The one-sided (RMA) microbenchmarks: Put/Get latency across the eager
-# boundary, fence-vs-lock epoch cost, and the RMA-vs-two-sided hash-join
-# build (EXPERIMENTS.md records their baselines in BENCH_rma.json).
-RMA_BENCHES = BenchmarkRMA_PutLatency|BenchmarkRMA_GetLatency|BenchmarkRMA_EpochSync|BenchmarkRMA_HashJoinBuild
+# boundary, the amortized cost of batched Puts, fence-vs-lock epoch
+# cost, and the RMA-vs-two-sided hash-join build (EXPERIMENTS.md records
+# their baselines in BENCH_rma.json).
+RMA_BENCHES = BenchmarkRMA_PutLatency|BenchmarkRMA_BatchedPut|BenchmarkRMA_GetLatency|BenchmarkRMA_EpochSync|BenchmarkRMA_HashJoinBuild
 
 .PHONY: all build test race bench bench-all check faults fuzz report examples metrics-demo clean
 
@@ -68,6 +69,7 @@ fuzz:
 	$(GO) test ./internal/mpi -fuzz=FuzzParseWire -fuzztime=10s
 	$(GO) test ./internal/mpi -fuzz=FuzzUnmarshalFloat64 -fuzztime=10s
 	$(GO) test ./internal/mpi -fuzz=FuzzRMAFrame -fuzztime=10s
+	$(GO) test ./internal/mpi -fuzz=FuzzRMABatchFrame -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzParseScript -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzClusterFaultOps -fuzztime=10s
 	$(GO) test ./internal/modules/distsort -fuzz=FuzzEquiDepthBoundaries -fuzztime=10s

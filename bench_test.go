@@ -667,6 +667,47 @@ func BenchmarkRMA_PutLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkRMA_BatchedPut measures the amortized per-Put cost when ops
+// coalesce into per-target batches: b.N Puts with one Flush every K,
+// so ns/op is the marginal price of a queued Put plus its share of the
+// batch round trip. Compare against BenchmarkRMA_PutLatency/8B, where
+// every Put pays a full round trip.
+func BenchmarkRMA_BatchedPut(b *testing.B) {
+	for _, batch := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("every%d", batch), func(b *testing.B) {
+			buf := make([]byte, 8)
+			err := mpi.Run(2, func(c *mpi.Comm) error {
+				win, err := c.WinCreate(8 * batch)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := win.Put(1, 8*(i%batch), buf); err != nil {
+							return err
+						}
+						if i%batch == batch-1 {
+							if err := win.Flush(); err != nil {
+								return err
+							}
+						}
+					}
+					if err := win.Flush(); err != nil {
+						return err
+					}
+					b.StopTimer()
+				}
+				return win.Free()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(8)
+		})
+	}
+}
+
 // BenchmarkRMA_GetLatency measures the fetch round trip with a reused
 // destination buffer (GetInto), the one-sided analogue of ping-pong.
 func BenchmarkRMA_GetLatency(b *testing.B) {

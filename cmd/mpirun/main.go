@@ -12,7 +12,7 @@
 //	mpirun -np 2 -trace-out lat.json latency     # Perfetto trace with flows
 //	mpirun -np 4 -inject rank=2:call=50:kill resilient   # ULFM-style recovery
 //	mpirun -np 2 -transport tcp -inject frame=drop:prob=0.01:seed=7 -op-timeout 2s latency
-//	mpirun -np 4 rma                             # one-sided Put/Accumulate/CAS demo
+//	mpirun -np 4 rma                             # one-sided Put/Accumulate/CAS + PutAsync demo
 package main
 
 import (
@@ -47,7 +47,7 @@ func programs() []program {
 		{"pi", "Monte Carlo estimation of pi with a final reduction", 8, piEstimate},
 		{"barrier", "barrier latency", 8, barrierBench},
 		{"resilient", "iterative allreduce that survives injected rank failures (shrink + retry)", 4, resilient},
-		{"rma", "one-sided demo: every rank Puts, Accumulates and races a CAS into rank 0's window", 4, rmaDemo},
+		{"rma", "one-sided demo: Put/Accumulate/CAS into rank 0's window, a PutAsync epoch, and the batch-coalescing counters", 4, rmaDemo},
 	}
 }
 

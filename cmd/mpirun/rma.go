@@ -17,9 +17,15 @@ import (
 //   - races a CompareAndSwap on the leader cell, which exactly one rank
 //     wins.
 //
-// After the fence, rank 0 reads its local window and checks the cells
-// against the closed forms — the same totals on every run and transport.
+// A second epoch repeats the Put nonblocking: every rank PutAsyncs a
+// scaled value over its own cell and holds the request — it completes
+// only when the fence closes the epoch, which the demo makes visible by
+// Testing before and Waiting after. After each fence, rank 0 reads its
+// local window and checks the cells against the closed forms — the same
+// totals on every run and transport — and finally prints the coalescing
+// layer's counters (ops ÷ flushes is the batching ratio).
 func rmaDemo(c *mpi.Comm) error {
+	start := mpi.RMABatchStats()
 	n := c.Size()
 	size := 0
 	if c.Rank() == 0 {
@@ -65,6 +71,54 @@ func rmaDemo(c *mpi.Comm) error {
 		if puts != want || sum != want || leader < 1 || leader > int64(n) {
 			return fmt.Errorf("rma demo: window state inconsistent (puts=%d sum=%d leader=%d want=%d)", puts, sum, leader, want)
 		}
+	}
+
+	// Rank 0 just read its exposed window, so hold every rank back until
+	// the read is done — otherwise the next epoch's puts may land
+	// mid-read (fences order epochs, they don't protect local loads
+	// issued after the epoch closed).
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+
+	// Second epoch: nonblocking. The queued PutAsync completes at the
+	// epoch boundary, not before — Test sees it pending until the fence
+	// flushes the batch, after which Wait returns immediately.
+	binary.LittleEndian.PutUint64(cell[:], uint64((c.Rank()+1)*10))
+	req, err := win.PutAsync(0, c.Rank()*8, cell[:])
+	if err != nil {
+		return err
+	}
+	if done, _, _, err := req.Test(); err != nil {
+		return err
+	} else if done {
+		return fmt.Errorf("rma demo: PutAsync reported complete before the epoch closed")
+	}
+	if err := win.Fence(); err != nil {
+		return err
+	}
+	if _, _, err := req.Wait(); err != nil {
+		return err
+	}
+
+	if c.Rank() == 0 {
+		local := win.Local()
+		var puts int64
+		for r := 0; r < n; r++ {
+			puts += int64(binary.LittleEndian.Uint64(local[r*8:]))
+		}
+		want := 10 * int64(n) * int64(n+1) / 2
+		fmt.Printf("window after async epoch: put cells sum %d (want %d)\n", puts, want)
+		if puts != want {
+			return fmt.Errorf("rma demo: async epoch inconsistent (puts=%d want=%d)", puts, want)
+		}
+		d := mpi.RMABatchStats().Sub(start)
+		ratio := float64(0)
+		if d.Flushes > 0 {
+			ratio = float64(d.Ops) / float64(d.Flushes)
+		}
+		fmt.Printf("batch layer: %d ops in %d flushes (ratio %.1f), %d bytes, %d direct shared-memory applies\n",
+			d.Ops, d.Flushes, ratio, d.Bytes, d.DirectApplies)
 	}
 	return win.Free()
 }

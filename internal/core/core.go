@@ -283,25 +283,38 @@ func Extensions() []Activity {
 		},
 		{
 			Module: 7, Name: "hash-join-rma", DefaultNP: 4, Discretionary: true,
-			Description: "the same join with a one-sided build phase: tuples deposited into remote RMA windows",
-			Run: func(c *mpi.Comm) (string, error) {
-				rng := rand.New(rand.NewSource(int64(c.Rank()) + 77))
-				var build, probe []hashjoin.Tuple
-				// Smaller than the two-sided activity: the one-sided build
-				// pays one CAS round-trip per tuple, which is the point of
-				// the RMA-vs-two-sided study, but keeps the demo snappy.
-				for i := 0; i < 5_000; i++ {
-					build = append(build, hashjoin.Tuple{Key: rng.Int63n(5000), Payload: rng.Int63()})
-					probe = append(probe, hashjoin.Tuple{Key: rng.Int63n(5000), Payload: rng.Int63()})
-				}
-				_, res, err := hashjoin.JoinRMA(c, build, probe)
-				if err != nil {
-					return "", err
-				}
-				return fmt.Sprintf("%d matches, imbalance %.2f, rma build %v, probe exchange %v, probe %v",
-					res.Matches, res.Imbalance, res.BuildDur, res.PartitionDur, res.ProbeDur), nil
-			},
+			Description: "the same join with a one-sided build phase: chunk-reserved batched deposits into remote RMA windows",
+			Run:         hashJoinRMAActivity(hashjoin.JoinRMA),
 		},
+		{
+			Module: 7, Name: "hash-join-rma-pertuple", DefaultNP: 4, Discretionary: true,
+			Description: "the one-sided join's per-tuple deposit (one CAS + Put round trip per tuple) — the \"before\" of the batching study in HANDOUT.md",
+			Run:         hashJoinRMAActivity(hashjoin.JoinRMAPerTuple),
+		},
+	}
+}
+
+// hashJoinRMAActivity builds the module-7 one-sided join activity around
+// a deposit strategy (hashjoin.JoinRMA or hashjoin.JoinRMAPerTuple), so
+// the batched and per-tuple variants run identical inputs and report the
+// same phase breakdown — the only variable is the deposit design.
+func hashJoinRMAActivity(join func(*mpi.Comm, []hashjoin.Tuple, []hashjoin.Tuple) ([]hashjoin.Pair, hashjoin.Result, error)) func(*mpi.Comm) (string, error) {
+	return func(c *mpi.Comm) (string, error) {
+		rng := rand.New(rand.NewSource(int64(c.Rank()) + 77))
+		var build, probe []hashjoin.Tuple
+		// Smaller than the two-sided activity: the per-tuple deposit pays
+		// one CAS round-trip per tuple, which is the point of the
+		// RMA-vs-two-sided study, but keeps the demo snappy.
+		for i := 0; i < 5_000; i++ {
+			build = append(build, hashjoin.Tuple{Key: rng.Int63n(5000), Payload: rng.Int63()})
+			probe = append(probe, hashjoin.Tuple{Key: rng.Int63n(5000), Payload: rng.Int63()})
+		}
+		_, res, err := join(c, build, probe)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d matches, imbalance %.2f, rma build %v, probe exchange %v, probe %v",
+			res.Matches, res.Imbalance, res.BuildDur, res.PartitionDur, res.ProbeDur), nil
 	}
 }
 

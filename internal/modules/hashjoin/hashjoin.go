@@ -191,12 +191,24 @@ func Sequential(build, probe []Tuple) []Pair {
 
 // RMA build phase: instead of exchanging build tuples with two-sided
 // sends and building a local map, every rank deposits its build tuples
-// directly into the owning rank's window — a distributed open-addressing
-// hash table. A slot is 24 bytes: a state word claimed with
-// CompareAndSwap (so concurrent origins never collide), then the key and
-// payload written with Put. One Fence closes the build epoch, after
-// which each owner scans its own region. The probe side stays two-sided,
-// so the equivalence tests compare exactly the phase the ISSUE swaps.
+// directly into the owning rank's window. The probe side stays
+// two-sided, so the equivalence tests compare exactly the phase the
+// ISSUE swaps. Two deposit strategies are implemented — they are the
+// before and after of the module's measure → explain → optimize study:
+//
+//   - JoinRMAPerTuple claims a window slot per tuple with
+//     CompareAndSwap and Puts the tuple body into it: a distributed
+//     open-addressing hash table, and a faithful rendition of the naive
+//     one-sided pattern. Every claim is a synchronous round trip, so
+//     the build phase pays per-op latency × tuples and loses to the
+//     two-sided exchange by an order of magnitude.
+//
+//   - JoinRMA reserves one contiguous run of slots per owner — a single
+//     CompareAndSwap loop on a tail counter — and deposits the whole
+//     run with one Put. The runtime coalesces those Puts per target and
+//     flushes them as single batch frames at the Fence, so the entire
+//     build costs O(ranks) round trips instead of O(tuples), and the
+//     one-sided build reaches parity with the two-sided exchange.
 
 // slotBytes is the window footprint of one build tuple: state, key,
 // payload — three little-endian int64 words.
@@ -222,10 +234,104 @@ func nextPow2(n int) int {
 	return p
 }
 
+// tupleBytes is the window footprint of one deposited tuple in the
+// chunk-reserved layout: key and payload, two little-endian int64
+// words. The tail counter occupies the first 8 bytes of the region.
+const tupleBytes = 16
+
 // JoinRMA executes the distributed hash join with a one-sided build
-// phase over an RMA window. The returned pairs are this rank's matches,
-// exactly as Join produces (up to ordering).
+// phase over an RMA window, using the chunk-reserved deposit: one
+// CompareAndSwap loop per owner to reserve a run of slots on the
+// owner's tail counter, one Put per owner carrying every tuple bound
+// there, one Fence. The Puts coalesce in the runtime's per-target
+// batches and cross as single frames, so the build performs O(ranks)
+// round trips regardless of relation size. The returned pairs are this
+// rank's matches, exactly as Join produces (up to ordering).
 func JoinRMA(c *mpi.Comm, build, probe []Tuple) ([]Pair, Result, error) {
+	p := c.Size()
+	start := time.Now()
+	res := Result{NP: p, BuildN: len(build), ProbeN: len(probe)}
+
+	// Gather this rank's deposits per owner, and size the window: after
+	// the Allreduce, perOwner[r] is exactly how many tuples rank r will
+	// own, so each region is provisioned tight — a tail counter plus
+	// that many tuple slots.
+	parts := make([][]int64, p)
+	mine := make([]int64, p)
+	perOwner := make([]int64, p)
+	for _, t := range build {
+		dst := hashKey(t.Key, p)
+		parts[dst] = append(parts[dst], t.Key, t.Payload)
+		perOwner[dst]++
+	}
+	copy(mine, perOwner)
+	if err := mpi.AllreduceInto(c, perOwner, mpi.OpSum); err != nil {
+		return nil, res, fmt.Errorf("hashjoin: rma sizing: %w", err)
+	}
+
+	buildStart := time.Now()
+	win, err := c.WinCreate(8 + int(perOwner[c.Rank()])*tupleBytes)
+	if err != nil {
+		return nil, res, fmt.Errorf("hashjoin: rma window: %w", err)
+	}
+	// Deposit: reserve a contiguous run of mine[owner] slots by
+	// advancing the owner's tail counter with CAS (the loop converges in
+	// at most np attempts: every failure means another rank reserved its
+	// run), then Put the whole run at the reserved offset. The kv
+	// scratch is reused and Put captures it into the target's batch
+	// before returning, so the loop does not allocate per owner beyond
+	// the marshal buffer's high-water mark.
+	var kv []byte
+	for owner := 0; owner < p; owner++ {
+		n := mine[owner]
+		if n == 0 {
+			continue
+		}
+		base := int64(0)
+		for {
+			old, err := win.CompareAndSwap(owner, 0, base, base+n)
+			if err != nil {
+				return nil, res, fmt.Errorf("hashjoin: rma reserve: %w", err)
+			}
+			if old == base {
+				break
+			}
+			base = old
+		}
+		kv = mpi.AppendMarshal(kv[:0], parts[owner])
+		if err := win.Put(owner, 8+int(base)*tupleBytes, kv); err != nil {
+			return nil, res, fmt.Errorf("hashjoin: rma put: %w", err)
+		}
+	}
+	if err := win.Fence(); err != nil {
+		return nil, res, fmt.Errorf("hashjoin: rma fence: %w", err)
+	}
+	// Scan the local region: the tail counter says how many tuples
+	// landed; they are dense from offset 8.
+	local := win.Local()
+	myBuildN := int(binary.LittleEndian.Uint64(local))
+	table := make(map[int64][]int64, myBuildN)
+	for s := 0; s < myBuildN; s++ {
+		b := local[8+s*tupleBytes:]
+		key := int64(binary.LittleEndian.Uint64(b))
+		payload := int64(binary.LittleEndian.Uint64(b[8:]))
+		table[key] = append(table[key], payload)
+	}
+	res.BuildDur = time.Since(buildStart)
+
+	return probeAndFinish(c, win, table, probe, &res, myBuildN, start)
+}
+
+// JoinRMAPerTuple is the un-optimized one-sided build the module's
+// performance study starts from: a distributed open-addressing hash
+// table where every tuple claims its own 24-byte slot with
+// CompareAndSwap (linear probing on contention) before its body is Put.
+// Each claim is a synchronous round trip to the owner, so the build
+// phase pays per-op latency × tuples — the behavior whose profile
+// (rma-target-wait dominating) motivates the batched deposit JoinRMA
+// uses. It produces output identical to Join and JoinRMA; it is kept so
+// the before/after gap stays reproducible.
+func JoinRMAPerTuple(c *mpi.Comm, build, probe []Tuple) ([]Pair, Result, error) {
 	p := c.Size()
 	start := time.Now()
 	res := Result{NP: p, BuildN: len(build), ProbeN: len(probe)}
@@ -296,11 +402,17 @@ func JoinRMA(c *mpi.Comm, build, probe []Tuple) ([]Pair, Result, error) {
 	}
 	res.BuildDur = time.Since(buildStart)
 
-	// Probe side is unchanged: two-sided exchange, then local probing.
+	return probeAndFinish(c, win, table, probe, &res, myBuildN, start)
+}
+
+// probeAndFinish is the tail both one-sided joins share: the two-sided
+// probe exchange, the local probe, window retirement and the global
+// reductions.
+func probeAndFinish(c *mpi.Comm, win *mpi.Win, table map[int64][]int64, probe []Tuple, res *Result, myBuildN int, start time.Time) ([]Pair, Result, error) {
 	partStart := time.Now()
 	myProbe, err := exchange(c, probe, tagProbe)
 	if err != nil {
-		return nil, res, fmt.Errorf("hashjoin: probe exchange: %w", err)
+		return nil, *res, fmt.Errorf("hashjoin: probe exchange: %w", err)
 	}
 	res.PartitionDur = time.Since(partStart)
 
@@ -315,11 +427,11 @@ func JoinRMA(c *mpi.Comm, build, probe []Tuple) ([]Pair, Result, error) {
 	res.LocalMatches = len(out)
 
 	if err := win.Free(); err != nil {
-		return nil, res, fmt.Errorf("hashjoin: rma free: %w", err)
+		return nil, *res, fmt.Errorf("hashjoin: rma free: %w", err)
 	}
-	if err := finishStats(c, &res, len(out), myBuildN); err != nil {
-		return nil, res, err
+	if err := finishStats(c, res, len(out), myBuildN); err != nil {
+		return nil, *res, err
 	}
 	res.Elapsed = time.Since(start)
-	return out, res, nil
+	return out, *res, nil
 }

@@ -224,9 +224,11 @@ func TestJoinUsesModulePrimitives(t *testing.T) {
 	}
 }
 
-// runJoinRMA is runJoin for the one-sided build path, parameterized over
-// the transport (the RMA subsystem must behave identically on both).
-func runJoinRMA(t *testing.T, ranks int, build, probe []Tuple, tcp bool) ([]Pair, Result) {
+// runJoinRMA is runJoin for the one-sided build path, parameterized
+// over the transport (the RMA subsystem must behave identically on
+// both) and the deposit strategy (chunk-reserved JoinRMA or the
+// per-tuple baseline).
+func runJoinRMA(t *testing.T, ranks int, build, probe []Tuple, tcp bool, join func(*mpi.Comm, []Tuple, []Tuple) ([]Pair, Result, error)) ([]Pair, Result) {
 	t.Helper()
 	matches := make([][]Pair, ranks)
 	var res Result
@@ -242,7 +244,7 @@ func runJoinRMA(t *testing.T, ranks int, build, probe []Tuple, tcp bool) ([]Pair
 		for i := c.Rank(); i < len(probe); i += ranks {
 			lp = append(lp, probe[i])
 		}
-		out, r, err := JoinRMA(c, lb, lp)
+		out, r, err := join(c, lb, lp)
 		if err != nil {
 			return err
 		}
@@ -265,44 +267,54 @@ func runJoinRMA(t *testing.T, ranks int, build, probe []Tuple, tcp bool) ([]Pair
 // TestJoinRMAMatchesTwoSided is the ISSUE's equivalence criterion: after
 // canonical ordering, the RMA build phase must produce bit-identical
 // join output to the two-sided path (and hence to the sequential
-// reference), on both transports.
+// reference), on both transports and with both deposit strategies.
 func TestJoinRMAMatchesTwoSided(t *testing.T) {
 	build, probe := makeRelations(1500, 2000, 400, 11)
 	want := Sequential(build, probe)
 	sortPairs(want)
+	deposits := []struct {
+		name string
+		join func(*mpi.Comm, []Tuple, []Tuple) ([]Pair, Result, error)
+	}{
+		{"batched", JoinRMA},
+		{"per-tuple", JoinRMAPerTuple},
+	}
 	for _, ranks := range []int{1, 2, 4} {
 		for _, tcp := range []bool{false, true} {
-			name := fmt.Sprintf("np=%d/channel", ranks)
-			if tcp {
-				name = fmt.Sprintf("np=%d/tcp", ranks)
+			for _, dep := range deposits {
+				name := fmt.Sprintf("np=%d/channel/%s", ranks, dep.name)
+				if tcp {
+					name = fmt.Sprintf("np=%d/tcp/%s", ranks, dep.name)
+				}
+				ranks, tcp, dep := ranks, tcp, dep
+				t.Run(name, func(t *testing.T) {
+					twoSided, _ := runJoin(t, ranks, build, probe)
+					sortPairs(twoSided)
+					got, res := runJoinRMA(t, ranks, build, probe, tcp, dep.join)
+					sortPairs(got)
+					if len(got) != len(want) {
+						t.Fatalf("%d matches, want %d", len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("pair %d vs sequential: %+v != %+v", i, got[i], want[i])
+						}
+						if got[i] != twoSided[i] {
+							t.Fatalf("pair %d vs two-sided: %+v != %+v", i, got[i], twoSided[i])
+						}
+					}
+					if res.Matches != int64(len(want)) {
+						t.Fatalf("global count %d, want %d", res.Matches, len(want))
+					}
+				})
 			}
-			ranks, tcp := ranks, tcp
-			t.Run(name, func(t *testing.T) {
-				twoSided, _ := runJoin(t, ranks, build, probe)
-				sortPairs(twoSided)
-				got, res := runJoinRMA(t, ranks, build, probe, tcp)
-				sortPairs(got)
-				if len(got) != len(want) {
-					t.Fatalf("%d matches, want %d", len(got), len(want))
-				}
-				for i := range want {
-					if got[i] != want[i] {
-						t.Fatalf("pair %d vs sequential: %+v != %+v", i, got[i], want[i])
-					}
-					if got[i] != twoSided[i] {
-						t.Fatalf("pair %d vs two-sided: %+v != %+v", i, got[i], twoSided[i])
-					}
-				}
-				if res.Matches != int64(len(want)) {
-					t.Fatalf("global count %d, want %d", res.Matches, len(want))
-				}
-			})
 		}
 	}
 }
 
-// TestJoinRMADuplicateKeys: the open-addressed window must keep every
-// duplicate (linear probing, not overwrite).
+// TestJoinRMADuplicateKeys: both deposits must keep every duplicate —
+// the open-addressed window by linear probing (not overwrite), the
+// chunk-reserved window by counting duplicates into the reservation.
 func TestJoinRMADuplicateKeys(t *testing.T) {
 	var build, probe []Tuple
 	for i := 0; i < 5; i++ {
@@ -311,15 +323,26 @@ func TestJoinRMADuplicateKeys(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		probe = append(probe, Tuple{Key: 7, Payload: int64(100 + i)})
 	}
-	got, res := runJoinRMA(t, 4, build, probe, false)
-	if len(got) != 15 || res.Matches != 15 {
-		t.Fatalf("cross product %d (global %d), want 15", len(got), res.Matches)
+	for _, dep := range []struct {
+		name string
+		join func(*mpi.Comm, []Tuple, []Tuple) ([]Pair, Result, error)
+	}{
+		{"batched", JoinRMA},
+		{"per-tuple", JoinRMAPerTuple},
+	} {
+		got, res := runJoinRMA(t, 4, build, probe, false, dep.join)
+		if len(got) != 15 || res.Matches != 15 {
+			t.Fatalf("%s: cross product %d (global %d), want 15", dep.name, len(got), res.Matches)
+		}
 	}
 }
 
 // TestJoinRMAUsesOneSidedPrimitives pins the build phase to the RMA
-// subsystem: the accounting must show window creation, CAS claims and
-// Puts, and must not show the two-sided build-exchange volume.
+// subsystem: the accounting must show window creation, CAS
+// reservations, Puts and the fence. The chunk-reserved deposit must do
+// it in O(ranks) operations — far fewer Puts than tuples — while the
+// per-tuple baseline must still issue one Put per build tuple, so the
+// two strategies stay honest about what the benchmark compares.
 func TestJoinRMAUsesOneSidedPrimitives(t *testing.T) {
 	build, probe := makeRelations(400, 400, 100, 12)
 	err := mpi.Run(3, func(c *mpi.Comm) error {
@@ -340,6 +363,30 @@ func TestJoinRMAUsesOneSidedPrimitives(t *testing.T) {
 					return fmt.Errorf("expected %v in accounting, got %v", p, snap.PrimitivesUsed())
 				}
 			}
+			// Chunk-reserved: at most np Puts per rank (one per owner),
+			// np^2 total — the whole point of the batched deposit.
+			if puts := snap.TotalCalls(mpi.PrimRMAPut); puts > 9 {
+				return fmt.Errorf("%d Puts from chunk-reserved deposit, want <= np^2 = 9", puts)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(3, func(c *mpi.Comm) error {
+		var lb, lp []Tuple
+		for i := c.Rank(); i < len(build); i += 3 {
+			lb = append(lb, build[i])
+		}
+		for i := c.Rank(); i < len(probe); i += 3 {
+			lp = append(lp, probe[i])
+		}
+		if _, _, err := JoinRMAPerTuple(c, lb, lp); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			snap := c.Stats()
 			if snap.TotalCalls(mpi.PrimRMAPut) < int64(len(build)) {
 				return fmt.Errorf("only %d Puts for %d build tuples", snap.TotalCalls(mpi.PrimRMAPut), len(build))
 			}

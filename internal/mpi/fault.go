@@ -419,7 +419,7 @@ func (w *World) blockedSnapshot() string {
 // or recycle it again.
 func applyFrameFault(w *World, tc *tcpConn, e *envelope) (dropped bool) {
 	in := w.opts.injector
-	if in == nil || (e.kind != kindData && e.kind != kindRMAReq && e.kind != kindRMAResp) {
+	if in == nil || (e.kind != kindData && e.kind != kindRMAReq && e.kind != kindRMAResp && e.kind != kindRMABatch) {
 		return false
 	}
 	act, delay := in.AtFrame(e.wsrc, e.wdst)

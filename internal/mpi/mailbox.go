@@ -157,6 +157,15 @@ func (mb *mailbox) post(e *envelope) {
 		}
 		mb.world.handleRMAReq(mb, e)
 		return
+	case kindRMABatch:
+		// A coalesced run of Put/Accumulate ops for one window: applied by
+		// the same progress engine as kindRMAReq, acknowledged once for the
+		// whole batch.
+		if mb.world.opts.heartbeat > 0 {
+			mb.world.noteHeard(e.wsrc)
+		}
+		mb.world.handleRMABatch(mb, e)
+		return
 	case kindRMAResp:
 		if mb.world.opts.heartbeat > 0 {
 			mb.world.noteHeard(e.wsrc)
@@ -406,6 +415,19 @@ func (mb *mailbox) waitRMAResp(seq int64) ([]byte, error) {
 		}
 		mb.block(waitInfo{kind: waitRMA, seq: seq})
 	}
+}
+
+// tryRMAResp reports whether the one-sided reply for seq has arrived,
+// without blocking; on success ownership of the payload passes to the
+// caller, exactly as with waitRMAResp.
+func (mb *mailbox) tryRMAResp(seq int64) ([]byte, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	b, ok := mb.rmaResp[seq]
+	if ok {
+		delete(mb.rmaResp, seq)
+	}
+	return b, ok
 }
 
 // tryAck reports whether the acknowledgement for seq has arrived, without

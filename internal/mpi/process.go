@@ -255,6 +255,7 @@ func runSingleRank(np, rank int, fn func(*Comm) error, mkTransport func(*World) 
 		detectorDone: make(chan struct{}),
 		ctxNext:      2,
 		ctxByKey:     make(map[ctxKey]int32),
+		windows:      make(map[winKey]*winState),
 	}
 	close(w.detectorDone)
 	w.mailboxes = make([]*mailbox, np)

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -74,6 +75,43 @@ var multiProcPrograms = Programs{
 			return fmt.Errorf("intentional failure")
 		}
 		return nil
+	},
+	// rma regression-tests one-sided operations on the process transport:
+	// WinCreate once panicked in the worker path (nil windows map), and
+	// batched Puts plus an Accumulate must land across process
+	// boundaries just as they do over channels and TCP.
+	"rma": func(c *Comm) error {
+		size := 0
+		if c.Rank() == 0 {
+			size = (c.Size() + 1) * 8
+		}
+		win, err := c.WinCreate(size)
+		if err != nil {
+			return err
+		}
+		var cell [8]byte
+		binary.LittleEndian.PutUint64(cell[:], uint64(c.Rank()+1))
+		if err := win.Put(0, c.Rank()*8, cell[:]); err != nil {
+			return err
+		}
+		if err := win.Accumulate(0, c.Size()*8, []int64{int64(c.Rank() + 1)}, AccSum); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			local := win.Local()
+			want := int64(c.Size()) * int64(c.Size()+1) / 2
+			var puts int64
+			for r := 0; r < c.Size(); r++ {
+				puts += int64(binary.LittleEndian.Uint64(local[r*8:]))
+			}
+			if sum := int64(binary.LittleEndian.Uint64(local[c.Size()*8:])); puts != want || sum != want {
+				return fmt.Errorf("window state puts=%d sum=%d, want %d", puts, sum, want)
+			}
+		}
+		return win.Free()
 	},
 	// abortblocked regression-tests cross-process abort propagation: the
 	// other ranks block in a Recv that will never be served, and must be
@@ -160,6 +198,19 @@ func TestMultiProcessFailurePropagates(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "rank") {
 		t.Fatalf("failure not attributed: %v", err)
+	}
+}
+
+// TestMultiProcessRMA runs a fence epoch of batched Puts and an
+// Accumulate across OS-process boundaries — the worker-side world once
+// lacked window state entirely, so WinCreate panicked under -procs.
+func TestMultiProcessRMA(t *testing.T) {
+	err, worker := runMP(t, 3, "rma", false)
+	if worker {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,17 +1,22 @@
 package mpi
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 type reqKind int8
 
 const (
 	reqSend reqKind = iota
 	reqRecv
+	reqRMAPut // Win.PutAsync: done when its issue epoch has closed
+	reqRMAGet // Win.GetAsync: done when the fetched bytes arrive
 )
 
-// Request represents an outstanding nonblocking operation started by Isend
-// or Irecv, mirroring MPI_Request. Complete it with Wait, WaitRecv (typed)
-// or poll it with Test.
+// Request represents an outstanding nonblocking operation started by
+// Isend, Irecv, Win.PutAsync or Win.GetAsync, mirroring MPI_Request.
+// Complete it with Wait, WaitRecv (typed) or poll it with Test.
 type Request struct {
 	comm *Comm
 	kind reqKind
@@ -28,6 +33,12 @@ type Request struct {
 	pr  *pendingRecv
 	env *envelope
 	st  Status
+
+	// one-sided requests
+	win    *Win
+	issued int64  // reqRMAPut: window epoch the op joined
+	n      int    // reqRMAGet: requested length
+	buf    []byte // reqRMAGet: fetched payload, pooled
 }
 
 // Wait blocks until the request completes (MPI_Wait). For receive
@@ -48,7 +59,7 @@ func (r *Request) waitEvent(tok profToken) {
 	if !tok.ok {
 		return
 	}
-	if r.kind == reqSend {
+	if r.kind != reqRecv {
 		r.comm.profExit(tok, PrimWait, r.peer, r.tag, 0, r.msgid, 0, 0)
 		return
 	}
@@ -76,6 +87,32 @@ func (r *Request) wait() ([]byte, Status, error) {
 		}
 		r.done = true
 		return nil, Status{}, nil
+	case reqRMAPut:
+		// Done once the epoch the Put joined has closed. Waiting on the
+		// request closes it here, exactly as Flush would.
+		if r.win.epoch <= r.issued {
+			if err := r.win.completePending(); err != nil {
+				return nil, Status{}, err
+			}
+		}
+		r.done = true
+		return nil, Status{}, nil
+	case reqRMAGet:
+		start := time.Now()
+		b, err := r.comm.mb.waitRMAResp(r.seq)
+		r.comm.traceComm("rma-get", start)
+		if err != nil {
+			return nil, Status{}, err
+		}
+		if len(b) != r.n {
+			putBuf(b)
+			return nil, Status{}, fmt.Errorf("mpi: RMA get of %d bytes rejected by target %d (window freed or out of range)", r.n, r.peer)
+		}
+		r.comm.world.stats.addUserRecv(r.comm.worldRank, len(b))
+		r.buf = b
+		r.st = Status{Source: r.peer, Tag: -1, Bytes: len(b)}
+		r.done = true
+		return b, r.st, nil
 	default: // reqRecv
 		env, err := r.comm.finishRecv(r.pr)
 		if err != nil {
@@ -101,6 +138,29 @@ func (r *Request) Test() (bool, []byte, Status, error) {
 			return true, nil, Status{}, nil
 		}
 		return false, nil, Status{}, nil
+	case reqRMAPut:
+		// Never blocks and never closes the epoch itself: complete only
+		// once a Fence/Flush/Unlock/Wait has moved the window past the
+		// epoch this Put joined.
+		if r.win.epoch > r.issued {
+			r.done = true
+			return true, nil, Status{}, nil
+		}
+		return false, nil, Status{}, nil
+	case reqRMAGet:
+		b, ok := r.comm.mb.tryRMAResp(r.seq)
+		if !ok {
+			return false, nil, Status{}, nil
+		}
+		if len(b) != r.n {
+			putBuf(b)
+			return true, nil, Status{}, fmt.Errorf("mpi: RMA get of %d bytes rejected by target %d (window freed or out of range)", r.n, r.peer)
+		}
+		r.comm.world.stats.addUserRecv(r.comm.worldRank, len(b))
+		r.buf = b
+		r.st = Status{Source: r.peer, Tag: -1, Bytes: len(b)}
+		r.done = true
+		return true, b, r.st, nil
 	default: // reqRecv
 		env, ok := r.comm.mb.tryRecv(r.pr)
 		if !ok {
@@ -124,7 +184,7 @@ func (r *Request) payload() []byte {
 	if r.env != nil {
 		return r.env.data
 	}
-	return nil
+	return r.buf // non-nil only for completed GetAsync requests
 }
 
 // Waitall completes every request (MPI_Waitall), returning the first error
@@ -171,6 +231,7 @@ func WaitRecvInto[T Scalar](r *Request, dst []T) ([]T, Status, error) {
 	if r.env != nil {
 		r.env.data = nil
 	}
+	r.buf = nil
 	putBuf(b)
 	return xs, st, err
 }

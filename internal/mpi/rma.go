@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,10 +32,36 @@ import (
 // it; contended locks queue FIFO at the target and are granted by
 // deferred acknowledgement.
 //
+// Put and Accumulate do not travel one request per call. Inside an
+// epoch they coalesce into per-target batches — encoded back to back in
+// a pooled buffer — and the whole batch crosses as a single kindRMABatch
+// frame, confirmed by one acknowledgement, when the epoch closes (Fence,
+// Flush, Unlock, Free) or the batch reaches rmaBatchMaxBytes. That turns
+// the dominant one-sided cost, a round trip per operation, into a round
+// trip per (target, epoch): the optimization ROADMAP item 1 asks for and
+// the hash-join module's before/after study measures. Ordering within a
+// batch is program order; visibility remains epoch-based, exactly as in
+// MPI (a Get of a location Put earlier in the same unflushed epoch is
+// undefined). PutAsync and GetAsync are the request-returning variants
+// (MPI_Rput/MPI_Rget): GetAsync issues immediately and completes when
+// the reply lands, PutAsync completes on the epoch boundary.
+//
+// On the in-process channel transport every window region lives in this
+// address space, so batch flushes, Get and CompareAndSwap take a
+// shared-memory fast path: the origin applies the operation directly to
+// the target region under the target's own mutex — the same mutex the
+// progress engine takes — skipping the mailbox round trip entirely. The
+// lock-grant protocol (Lock/Unlock) stays on the mailbox path so grant
+// queueing and deadlock detection are identical on every transport, and
+// hook events are emitted exactly as the mailbox path would emit them,
+// which the channel-vs-TCP parity tests pin down.
+//
 // Fault semantics match the two-sided path: requests to a killed rank
 // are discarded and the origin observes the failure epoch — a blocked or
 // subsequent operation returns a RankFailedError — after which survivors
-// can Shrink and create a fresh window.
+// can Shrink and create a fresh window. A kill mid-batch is surfaced by
+// the closing flush, and abandoned batch buffers are returned to the
+// pool on every error path.
 
 // AccOp selects the combining operator of Win.Accumulate.
 type AccOp byte
@@ -138,6 +165,96 @@ func parseRMAReq(b []byte) (op, dtype byte, offset, aux int64, err error) {
 	return op, dtype, offset, aux, nil
 }
 
+// Batch frame format (kindRMABatch payload): a back-to-back run of
+// entries, each a fixed header followed by its payload. Only the two
+// fire-and-forget ops — Put and Accumulate — may appear in a batch;
+// everything else needs a reply and keeps its own kindRMAReq frame.
+//
+//	op(1) dtype(1) offset(8, LE) msgid(8, LE) len(4, LE) payload(len)
+//
+// msgid is the per-logical-op flow id: the target re-emits one mirror
+// hook event per entry, so coalescing is invisible to profilers and the
+// channel-vs-TCP event-parity tests.
+const (
+	rmaBatchEntryLen  = 1 + 1 + 8 + 8 + 4
+	rmaBatchInitBytes = 1 << 10  // first pooled buffer per (window, target)
+	rmaBatchMaxBytes  = 64 << 10 // eager-flush threshold per target
+)
+
+// rmaBatchNext decodes the first entry of a batch frame, returning the
+// entry's payload slice (aliasing b) and the remaining frame.
+func rmaBatchNext(b []byte) (op, dtype byte, offset, msgid int64, data, rest []byte, err error) {
+	if len(b) < rmaBatchEntryLen {
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("mpi: short RMA batch entry: %d bytes", len(b))
+	}
+	op = b[0]
+	dtype = b[1]
+	offset = int64(binary.LittleEndian.Uint64(b[2:]))
+	msgid = int64(binary.LittleEndian.Uint64(b[10:]))
+	n := int(int32(binary.LittleEndian.Uint32(b[18:])))
+	if op != rmaPut && op != rmaAcc {
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("mpi: RMA op %d invalid in a batch", op)
+	}
+	if offset < 0 {
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("mpi: negative RMA offset %d in batch", offset)
+	}
+	if op == rmaAcc {
+		if dtype>>4 > rmaElemFloat64 || AccOp(dtype&0x0f) > AccMin {
+			return 0, 0, 0, 0, nil, nil, fmt.Errorf("mpi: RMA accumulate dtype %#x invalid in batch", dtype)
+		}
+		if n%8 != 0 {
+			return 0, 0, 0, 0, nil, nil, fmt.Errorf("mpi: RMA accumulate payload %d bytes in batch is not a whole number of elements", n)
+		}
+	}
+	if n < 0 || n > len(b)-rmaBatchEntryLen {
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("mpi: truncated RMA batch entry: %d payload bytes, %d remain", n, len(b)-rmaBatchEntryLen)
+	}
+	data = b[rmaBatchEntryLen : rmaBatchEntryLen+n]
+	rest = b[rmaBatchEntryLen+n:]
+	return op, dtype, offset, msgid, data, rest, nil
+}
+
+// Process-wide batching counters, read by RMABatchStats. The coalescing
+// ratio ops/flushes is the figure of merit: 1.0 means batching bought
+// nothing, the hash-join build phase reaches the hundreds.
+var (
+	rmaBatchFlushes atomic.Int64 // batches flushed (frames sent or applied directly)
+	rmaBatchOps     atomic.Int64 // logical Put/Accumulate ops coalesced into them
+	rmaBatchBytes   atomic.Int64 // total flushed frame bytes
+	rmaBatchDirect  atomic.Int64 // flushes applied via the shared-memory fast path
+)
+
+// RMABatchCounters is a snapshot of the one-sided batching layer,
+// aggregated over every world in the process (mirrors PoolStats).
+type RMABatchCounters struct {
+	Flushes       int64 // batch frames flushed
+	Ops           int64 // logical ops they carried (ops/flushes = coalescing ratio)
+	Bytes         int64 // frame bytes flushed
+	DirectApplies int64 // flushes that took the shared-memory fast path
+}
+
+// Sub returns the counter deltas since an earlier snapshot, for
+// bracketing a region of interest (counters are cumulative and
+// process-wide).
+func (c RMABatchCounters) Sub(prev RMABatchCounters) RMABatchCounters {
+	return RMABatchCounters{
+		Flushes:       c.Flushes - prev.Flushes,
+		Ops:           c.Ops - prev.Ops,
+		Bytes:         c.Bytes - prev.Bytes,
+		DirectApplies: c.DirectApplies - prev.DirectApplies,
+	}
+}
+
+// RMABatchStats reports cumulative one-sided batching counters.
+func RMABatchStats() RMABatchCounters {
+	return RMABatchCounters{
+		Flushes:       rmaBatchFlushes.Load(),
+		Ops:           rmaBatchOps.Load(),
+		Bytes:         rmaBatchBytes.Load(),
+		DirectApplies: rmaBatchDirect.Load(),
+	}
+}
+
 // winKey identifies a window across ranks (and processes): the creating
 // communicator's context plus a per-communicator creation sequence that
 // every member advances in lockstep. The key crosses the wire in the
@@ -200,6 +317,13 @@ func (w *World) dropWindow(st *winState) {
 	}
 }
 
+// rmaPending is one target's open batch: queued Put/Accumulate entries
+// in a pooled buffer, flushed as a single kindRMABatch frame.
+type rmaPending struct {
+	buf []byte
+	ops int
+}
+
 // Win is one rank's handle on a window: a remotely accessible memory
 // region of every member of the communicator. Like Comm, a Win is not
 // safe for concurrent use by multiple goroutines of the same rank.
@@ -208,10 +332,19 @@ type Win struct {
 	st *winState
 	// local is this rank's own region (st.targets[worldRank]).
 	local *winTarget
-	// pendingAcks are outstanding Put/Accumulate confirmations, drained
-	// by Fence, Flush, Unlock and Free. The slice is reused across
-	// epochs, keeping the eager Put path allocation-free.
+	// pend holds the open Put/Accumulate batch per communicator rank.
+	// Entries accumulate until the epoch closes (Fence, Flush, Unlock,
+	// Free) or a batch reaches rmaBatchMaxBytes, then travel as one
+	// kindRMABatch frame confirmed by one acknowledgement.
+	pend []rmaPending
+	// pendingAcks are outstanding batch-frame confirmations, drained by
+	// Fence, Flush, Unlock and Free. The slice is reused across epochs,
+	// keeping the flush path allocation-free.
 	pendingAcks []int64
+	// epoch counts completed epochs (successful completePending calls).
+	// PutAsync requests record the epoch they were issued in and are done
+	// once it has passed.
+	epoch int64
 	// lastMsgID is the flow id of the most recent request, carried out of
 	// the unexported helpers for profExit. Owner-goroutine only.
 	lastMsgID int64
@@ -239,7 +372,7 @@ func (c *Comm) WinCreate(localSize int) (*Win, error) {
 	c.world.winMu.Lock()
 	st.targets[c.worldRank] = t
 	c.world.winMu.Unlock()
-	win := &Win{c: c, st: st, local: t}
+	win := &Win{c: c, st: st, local: t, pend: make([]rmaPending, len(c.members))}
 	err := c.Barrier()
 	c.profExit(tok, PrimRMAWinCreate, -1, -1, localSize, 0, 0, 0)
 	if err != nil {
@@ -249,14 +382,15 @@ func (c *Comm) WinCreate(localSize int) (*Win, error) {
 }
 
 // Free collectively retires the window (MPI_Win_free). It completes this
-// rank's outstanding operations, synchronizes, and releases the region.
+// rank's outstanding operations — flushing any queued batches — then
+// synchronizes and releases the region.
 func (w *Win) Free() error {
 	if w.freed {
 		return fmt.Errorf("mpi: Win already freed")
 	}
 	tok := w.c.profEnter()
 	w.c.countCall(PrimRMAWinFree)
-	err := w.drainAcks()
+	err := w.completePending()
 	if err == nil {
 		err = w.c.Barrier()
 	}
@@ -340,10 +474,13 @@ func (w *Win) request(target int, op, dtype byte, offset, aux int64, data []byte
 }
 
 // Put copies data into the target rank's window at byte offset
-// (MPI_Put). It returns as soon as the request is delivered and the
-// local buffer is reusable; remote completion is established by Fence,
-// Flush or Unlock, which also surface a target failure as a
-// RankFailedError.
+// (MPI_Put). The bytes are captured into the target's open batch before
+// Put returns, so data is immediately reusable by the caller; the batch
+// crosses as a single frame when the epoch closes. Remote completion is
+// established by Fence, Flush or Unlock, which also surface a target
+// failure as a RankFailedError. Invalid accesses (bad rank, range
+// outside the target region, freed window) still fail here, at call
+// time.
 func (w *Win) Put(target, offset int, data []byte) error {
 	tok := w.c.profEnter()
 	w.c.countCall(PrimRMAPut)
@@ -356,6 +493,26 @@ func (w *Win) Put(target, offset int, data []byte) error {
 	return err
 }
 
+// PutAsync is the request-returning Put (MPI_Rput). The data is queued
+// exactly like Put; the returned Request completes once the epoch the
+// operation was issued in has closed. Wait closes the epoch itself if
+// nothing else — Fence, Flush, Unlock, Free — has yet; Test never
+// blocks, reporting completion only after such a close.
+func (w *Win) PutAsync(target, offset int, data []byte) (*Request, error) {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAPut)
+	err := w.putChecked(target, offset, data)
+	var msgid int64
+	if err == nil {
+		msgid = w.lastMsgID
+	}
+	w.c.profExit(tok, PrimRMAPut, w.peerOf(target), -1, len(data), msgid, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{comm: w.c, kind: reqRMAPut, win: w, peer: w.peerOf(target), tag: -1, msgid: msgid, issued: w.epoch}, nil
+}
+
 func (w *Win) putChecked(target, offset int, data []byte) error {
 	if err := w.checkAccess(target, offset, len(data)); err != nil {
 		return err
@@ -364,12 +521,48 @@ func (w *Win) putChecked(target, offset int, data []byte) error {
 		return err
 	}
 	w.c.world.stats.addUserSent(w.c.worldRank, len(data))
-	seq, msgid, err := w.request(target, rmaPut, 0, int64(offset), 0, data)
-	if err != nil {
-		return err
+	var msgid int64
+	if w.c.world.opts.hook != nil {
+		msgid = w.c.world.nextMsgID()
 	}
 	w.lastMsgID = msgid
-	w.pendingAcks = append(w.pendingAcks, seq)
+	return w.batchAppend(target, rmaPut, 0, int64(offset), msgid, data)
+}
+
+// batchAppend queues one Put/Accumulate entry on target's open batch,
+// flushing eagerly once it reaches rmaBatchMaxBytes. Growth is manual —
+// pooled buffer out, copy, pooled buffer back — so a warm epoch
+// allocates nothing.
+func (w *Win) batchAppend(target int, op, dtype byte, offset, msgid int64, data []byte) error {
+	p := &w.pend[target]
+	need := rmaBatchEntryLen + len(data)
+	if cap(p.buf)-len(p.buf) < need {
+		newCap := 2 * cap(p.buf)
+		if newCap < len(p.buf)+need {
+			newCap = len(p.buf) + need
+		}
+		if newCap < rmaBatchInitBytes {
+			newCap = rmaBatchInitBytes
+		}
+		nb := getBuf(newCap)[:len(p.buf)]
+		copy(nb, p.buf)
+		if p.buf != nil {
+			putBuf(p.buf)
+		}
+		p.buf = nb
+	}
+	n := len(p.buf)
+	b := p.buf[: n+rmaBatchEntryLen : cap(p.buf)]
+	b[n] = op
+	b[n+1] = dtype
+	binary.LittleEndian.PutUint64(b[n+2:], uint64(offset))
+	binary.LittleEndian.PutUint64(b[n+10:], uint64(msgid))
+	binary.LittleEndian.PutUint32(b[n+18:], uint32(len(data)))
+	p.buf = append(b, data...)
+	p.ops++
+	if len(p.buf) >= rmaBatchMaxBytes {
+		return w.flushTarget(target)
+	}
 	return nil
 }
 
@@ -405,12 +598,51 @@ func (w *Win) GetInto(dst []byte, target, offset int) error {
 	return nil
 }
 
+// GetAsync is the request-returning Get (MPI_Rget): the fetch is issued
+// immediately and the returned Request's Wait blocks for the reply,
+// whose payload is the fetched bytes (pooled; recycle with Release or
+// WaitRecvInto). Unlike Put, a Get is never batched — it needs a reply —
+// so GetAsync overlaps the round trip with origin-side work.
+func (w *Win) GetAsync(target, offset, n int) (*Request, error) {
+	tok := w.c.profEnter()
+	w.c.countCall(PrimRMAGet)
+	r, msgid, err := w.getAsyncChecked(target, offset, n)
+	w.c.profExit(tok, PrimRMAGet, w.peerOf(target), -1, n, msgid, 0, 0)
+	return r, err
+}
+
+func (w *Win) getAsyncChecked(target, offset, n int) (*Request, int64, error) {
+	if err := w.checkAccess(target, offset, n); err != nil {
+		return nil, 0, err
+	}
+	if err := w.c.rmaLiveErr(); err != nil {
+		return nil, 0, err
+	}
+	if t := w.directTarget(target); t != nil {
+		b, msgid := w.directGet(t, target, offset, n)
+		return &Request{
+			comm: w.c, kind: reqRMAGet, win: w, done: true,
+			peer: w.peerOf(target), tag: -1, msgid: msgid, n: n, buf: b,
+			st: Status{Source: w.peerOf(target), Tag: -1, Bytes: n},
+		}, msgid, nil
+	}
+	seq, msgid, err := w.request(target, rmaGet, 0, int64(offset), int64(n), nil)
+	if err != nil {
+		return nil, msgid, err
+	}
+	return &Request{comm: w.c, kind: reqRMAGet, win: w, peer: w.peerOf(target), tag: -1, seq: seq, msgid: msgid, n: n}, msgid, nil
+}
+
 func (w *Win) getChecked(target, offset, n int) ([]byte, int64, error) {
 	if err := w.checkAccess(target, offset, n); err != nil {
 		return nil, 0, err
 	}
 	if err := w.c.rmaLiveErr(); err != nil {
 		return nil, 0, err
+	}
+	if t := w.directTarget(target); t != nil {
+		b, msgid := w.directGet(t, target, offset, n)
+		return b, msgid, nil
 	}
 	seq, msgid, err := w.request(target, rmaGet, 0, int64(offset), int64(n), nil)
 	if err != nil {
@@ -428,6 +660,45 @@ func (w *Win) getChecked(target, offset, n int) ([]byte, int64, error) {
 	}
 	w.c.world.stats.addUserRecv(w.c.worldRank, len(b))
 	return b, msgid, nil
+}
+
+// directTarget returns the target-side window state when the
+// shared-memory fast path applies: the in-process channel transport,
+// with neither endpoint killed. A killed endpoint must use the mailbox
+// path, whose black-hole semantics make the origin observe the failure
+// epoch instead of silently succeeding. st.targets is immutable after
+// WinCreate's barrier, so no lock is needed here.
+func (w *Win) directTarget(target int) *winTarget {
+	c := w.c
+	if !c.world.sharedMem {
+		return nil
+	}
+	wr := c.members[target]
+	if c.world.isKilled(c.worldRank) || c.world.isKilled(wr) {
+		return nil
+	}
+	return w.st.targets[wr]
+}
+
+// directGet is the shared-memory Get: copy out under the target's
+// region mutex — the same mutex the progress engine takes — and emit
+// the same target-side mirror event it would, so profiles and parity
+// counts are transport-independent. checkAccess already validated the
+// range (the region is hosted in this process).
+func (w *Win) directGet(t *winTarget, target, offset, n int) ([]byte, int64) {
+	var msgid int64
+	if w.c.world.opts.hook != nil {
+		msgid = w.c.world.nextMsgID()
+	}
+	b := getBuf(n)
+	t.mu.Lock()
+	copy(b, t.buf[offset:offset+n])
+	t.mu.Unlock()
+	if h := w.c.world.opts.hook; h != nil {
+		h.Event(Event{Rank: w.c.members[target], Prim: PrimRMAGet, Peer: w.c.worldRank, Tag: -1, Bytes: n, Start: time.Now(), RecvID: msgid})
+	}
+	w.c.world.stats.addUserRecv(w.c.worldRank, n)
+	return b, msgid
 }
 
 // Accumulate combines vals into the target's window at byte offset with
@@ -471,13 +742,12 @@ func (w *Win) accChecked(target, offset int, elem byte, payload []byte, op AccOp
 		return err
 	}
 	w.c.world.stats.addUserSent(w.c.worldRank, len(payload))
-	seq, msgid, err := w.request(target, rmaAcc, elem<<4|byte(op), int64(offset), 0, payload)
-	if err != nil {
-		return err
+	var msgid int64
+	if w.c.world.opts.hook != nil {
+		msgid = w.c.world.nextMsgID()
 	}
 	w.lastMsgID = msgid
-	w.pendingAcks = append(w.pendingAcks, seq)
-	return nil
+	return w.batchAppend(target, rmaAcc, elem<<4|byte(op), int64(offset), msgid, payload)
 }
 
 // CompareAndSwap atomically compares the int64 at the target's window
@@ -497,6 +767,25 @@ func (w *Win) casChecked(target, offset int, compare, swap int64) (int64, int64,
 	}
 	if err := w.c.rmaLiveErr(); err != nil {
 		return 0, 0, err
+	}
+	if t := w.directTarget(target); t != nil {
+		// Shared-memory fast path: compare-and-swap under the region
+		// mutex, which makes it atomic with respect to the progress
+		// engine and other fast-path origins.
+		var msgid int64
+		if w.c.world.opts.hook != nil {
+			msgid = w.c.world.nextMsgID()
+		}
+		t.mu.Lock()
+		old := int64(binary.LittleEndian.Uint64(t.buf[offset:]))
+		if old == compare {
+			binary.LittleEndian.PutUint64(t.buf[offset:], uint64(swap))
+		}
+		t.mu.Unlock()
+		if h := w.c.world.opts.hook; h != nil {
+			h.Event(Event{Rank: w.c.members[target], Prim: PrimRMACas, Peer: w.c.worldRank, Tag: -1, Bytes: 8, Start: time.Now(), RecvID: msgid})
+		}
+		return old, msgid, nil
 	}
 	var swapBuf [8]byte
 	binary.LittleEndian.PutUint64(swapBuf[:], uint64(swap))
@@ -520,13 +809,13 @@ func (w *Win) casChecked(target, offset int, compare, swap int64) (int64, int64,
 }
 
 // Fence closes the current active-target epoch (MPI_Win_fence): it
-// completes this rank's outstanding operations, then barriers, so on
-// return every member's operations issued before its Fence are visible
-// in every window region.
+// flushes this rank's queued batches, completes its outstanding
+// operations, then barriers, so on return every member's operations
+// issued before its Fence are visible in every window region.
 func (w *Win) Fence() error {
 	tok := w.c.profEnter()
 	w.c.countCall(PrimRMAFence)
-	err := w.drainAcks()
+	err := w.completePending()
 	if err == nil {
 		err = w.c.Barrier()
 	}
@@ -535,14 +824,99 @@ func (w *Win) Fence() error {
 }
 
 // Flush completes all outstanding Put/Accumulate operations issued by
-// this rank, on every target, without synchronizing ranks
-// (MPI_Win_flush_all). Inside a lock epoch it guarantees remote
-// completion of prior operations.
+// this rank — flushing queued batches first — on every target, without
+// synchronizing ranks (MPI_Win_flush_all). Inside a lock epoch it
+// guarantees remote completion of prior operations.
 func (w *Win) Flush() error {
 	tok := w.c.profEnter()
 	w.c.countCall(PrimRMAFlush)
-	err := w.drainAcks()
+	err := w.completePending()
 	w.c.profExit(tok, PrimRMAFlush, -1, -1, 0, 0, 0, 0)
+	return err
+}
+
+// flushTarget closes target's open batch: on shared memory it is
+// applied directly, otherwise it crosses as one kindRMABatch frame
+// whose single acknowledgement joins pendingAcks. The batch buffer is
+// recycled here (fast path) or by the receiving side; if deliver fails
+// it has already recycled the buffer, so no bytes leak on any path.
+func (w *Win) flushTarget(target int) error {
+	p := &w.pend[target]
+	if p.ops == 0 {
+		return nil
+	}
+	buf, ops := p.buf, p.ops
+	p.buf, p.ops = nil, 0
+	rmaBatchFlushes.Add(1)
+	rmaBatchOps.Add(int64(ops))
+	rmaBatchBytes.Add(int64(len(buf)))
+	c := w.c
+	if t := w.directTarget(target); t != nil {
+		rmaBatchDirect.Add(1)
+		c.world.applyRMABatch(t, c.members[target], c.worldRank, buf)
+		putBuf(buf)
+		return nil
+	}
+	env := getEnv()
+	env.kind = kindRMABatch
+	env.src = c.rank
+	env.wsrc = c.worldRank
+	env.wdst = c.members[target]
+	env.ctx = w.st.key.ctx
+	env.tag = w.st.key.seq
+	seq := c.world.nextSeq()
+	env.seq = seq
+	env.data = buf
+	if err := c.world.deliver(env); err != nil {
+		return err
+	}
+	w.pendingAcks = append(w.pendingAcks, seq)
+	return nil
+}
+
+// flushQueued flushes every target's open batch. All targets are
+// attempted even after an error — their buffers must reach the wire or
+// the pool either way — and the first error wins.
+func (w *Win) flushQueued() error {
+	var first error
+	for target := range w.pend {
+		if err := w.flushTarget(target); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// discardQueued drops queued-but-unflushed batches, recycling their
+// buffers — the abandon-epoch path taken when this rank is already
+// observing a failure.
+func (w *Win) discardQueued() {
+	for i := range w.pend {
+		if w.pend[i].buf != nil {
+			putBuf(w.pend[i].buf)
+		}
+		w.pend[i] = rmaPending{}
+	}
+}
+
+// completePending closes this rank's side of the epoch: flush queued
+// batches, then drain every outstanding acknowledgement. On failure the
+// epoch is abandoned — queues discarded, pending list cleared — so
+// survivors can Shrink and continue on a fresh window. A successful
+// close advances the epoch counter PutAsync requests watch.
+func (w *Win) completePending() error {
+	if err := w.c.rmaLiveErr(); err != nil {
+		w.discardQueued()
+		w.pendingAcks = w.pendingAcks[:0]
+		return err
+	}
+	err := w.flushQueued()
+	if derr := w.drainAcks(); err == nil {
+		err = derr
+	}
+	if err == nil {
+		w.epoch++
+	}
 	return err
 }
 
@@ -620,7 +994,7 @@ func (w *Win) unlockChecked(target int) (int64, error) {
 	if err := w.checkAccess(target, 0, 0); err != nil {
 		return 0, err
 	}
-	if err := w.drainAcks(); err != nil {
+	if err := w.completePending(); err != nil {
 		return 0, err
 	}
 	if err := w.c.rmaLiveErr(); err != nil {
@@ -768,6 +1142,87 @@ func (w *World) rmaRespond(target, origin int, key winKey, seq int64, data []byt
 	env.seq = seq
 	env.data = data
 	_ = w.deliver(env)
+}
+
+// handleRMABatch is the batch arm of the progress engine: it applies a
+// coalesced run of Put/Accumulate entries to the target region and
+// confirms the whole batch with a single acknowledgement. Same calling
+// context and lock discipline as handleRMAReq.
+func (w *World) handleRMABatch(mb *mailbox, e *envelope) {
+	origin, target := e.wsrc, e.wdst
+	key := winKey{ctx: e.ctx, seq: e.tag}
+	seq := e.seq
+	data := e.data
+	putEnv(e)
+	if w.isKilled(target) {
+		// A crashed rank services nothing: no apply, no ack. The origin
+		// observes the failure epoch instead.
+		putBuf(data)
+		return
+	}
+	w.winMu.Lock()
+	st := w.windows[key]
+	var t *winTarget
+	if st != nil && target >= 0 && target < len(st.targets) {
+		t = st.targets[target]
+	}
+	w.winMu.Unlock()
+	if t == nil {
+		// Unknown or already-freed window: acknowledge defensively so a
+		// misordered origin errors instead of hanging.
+		putBuf(data)
+		mb.sendAck(origin, key.ctx, seq)
+		return
+	}
+	w.applyRMABatch(t, target, origin, data)
+	putBuf(data)
+	mb.sendAck(origin, key.ctx, seq)
+}
+
+// applyRMABatch applies a batch frame to one target region: the same
+// work as handleRMAReq's Put/Accumulate arms, shared by the progress
+// engine (mailbox path) and the origin itself (shared-memory fast
+// path). Out-of-range entries are dropped, matching the single-op path;
+// a malformed entry stops the walk with everything before it applied.
+// Target-side mirror events are emitted per logical entry after the
+// region mutex is released, so the hook stream is indistinguishable
+// from the same ops sent eagerly.
+func (w *World) applyRMABatch(t *winTarget, target, origin int, buf []byte) {
+	t.mu.Lock()
+	rest := buf
+	for len(rest) > 0 {
+		op, dtype, offset, _, data, next, err := rmaBatchNext(rest)
+		if err != nil {
+			break
+		}
+		if int(offset)+len(data) <= len(t.buf) {
+			if op == rmaPut {
+				copy(t.buf[offset:], data)
+			} else {
+				applyAccumulate(t.buf[offset:int(offset)+len(data)], dtype>>4, AccOp(dtype&0x0f), data)
+			}
+		}
+		rest = next
+	}
+	t.mu.Unlock()
+	h := w.opts.hook
+	if h == nil {
+		return
+	}
+	now := time.Now()
+	rest = buf
+	for len(rest) > 0 {
+		op, _, _, msgid, data, next, err := rmaBatchNext(rest)
+		if err != nil {
+			break
+		}
+		prim := PrimRMAPut
+		if op == rmaAcc {
+			prim = PrimRMAAcc
+		}
+		h.Event(Event{Rank: target, Prim: prim, Peer: origin, Tag: -1, Bytes: len(data), Start: now, RecvID: msgid})
+		rest = next
+	}
 }
 
 // grantableLocked reports whether a new lock of the given mode is

@@ -53,6 +53,12 @@ type World struct {
 	transport transport
 	stats     *WorldStats
 
+	// sharedMem is true on the in-process channel transport, where every
+	// window region lives in this address space: one-sided operations may
+	// then take the direct shared-memory fast path (rma.go) instead of a
+	// mailbox round trip.
+	sharedMem bool
+
 	aborted    atomic.Bool
 	deadlocked atomic.Bool
 	abortMu    sync.Mutex
@@ -137,6 +143,7 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 	} else {
 		w.transport = &channelTransport{mailboxes: w.mailboxes}
 	}
+	_, w.sharedMem = w.transport.(*channelTransport)
 	defer w.transport.close()
 
 	if o.detectDeadlock && w.transport.supportsDeadlockDetection() {

@@ -72,6 +72,14 @@ func NewMPISet(np int) *MPISet {
 		func() int64 { sent, _ := mpi.HeartbeatStats(); return sent })
 	s.proc.CounterFunc("mpi_heartbeats_received_total", "Heartbeat envelopes absorbed by mailboxes.",
 		func() int64 { _, recv := mpi.HeartbeatStats(); return recv })
+	s.proc.CounterFunc("mpi_rma_batch_flushes_total", "One-sided Put/Accumulate batches flushed (frames sent or applied directly).",
+		func() int64 { return mpi.RMABatchStats().Flushes })
+	s.proc.CounterFunc("mpi_rma_batch_ops_total", "Logical one-sided ops coalesced into batches; divide by flushes for the coalescing ratio.",
+		func() int64 { return mpi.RMABatchStats().Ops })
+	s.proc.CounterFunc("mpi_rma_batch_bytes_total", "Batch frame bytes flushed by the one-sided coalescing layer.",
+		func() int64 { return mpi.RMABatchStats().Bytes })
+	s.proc.CounterFunc("mpi_rma_batch_direct_total", "Batch flushes that took the shared-memory fast path instead of the mailbox.",
+		func() int64 { return mpi.RMABatchStats().DirectApplies })
 	return s
 }
 
