@@ -13,6 +13,12 @@ MPI_BENCHES = BenchmarkModule1_PingPong|BenchmarkAblation_Transports|BenchmarkAb
 # their baselines in BENCH_rma.json).
 RMA_BENCHES = BenchmarkRMA_PutLatency|BenchmarkRMA_BatchedPut|BenchmarkRMA_GetLatency|BenchmarkRMA_EpochSync|BenchmarkRMA_HashJoinBuild
 
+# The nonblocking-collective / DDP overlap benchmarks: the emulated
+# interconnect training study (overlapped vs sequential flush schedule,
+# ZeRO-1, raw-loopback baselines) and the Iallreduce payload sweep
+# (EXPERIMENTS.md records their baselines in BENCH_ddp.json).
+DDP_BENCHES = BenchmarkDDP_Step|BenchmarkIallreduce
+
 .PHONY: all build test race bench bench-all check faults fuzz report examples metrics-demo clean
 
 all: build test
@@ -27,10 +33,13 @@ check: faults
 	$(GO) test -race -run 'TestAlloc' ./internal/mpi
 	$(GO) test -race -run 'TestRMA' ./internal/mpi
 	$(GO) test -race -run 'TestJoinRMA' ./internal/modules/hashjoin
+	$(GO) test -race -run 'TestIcollEventParity|TestFaultIallreduceKill|TestIcollDeadlockDetected|TestLinkLatency' ./internal/mpi
+	$(GO) test -race -run 'TestOverlapBitIdentical|TestZero1BitIdenticalWithDDP|TestAllocDDPBucketFlush' ./internal/modules/ddp
 	$(GO) test -run 'TestAlloc|TestEvent' ./internal/telemetry
 	$(GO) test -race -run 'TestMetricsEndpointsLive|TestTransportCounterParity|TestGatherMerged' ./internal/telemetry
 	$(GO) test -race -run NONE -bench '$(MPI_BENCHES)' -benchtime=1x .
 	$(GO) test -race -run NONE -bench '$(RMA_BENCHES)' -benchtime=1x .
+	$(GO) test -race -run NONE -bench '$(DDP_BENCHES)' -benchtime=1x .
 
 # The fault-tolerance matrix: seeded deterministic injection across the
 # runtime (kill/shrink/agree, frame faults, abort propagation on all
@@ -59,6 +68,7 @@ race:
 bench:
 	$(GO) test -run NONE -bench '$(MPI_BENCHES)' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_mpi.json
 	$(GO) test -run NONE -bench '$(RMA_BENCHES)' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_rma.json
+	$(GO) test -run NONE -bench '$(DDP_BENCHES)' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_ddp.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

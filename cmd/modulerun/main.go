@@ -15,6 +15,8 @@
 //	modulerun -restart /tmp/kmeans.ckpt                    # resume, bit-identical
 //	modulerun -activity hash-join -rma                     # one-sided RMA build phase
 //	modulerun -activity hash-join -inject frame=delay:prob=0.02:seed=7 -transport tcp
+//	modulerun -activity ddp -transport tcp                 # overlapped DDP training
+//	modulerun -activity ddp-zero1 -overlap=off -bucket-bytes 65536
 package main
 
 import (
@@ -44,27 +46,30 @@ import (
 // building the flag set in newFlagSet) lets the help test capture the
 // usage text and lets run be exercised without a process boundary.
 type options struct {
-	list       bool
-	module     int
-	activity   string
-	np         int
-	transport  string
-	stats      bool
-	deadlock   bool
-	warmupName string
-	showTrace  bool
-	profile    bool
-	scale      string
-	chrome     string
-	weak       string
-	checkpoint string
-	ckptEvery  int
-	restart    string
-	rma        bool
-	inject     string
-	heartbeat  time.Duration
-	opTimeout  time.Duration
-	metrics    bool
+	list        bool
+	module      int
+	activity    string
+	np          int
+	transport   string
+	stats       bool
+	deadlock    bool
+	warmupName  string
+	showTrace   bool
+	profile     bool
+	scale       string
+	chrome      string
+	weak        string
+	checkpoint  string
+	ckptEvery   int
+	restart     string
+	rma         bool
+	overlap     string
+	bucketBytes int
+	inject      string
+	heartbeat   time.Duration
+	opTimeout   time.Duration
+	latency     time.Duration
+	metrics     bool
 }
 
 // newFlagSet defines every flag on a fresh FlagSet bound to o. main and
@@ -73,7 +78,7 @@ type options struct {
 func newFlagSet(o *options) *flag.FlagSet {
 	fs := flag.NewFlagSet("modulerun", flag.ContinueOnError)
 	fs.BoolVar(&o.list, "list", false, "list activities and exit")
-	fs.IntVar(&o.module, "module", 0, "run every activity of one module (1-5)")
+	fs.IntVar(&o.module, "module", 0, "run every activity of one module (1-8)")
 	fs.StringVar(&o.activity, "activity", "", "run one activity by name")
 	fs.IntVar(&o.np, "np", 0, "rank count (0 = activity default)")
 	fs.StringVar(&o.transport, "transport", "channel", "transport: channel or tcp")
@@ -89,9 +94,12 @@ func newFlagSet(o *options) *flag.FlagSet {
 	fs.IntVar(&o.ckptEvery, "ckpt-every", 5, "iterations between checkpoint saves (with -checkpoint)")
 	fs.StringVar(&o.restart, "restart", "", "resume the Module-5 k-means from this checkpoint file (bit-identical to the uninterrupted run)")
 	fs.BoolVar(&o.rma, "rma", false, "run the hash join with the one-sided RMA build phase (alone, or with -activity hash-join or -module 7)")
+	fs.StringVar(&o.overlap, "overlap", "on", "ddp activities: overlap bucket collectives with backward compute (on or off)")
+	fs.IntVar(&o.bucketBytes, "bucket-bytes", 0, "ddp activities: gradient bucket byte cap (0 = module default, 256 KiB)")
 	fs.StringVar(&o.inject, "inject", "", "deterministic fault plan for the run, e.g. rank=2:call=50:kill or frame=drop:prob=0.01:seed=7")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
 	fs.DurationVar(&o.opTimeout, "op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
+	fs.DurationVar(&o.latency, "latency", 0, "emulate an interconnect with this one-way wire latency on every cross-rank message (e.g. 1ms; 0 = off)")
 	fs.BoolVar(&o.metrics, "metrics", false, "serve per-rank /metrics + /debug/pprof/ endpoints (ephemeral ports) during each activity and print the cross-rank merged snapshot")
 	return fs
 }
@@ -135,6 +143,26 @@ func applyRMA(o *options) error {
 	return nil
 }
 
+// applyDDP resolves the -overlap/-bucket-bytes flags onto one activity:
+// the Module-8 training activities are rebuilt with the requested
+// schedule, everything else passes through untouched (the flags default
+// to the module's own behaviour, so they are not usage errors
+// elsewhere).
+func applyDDP(o *options, a core.Activity) (core.Activity, error) {
+	switch o.overlap {
+	case "on", "off", "": // "" = options built without flag parsing
+	default:
+		return a, fmt.Errorf("-overlap must be on or off (got %q)", o.overlap)
+	}
+	if o.bucketBytes < 0 {
+		return a, fmt.Errorf("-bucket-bytes must be >= 0 (got %d)", o.bucketBytes)
+	}
+	if a.Name != "ddp" && a.Name != "ddp-zero1" {
+		return a, nil
+	}
+	return core.DDPActivityConfig(a, o.overlap != "off", o.bucketBytes), nil
+}
+
 // faultOptions turns the fault-injection flags into runtime options for
 // a single launch. The scaling-study paths manage their own worlds, so
 // injection there is rejected rather than silently dropped.
@@ -154,6 +182,9 @@ func faultOptions(o *options) (*faults.Plan, []mpi.Option, error) {
 	}
 	if o.opTimeout > 0 {
 		opts = append(opts, mpi.WithOpTimeout(o.opTimeout))
+	}
+	if o.latency > 0 {
+		opts = append(opts, mpi.WithLinkLatency(o.latency))
 	}
 	return plan, opts, nil
 }
@@ -175,7 +206,7 @@ func run(o *options, fs *flag.FlagSet) error {
 		return err
 	}
 	if len(faultOpts) > 0 && (o.scale != "" || o.weak != "") {
-		return errors.New("-inject/-heartbeat/-op-timeout are unavailable with scaling studies (each study point owns its world)")
+		return errors.New("-inject/-heartbeat/-op-timeout/-latency are unavailable with scaling studies (each study point owns its world)")
 	}
 
 	switch {
@@ -243,6 +274,9 @@ func run(o *options, fs *flag.FlagSet) error {
 		if !ok {
 			return fmt.Errorf("no activity %q (try -list)", o.activity)
 		}
+		if a, err = applyDDP(o, a); err != nil {
+			return err
+		}
 		ranks, err := parseRanks(o.scale)
 		if err != nil {
 			return err
@@ -263,6 +297,9 @@ func run(o *options, fs *flag.FlagSet) error {
 		if !ok {
 			return fmt.Errorf("no activity %q (try -list)", o.activity)
 		}
+		if a, err = applyDDP(o, a); err != nil {
+			return err
+		}
 		return reportFault(plan, launch(a, o, tcp, faultOpts, 1))
 
 	case o.warmupName != "":
@@ -277,7 +314,7 @@ func run(o *options, fs *flag.FlagSet) error {
 		fmt.Println("reference solution graded: full marks")
 		return nil
 
-	case o.module >= 1 && o.module <= 7:
+	case o.module >= 1 && o.module <= 8:
 		job := 0
 		for _, a := range core.All() {
 			if a.Module != o.module {
@@ -285,6 +322,9 @@ func run(o *options, fs *flag.FlagSet) error {
 			}
 			if o.rma && a.Name == "hash-join" {
 				continue // substituted by hash-join-rma below
+			}
+			if a, err = applyDDP(o, a); err != nil {
+				return err
 			}
 			job++
 			if err := reportFault(plan, launch(a, o, tcp, faultOpts, job)); err != nil {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -35,8 +37,8 @@ func TestHelpGolden(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("help output drifted from %s (regenerate with -update)\ngot:\n%s\nwant:\n%s", golden, got, want)
 	}
-	// The fault-tolerance and RMA flags must stay documented.
-	for _, f := range []string{"-rma", "-inject", "-heartbeat", "-op-timeout"} {
+	// The fault-tolerance, RMA and DDP flags must stay documented.
+	for _, f := range []string{"-rma", "-inject", "-heartbeat", "-op-timeout", "-overlap", "-bucket-bytes", "-latency"} {
 		if !strings.Contains(got, f+" ") && !strings.Contains(got, f+"\n") {
 			t.Errorf("help output does not document %s", f)
 		}
@@ -79,6 +81,58 @@ func TestApplyRMA(t *testing.T) {
 				t.Fatalf("applyRMA(%+v): activity = %q, want %q", tc.in, o.activity, tc.wantActivity)
 			}
 		})
+	}
+}
+
+// TestApplyDDP covers the -overlap/-bucket-bytes resolution: the
+// Module-8 activities are rebuilt, other activities pass through, and
+// malformed values are usage errors.
+func TestApplyDDP(t *testing.T) {
+	ddpAct, ok := core.Find("ddp")
+	if !ok {
+		t.Fatal("ddp activity not registered")
+	}
+	pingAct, _ := core.Find("ping-pong")
+
+	cases := []struct {
+		name    string
+		in      options
+		a       core.Activity
+		wantErr bool
+	}{
+		{"default on", options{overlap: "on"}, ddpAct, false},
+		{"off", options{overlap: "off", bucketBytes: 64 << 10}, ddpAct, false},
+		{"unparsed options", options{}, ddpAct, false},
+		{"non-ddp passthrough", options{overlap: "on"}, pingAct, false},
+		{"bad overlap", options{overlap: "maybe"}, ddpAct, true},
+		{"negative bucket", options{overlap: "on", bucketBytes: -1}, ddpAct, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := applyDDP(&tc.in, tc.a)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("applyDDP(%+v): expected error", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("applyDDP(%+v): %v", tc.in, err)
+			}
+			if got.Name != tc.a.Name {
+				t.Fatalf("applyDDP changed the activity name: %q -> %q", tc.a.Name, got.Name)
+			}
+		})
+	}
+}
+
+// TestRunDDP runs the overlapped trainer end to end through the CLI
+// entry point, exactly as `modulerun -activity ddp -np 2` would.
+func TestRunDDP(t *testing.T) {
+	o := options{activity: "ddp", np: 2, transport: "channel", overlap: "on"}
+	fs := newFlagSet(&options{})
+	if err := run(&o, fs); err != nil {
+		t.Fatalf("run -activity ddp: %v", err)
 	}
 }
 

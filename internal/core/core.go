@@ -16,6 +16,7 @@ import (
 	"repro/internal/curriculum"
 	"repro/internal/data"
 	"repro/internal/modules/comm"
+	"repro/internal/modules/ddp"
 	"repro/internal/modules/distmatrix"
 	"repro/internal/modules/distsort"
 	"repro/internal/modules/hashjoin"
@@ -247,10 +248,11 @@ func kmeansActivity(opt kmeans.CommOption) func(*mpi.Comm) (string, error) {
 }
 
 // Extensions returns the activities implementing the paper's future-work
-// directions as modules 6 and 7: latency hiding (future work i) and a
-// further data-intensive choice algorithm (future work ii). They are
-// exempt from the Table II check, which covers only the published five
-// modules.
+// directions as modules 6-8: latency hiding (future work i), a further
+// data-intensive choice algorithm (future work ii), and data-parallel
+// training where both threads meet (bucketed nonblocking collectives
+// overlapping backward compute). They are exempt from the Table II
+// check, which covers only the published five modules.
 func Extensions() []Activity {
 	return []Activity{
 		{
@@ -291,7 +293,48 @@ func Extensions() []Activity {
 			Description: "the one-sided join's per-tuple deposit (one CAS + Put round trip per tuple) — the \"before\" of the batching study in HANDOUT.md",
 			Run:         hashJoinRMAActivity(hashjoin.JoinRMAPerTuple),
 		},
+		{
+			Module: 8, Name: "ddp", DefaultNP: 4, Discretionary: true,
+			Description: "data-parallel MLP training: bucketed gradient Iallreduce overlapped with backward compute (future-work module: latency hiding at scale)",
+			Run:         ddpActivity(ddp.Config{Overlap: true}),
+		},
+		{
+			Module: 8, Name: "ddp-zero1", DefaultNP: 4, Discretionary: true,
+			Description: "the same training with a ZeRO-1 sharded optimizer: reduce-scatter gradients, update one shard, allgather parameters",
+			Run:         ddpActivity(ddp.Config{Overlap: true, Zero1: true}),
+		},
 	}
+}
+
+// ddpActivity builds the module-8 training activity around a sync
+// strategy (full DDP or ZeRO-1); DDPActivityConfig applies the
+// modulerun -overlap and -bucket-bytes substitutions before launch.
+func ddpActivity(cfg ddp.Config) func(*mpi.Comm) (string, error) {
+	return func(c *mpi.Comm) (string, error) {
+		res, err := ddp.Train(c, cfg)
+		if err != nil {
+			return "", err
+		}
+		mode := "ddp"
+		if cfg.Zero1 {
+			mode = "zero1"
+		}
+		sync := "sequential"
+		if cfg.Overlap {
+			sync = "overlap"
+		}
+		return fmt.Sprintf("%s/%s: %d params in %d buckets, %d steps, loss %.4f → %.4f, %v/step",
+			mode, sync, res.Params, res.Buckets, res.Steps, res.FirstLoss, res.LastLoss, res.PerStep), nil
+	}
+}
+
+// DDPActivityConfig rebuilds a module-8 activity with the given overlap
+// and bucket-size settings, the hook for modulerun's -overlap and
+// -bucket-bytes flags (mirroring the RMA substitution pattern).
+func DDPActivityConfig(a Activity, overlap bool, bucketBytes int) Activity {
+	cfg := ddp.Config{Overlap: overlap, BucketBytes: bucketBytes, Zero1: a.Name == "ddp-zero1"}
+	a.Run = ddpActivity(cfg)
+	return a
 }
 
 // hashJoinRMAActivity builds the module-7 one-sided join activity around

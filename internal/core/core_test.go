@@ -112,7 +112,7 @@ func TestExtensionsRun(t *testing.T) {
 	for _, a := range exts {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
-			if a.Module < 6 || a.Module > 7 {
+			if a.Module < 6 || a.Module > 8 {
 				t.Fatalf("extension %q in module %d", a.Name, a.Module)
 			}
 			if !a.Discretionary {

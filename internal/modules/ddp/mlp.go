@@ -1,0 +1,267 @@
+package ddp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The model: a dense multi-layer perceptron whose parameters and
+// gradients live inside gradient buckets — flat []float64 arrays sized
+// and padded for the communication schedule — with each layer's W and b
+// as subslices. Packing storage by bucket (rather than bucketing by
+// copying) is what makes the flush path allocation-free: initiating a
+// bucket's collective passes the bucket's own backing array to the
+// runtime's in-place ring.
+//
+// Bucket layout follows torch-DDP convention: layers are assigned in
+// reverse order (the order backward produces gradients), greedily packed
+// until the next layer would exceed the byte cap. The lowest-indexed
+// layer of each bucket is the flush trigger: the moment backward
+// finishes it, every gradient in the bucket is final.
+
+// layer is one dense layer y = act(W·x + b), W row-major out×in. W, b,
+// dW and db alias the owning bucket's flat params/grads arrays.
+type layer struct {
+	in, out int
+	W, b    []float64
+	dW, db  []float64
+	bucket  int  // index of the bucket holding this layer
+	flush   bool // backward finishing this layer completes the bucket
+}
+
+// bucket is one communication unit of parameters and gradients. Both
+// arrays are padded to a multiple of the communicator size so the
+// in-place ring collectives (Iallreduce, ReduceScatterInto, Iallgather)
+// operate on them directly; pad elements start at zero and, because
+// padded gradients are never written, provably stay zero through
+// momentum updates on every rank.
+type bucket struct {
+	params []float64 // flat parameters, padded to a multiple of np
+	grads  []float64 // matching gradient storage
+	vel    []float64 // momentum state: full-length (DDP) or one shard (ZeRO-1)
+	n      int       // live elements, before padding
+}
+
+// updateFull applies momentum SGD to the whole bucket from the
+// allreduced gradient sums: g = Σ_ranks ∇/np, v = μv + g, p -= lr·v.
+func (b *bucket) updateFull(lr, momentum, invNP float64) {
+	for i := range b.params {
+		g := b.grads[i] * invNP
+		b.vel[i] = momentum*b.vel[i] + g
+		b.params[i] -= lr * b.vel[i]
+	}
+}
+
+// updateShard applies the identical elementwise update to shard `rank`
+// only — the segment ReduceScatterInto just filled with fully reduced
+// gradients. vel holds just this shard (the ZeRO-1 memory saving), and
+// because the arithmetic matches updateFull exactly, the parameters the
+// subsequent allgather distributes are bit-identical to DDP's.
+func (b *bucket) updateShard(lr, momentum, invNP float64, rank, np int) {
+	shard := len(b.params) / np
+	off := rank * shard
+	for i := 0; i < shard; i++ {
+		g := b.grads[off+i] * invNP
+		b.vel[i] = momentum*b.vel[i] + g
+		b.params[off+i] -= lr * b.vel[i]
+	}
+}
+
+// model is the MLP plus the scratch buffers forward/backward reuse, so a
+// steady-state training step performs no allocations outside the runtime.
+type model struct {
+	sizes   []int
+	layers  []*layer
+	buckets []*bucket
+
+	batch  int
+	acts   [][]float64 // acts[0] = input copy; acts[l+1] = layer l output, batch×out
+	delta  []float64   // gradient w.r.t. the current layer's output
+	delta2 []float64   // gradient w.r.t. its input (ping-pong buffer)
+}
+
+// newModel builds the bucketed MLP. Initialization draws from a rank-
+// independent seed, so every rank starts from identical parameters
+// without a broadcast (the usual alternative — rank 0 bcasting its init —
+// would work too; determinism is simpler and keeps setup off the wire).
+func newModel(sizes []int, batch, bucketBytes, np int, zero1 bool, seed int64) *model {
+	nLayers := len(sizes) - 1
+	m := &model{sizes: sizes, batch: batch, layers: make([]*layer, nLayers)}
+
+	// Group layers reverse-order into size-capped buckets.
+	var groups [][]int
+	var cur []int
+	curBytes := 0
+	for l := nLayers - 1; l >= 0; l-- {
+		sz := (sizes[l]*sizes[l+1] + sizes[l+1]) * 8
+		if len(cur) > 0 && curBytes+sz > bucketBytes {
+			groups = append(groups, cur)
+			cur, curBytes = nil, 0
+		}
+		cur = append(cur, l)
+		curBytes += sz
+	}
+	groups = append(groups, cur)
+
+	for bi, g := range groups {
+		n := 0
+		for _, l := range g {
+			n += sizes[l]*sizes[l+1] + sizes[l+1]
+		}
+		padded := (n + np - 1) / np * np
+		b := &bucket{
+			params: make([]float64, padded),
+			grads:  make([]float64, padded),
+			n:      n,
+		}
+		if zero1 {
+			b.vel = make([]float64, padded/np)
+		} else {
+			b.vel = make([]float64, padded)
+		}
+		off := 0
+		for _, l := range g {
+			in, out := sizes[l], sizes[l+1]
+			lay := &layer{in: in, out: out, bucket: bi}
+			lay.W, lay.dW = b.params[off:off+in*out], b.grads[off:off+in*out]
+			off += in * out
+			lay.b, lay.db = b.params[off:off+out], b.grads[off:off+out]
+			off += out
+			m.layers[l] = lay
+		}
+		m.layers[g[len(g)-1]].flush = true
+		m.buckets = append(m.buckets, b)
+	}
+
+	// Deterministic init in ascending layer order (independent of the
+	// bucket grouping, so changing -bucket-bytes never changes the model).
+	rng := rand.New(rand.NewSource(seed))
+	for _, lay := range m.layers {
+		scale := 1.0 / math.Sqrt(float64(lay.in))
+		for i := range lay.W {
+			lay.W[i] = rng.NormFloat64() * scale
+		}
+	}
+
+	m.acts = make([][]float64, nLayers+1)
+	m.acts[0] = make([]float64, batch*sizes[0])
+	maxW := 0
+	for l := 0; l < nLayers; l++ {
+		m.acts[l+1] = make([]float64, batch*sizes[l+1])
+		if sizes[l] > maxW {
+			maxW = sizes[l]
+		}
+		if sizes[l+1] > maxW {
+			maxW = sizes[l+1]
+		}
+	}
+	m.delta = make([]float64, batch*maxW)
+	m.delta2 = make([]float64, batch*maxW)
+	return m
+}
+
+// paramCount returns the number of live (unpadded) parameters.
+func (m *model) paramCount() int {
+	n := 0
+	for _, b := range m.buckets {
+		n += b.n
+	}
+	return n
+}
+
+// flatParams concatenates every bucket's live parameters, the canonical
+// order the bit-identity tests compare.
+func (m *model) flatParams() []float64 {
+	out := make([]float64, 0, m.paramCount())
+	for _, b := range m.buckets {
+		out = append(out, b.params[:b.n]...)
+	}
+	return out
+}
+
+// forward runs the batch through the network: tanh hidden layers, linear
+// output. X is batch×sizes[0] row-major and is copied into acts[0] for
+// backward.
+func (m *model) forward(X []float64) {
+	copy(m.acts[0], X)
+	last := len(m.layers) - 1
+	for l, lay := range m.layers {
+		in, out := lay.in, lay.out
+		A, Z := m.acts[l], m.acts[l+1]
+		for s := 0; s < m.batch; s++ {
+			arow := A[s*in : (s+1)*in]
+			zrow := Z[s*out : (s+1)*out]
+			for o := 0; o < out; o++ {
+				sum := lay.b[o]
+				wrow := lay.W[o*in : (o+1)*in]
+				for i, a := range arow {
+					sum += wrow[i] * a
+				}
+				if l != last {
+					sum = math.Tanh(sum)
+				}
+				zrow[o] = sum
+			}
+		}
+	}
+}
+
+// outputLoss computes the mean-squared-error against Y (batch×sizes[last])
+// and seeds m.delta with ∂loss/∂output. The 1/(batch·outDim)
+// normalization makes the allreduced gradient sum an np-scaled global
+// batch average.
+func (m *model) outputLoss(Y []float64) float64 {
+	out := m.sizes[len(m.sizes)-1]
+	A := m.acts[len(m.acts)-1]
+	norm := 1.0 / float64(m.batch*out)
+	loss := 0.0
+	for i := 0; i < m.batch*out; i++ {
+		d := A[i] - Y[i]
+		loss += d * d
+		m.delta[i] = 2 * d * norm
+	}
+	return loss * norm
+}
+
+// backwardLayer consumes m.delta (∂loss/∂ this layer's output), writes
+// dW and db, and leaves ∂loss/∂ input in m.delta for the next (lower)
+// layer. Gradients accumulate with +=, so the caller zeroes bucket
+// gradients once per step.
+func (m *model) backwardLayer(l int) {
+	lay := m.layers[l]
+	in, out := lay.in, lay.out
+	A := m.acts[l]
+	for s := 0; s < m.batch; s++ {
+		drow := m.delta[s*out : (s+1)*out]
+		arow := A[s*in : (s+1)*in]
+		for o, d := range drow {
+			lay.db[o] += d
+			wg := lay.dW[o*in : (o+1)*in]
+			for i, a := range arow {
+				wg[i] += d * a
+			}
+		}
+	}
+	if l == 0 {
+		return // no need to propagate into the input
+	}
+	// delta2 = (delta · W) ⊙ tanh'(input activation); tanh' = 1 - a².
+	for s := 0; s < m.batch; s++ {
+		drow := m.delta[s*out : (s+1)*out]
+		prow := m.delta2[s*in : (s+1)*in]
+		for i := range prow {
+			prow[i] = 0
+		}
+		for o, d := range drow {
+			wrow := lay.W[o*in : (o+1)*in]
+			for i, w := range wrow {
+				prow[i] += d * w
+			}
+		}
+		arow := A[s*in : (s+1)*in]
+		for i, a := range arow {
+			prow[i] *= 1 - a*a
+		}
+	}
+	m.delta, m.delta2 = m.delta2, m.delta
+}

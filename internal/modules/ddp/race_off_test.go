@@ -1,0 +1,5 @@
+//go:build !race
+
+package ddp
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ddp
+
+// raceEnabled mirrors internal/mpi's flag: allocation assertions are
+// skipped under the race detector, whose instrumentation allocates.
+const raceEnabled = true

@@ -396,6 +396,8 @@ func (w *World) blockedSnapshot() string {
 				desc = fmt.Sprintf("rank %d blocked in send-ack(seq=%d)", mb.rank, wi.seq)
 			case waitRMA:
 				desc = fmt.Sprintf("rank %d blocked in rma-fetch(seq=%d)", mb.rank, wi.seq)
+			case waitColl:
+				desc = fmt.Sprintf("rank %d blocked in %s wait", mb.rank, wi.coll.prim)
 			}
 		}
 		mb.mu.Unlock()

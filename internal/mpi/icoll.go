@@ -1,0 +1,822 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Nonblocking collectives (MPI-3 style). Iallreduce, Ibcast, Ireduce,
+// Ibarrier and Iallgather return a *CollRequest whose ring/tree state
+// machine progresses in the background: every hop is sent eagerly and
+// every arrival advances the machine on the delivering goroutine, so a
+// collective completes while the owning rank computes. The owner drives
+// remaining steps from Wait/Test when no arrival is pending.
+//
+// Concurrency model — the request is a strand: at most one goroutine
+// executes step() at a time (the running flag under cr.mu), and a
+// would-be stepper that loses the race marks the strand dirty so the
+// winner loops again. Hops reuse the pooled collective data path
+// (getEnv/getBuf/getPR), and they are always eager — a state machine
+// running on a foreign delivering goroutine must never block on a
+// rendezvous acknowledgement. In-flight volume stays bounded by the
+// algorithms' lockstep structure (at most one outstanding hop per
+// request).
+//
+// The reduce-scatter phase uses a shifted ring schedule under which rank
+// r ends up owning the fully reduced segment r — the layout ZeRO-style
+// optimizer sharding wants — and the blocking ReduceScatter[Into] runs
+// the identical schedule, so Iallreduce results, reduce-scatter shards
+// and any training loop built on either are bit-identical.
+
+// CollRequest is an outstanding nonblocking collective, the collective
+// analogue of Request. Complete it with Wait, poll it with Test, or
+// batch-complete with WaitallColl. The buffer passed to the initiating
+// call must not be touched until the request completes.
+type CollRequest struct {
+	comm  *Comm
+	prim  Primitive
+	bytes int   // user payload bytes, for the prof events
+	msgid int64 // flow id pairing the initiation and Wait events
+
+	mu      sync.Mutex
+	running bool  // a goroutine is executing step()
+	dirty   bool  // new work arrived while running; the stepper loops
+	failErr error // external failure to absorb at the next strand entry
+
+	op  collOp
+	err error
+	// done is the completion flag: stored after err/result writes, read
+	// by Wait/Test/the deadlock detector.
+	done atomic.Bool
+
+	// unconsumed counts matched-but-unconsumed arrivals, guarded by the
+	// owning rank's mailbox mutex. The deadlock detector reads it: a rank
+	// blocked in Wait is satisfiable while credit exists.
+	unconsumed int
+}
+
+// collOp is one collective algorithm's state machine. step advances as
+// far as arrivals allow and reports completion; cleanup releases any
+// posted receive and pooled payload after a failure. Both run on the
+// strand (never concurrently).
+type collOp interface {
+	step() (done bool, err error)
+	cleanup()
+}
+
+// collMod is the positive modulus used by the ring schedules.
+func collMod(a, p int) int { return ((a % p) + p) % p }
+
+// collSendEagerOwned sends one hop of a background-progressed
+// collective, taking ownership of payload. Unlike collSendOwned it never
+// enters the rendezvous protocol regardless of size, so it is safe to
+// call from a delivering goroutine.
+func (c *Comm) collSendEagerOwned(payload []byte, dest, tag int) error {
+	env := getEnv()
+	env.kind = kindData
+	env.src = c.rank
+	env.wsrc = c.worldRank
+	env.wdst = c.members[dest]
+	env.ctx = c.collCtx()
+	env.tag = int32(tag)
+	env.data = payload
+	return c.world.deliver(env)
+}
+
+// newCollRequest builds a request handle and allocates its flow id.
+func (c *Comm) newCollRequest(prim Primitive, bytes int) *CollRequest {
+	cr := &CollRequest{comm: c, prim: prim, bytes: bytes}
+	if c.world.opts.hook != nil {
+		cr.msgid = c.world.nextMsgID()
+	}
+	icollStarted.Add(1)
+	return cr
+}
+
+// advance drives the state machine: it acquires the strand, steps until
+// the machine is waiting on an arrival (or finished), and hands off via
+// the dirty flag when another goroutine raced in. Called at initiation
+// (owner), on every arrival (delivering goroutine) and from Wait/Test
+// (owner). The world-level collActive gate keeps the deadlock detector
+// from declaring victory while a step is mid-flight outside any rank's
+// blocked census.
+func (cr *CollRequest) advance() {
+	if cr.done.Load() {
+		return
+	}
+	w := cr.comm.world
+	w.collActive.Add(1)
+	cr.mu.Lock()
+	if cr.done.Load() || cr.running {
+		cr.dirty = true
+		cr.mu.Unlock()
+		w.collActive.Add(-1)
+		return
+	}
+	cr.running = true
+	cr.dirty = false
+	cr.mu.Unlock()
+	for {
+		icollSteps.Add(1)
+		done, err := cr.op.step()
+		cr.mu.Lock()
+		if err == nil && cr.failErr != nil {
+			err = cr.failErr
+		}
+		if err != nil || done {
+			cr.mu.Unlock()
+			if err != nil {
+				cr.op.cleanup()
+			}
+			cr.complete(err)
+			cr.mu.Lock()
+			cr.running = false
+			cr.mu.Unlock()
+			w.collActive.Add(-1)
+			return
+		}
+		if !cr.dirty {
+			cr.running = false
+			cr.mu.Unlock()
+			w.collActive.Add(-1)
+			return
+		}
+		cr.dirty = false
+		cr.mu.Unlock()
+	}
+}
+
+// complete finalizes the request and wakes a Wait blocked on the owner's
+// mailbox. err (and the op's output buffer) are published before the
+// done flag, so a waiter that observes done reads consistent results.
+func (cr *CollRequest) complete(err error) {
+	cr.err = err
+	cr.done.Store(true)
+	icollCompleted.Add(1)
+	mb := cr.comm.mb
+	mb.mu.Lock()
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// fail injects an external failure (rank killed, world stopped, peer
+// failure epoch, deadline). If a stepper is running the error is left
+// for it to absorb; otherwise cleanup and completion happen here.
+func (cr *CollRequest) fail(err error) {
+	w := cr.comm.world
+	w.collActive.Add(1)
+	cr.mu.Lock()
+	if cr.done.Load() {
+		cr.mu.Unlock()
+		w.collActive.Add(-1)
+		return
+	}
+	if cr.failErr == nil {
+		cr.failErr = err
+	}
+	if cr.running {
+		cr.dirty = true
+		cr.mu.Unlock()
+		w.collActive.Add(-1)
+		return
+	}
+	cr.running = true
+	cr.mu.Unlock()
+	if cr.op != nil {
+		cr.op.cleanup()
+	}
+	cr.complete(err)
+	cr.mu.Lock()
+	cr.running = false
+	cr.mu.Unlock()
+	w.collActive.Add(-1)
+}
+
+// Wait blocks until the collective completes (MPI_Wait on a collective
+// request), driving the state machine whenever a matched arrival is
+// pending so progress never depends on a third party. It emits one
+// MPI_Wait_coll event whose RecvID pairs with the initiation event's
+// SendID, which is how the wait-state analysis attributes overlap.
+func (cr *CollRequest) Wait() error {
+	c := cr.comm
+	tok := c.profEnter()
+	c.countCall(PrimWaitColl)
+	err := cr.wait()
+	c.profExit(tok, PrimWaitColl, -1, -1, cr.bytes, 0, cr.msgid, 0)
+	return err
+}
+
+func (cr *CollRequest) wait() error {
+	cr.advance()
+	if cr.done.Load() {
+		return cr.err
+	}
+	mb := cr.comm.mb
+	dl := mb.opDeadline()
+	start := time.Now()
+	mb.mu.Lock()
+	for !cr.done.Load() {
+		if err := mb.stopErrLocked(); err != nil {
+			mb.mu.Unlock()
+			cr.fail(err)
+			mb.mu.Lock()
+			if cr.done.Load() {
+				break
+			}
+			// A background stepper holds the strand; it will absorb the
+			// failure and broadcast completion.
+			mb.block(waitInfo{kind: waitColl, coll: cr})
+			continue
+		}
+		if deadlineExceeded(dl) {
+			mb.mu.Unlock()
+			cr.fail(fmt.Errorf("%w after %v: %s wait", ErrTimeout, mb.world.opts.opTimeout, cr.prim))
+			mb.mu.Lock()
+			if cr.done.Load() {
+				break
+			}
+			mb.block(waitInfo{kind: waitColl, coll: cr})
+			continue
+		}
+		if cr.unconsumed > 0 {
+			// A matched arrival awaits consumption: drive the machine here
+			// instead of waiting for (or racing) the delivering goroutine.
+			mb.mu.Unlock()
+			cr.advance()
+			mb.mu.Lock()
+			continue
+		}
+		mb.block(waitInfo{kind: waitColl, coll: cr})
+	}
+	mb.mu.Unlock()
+	cr.comm.traceComm("icoll", start)
+	return cr.err
+}
+
+// Test reports whether the collective has completed, without blocking
+// (MPI_Test). It opportunistically drives the state machine, so a loop
+// of Test calls makes progress even with no background arrivals.
+func (cr *CollRequest) Test() (bool, error) {
+	if !cr.done.Load() {
+		cr.advance()
+		if !cr.done.Load() {
+			return false, nil
+		}
+	}
+	return true, cr.err
+}
+
+// WaitallColl completes every nonblocking collective, returning the
+// first error after attempting all of them — the collective analogue of
+// Waitall. Failed requests release their pooled hop buffers internally,
+// so the one-owner pool contract holds on error paths.
+func WaitallColl(reqs ...*CollRequest) error {
+	var firstErr error
+	for _, cr := range reqs {
+		if cr == nil {
+			continue
+		}
+		if err := cr.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Iallreduce starts a nonblocking in-place allreduce (MPI_Iallreduce
+// with MPI_IN_PLACE): after Wait, every rank's buf holds the elementwise
+// op-fold across ranks. The ring algorithm (reduce-scatter + allgather)
+// runs in the background; when len(buf) is a multiple of the
+// communicator size the rings operate directly on buf and the
+// steady-state hop path is allocation-free apart from pooled buffers.
+func Iallreduce[T Scalar](c *Comm, buf []T, op Op[T]) (*CollRequest, error) {
+	tok := c.profEnter()
+	c.countCall(PrimIallreduce)
+	bytes := len(buf) * scalarSize[T]()
+	cr := c.newCollRequest(PrimIallreduce, bytes)
+	p := len(c.members)
+	if p == 1 || len(buf) == 0 {
+		cr.complete(nil)
+	} else {
+		seg := (len(buf) + p - 1) / p
+		work := buf
+		if len(buf) != seg*p {
+			work = make([]T, seg*p)
+			copy(work, buf)
+		}
+		cr.op = &iallreduceOp[T]{
+			c: c, cr: cr, op: op, out: buf, buf: work,
+			n: len(buf), seg: seg, p: p, r: c.rank, tag: c.nextCollTag(),
+		}
+		cr.advance()
+	}
+	c.profExit(tok, PrimIallreduce, -1, -1, bytes, cr.msgid, 0, 0)
+	return cr, nil
+}
+
+// iallreduceOp is the background ring allreduce: a shifted reduce-scatter
+// (phase 0) under which rank r ends owning reduced segment r, followed by
+// a ring allgather (phase 1). The fold order per segment is identical to
+// ReduceScatterInto's, which is what makes DDP and ZeRO-1 training
+// bit-identical.
+type iallreduceOp[T Scalar] struct {
+	c   *Comm
+	cr  *CollRequest
+	op  Op[T]
+	out []T // user buffer; result copied here when buf is a padded copy
+	buf []T // working buffer of seg*p elements (aliases out when unpadded)
+
+	n, seg, p, r, tag int
+	phase             int // 0 reduce-scatter, 1 allgather
+	idx               int // step within the phase
+	pr                *pendingRecv
+}
+
+func (o *iallreduceOp[T]) segment(i int) []T { return o.buf[i*o.seg : (i+1)*o.seg] }
+
+func (o *iallreduceOp[T]) sendIdx() int {
+	if o.phase == 0 {
+		return collMod(o.r-1-o.idx, o.p)
+	}
+	return collMod(o.r-o.idx, o.p)
+}
+
+func (o *iallreduceOp[T]) recvIdx() int {
+	if o.phase == 0 {
+		return collMod(o.r-2-o.idx, o.p)
+	}
+	return collMod(o.r-1-o.idx, o.p)
+}
+
+func (o *iallreduceOp[T]) step() (bool, error) {
+	size := scalarSize[T]()
+	left := (o.r - 1 + o.p) % o.p
+	right := (o.r + 1) % o.p
+	for {
+		if o.pr != nil {
+			env, ok := o.c.mb.takeColl(o.cr, o.pr)
+			if !ok {
+				return false, nil
+			}
+			putPR(o.pr)
+			o.pr = nil
+			b := env.data
+			putEnv(env)
+			if len(b) != o.seg*size {
+				putBuf(b)
+				return false, fmt.Errorf("%w: Iallreduce segment of %d bytes, expected %d elements", ErrLengthMismatch, len(b), o.seg)
+			}
+			var err error
+			if o.phase == 0 {
+				err = reduceFromWire(o.segment(o.recvIdx()), b, o.op)
+			} else {
+				err = decodeInto(o.segment(o.recvIdx()), b)
+			}
+			putBuf(b)
+			if err != nil {
+				return false, err
+			}
+			o.idx++
+			if o.idx == o.p-1 {
+				o.idx = 0
+				o.phase++
+				if o.phase == 2 {
+					if len(o.out) != len(o.buf) {
+						copy(o.out, o.buf[:o.n])
+					}
+					return true, nil
+				}
+			}
+		}
+		// Post the receive before sending, so a lockstep peer's eager hop
+		// always finds a matching record.
+		o.pr = o.c.mb.postRecvColl(o.c.collCtx(), left, o.tag, o.cr)
+		if err := o.c.collSendEagerOwned(marshalPooled(o.segment(o.sendIdx())), right, o.tag); err != nil {
+			return false, err
+		}
+	}
+}
+
+func (o *iallreduceOp[T]) cleanup() {
+	if o.pr != nil {
+		o.c.mb.cancelColl(o.cr, o.pr)
+		o.pr = nil
+	}
+}
+
+// Ibcast starts a nonblocking in-place broadcast along the binomial tree
+// (MPI_Ibcast): after Wait, every rank's buf holds root's buf. All ranks
+// must pass equal-length buffers.
+func Ibcast[T Scalar](c *Comm, buf []T, root int) (*CollRequest, error) {
+	if err := c.checkPeer(root, false); err != nil {
+		return nil, err
+	}
+	tok := c.profEnter()
+	c.countCall(PrimIbcast)
+	bytes := len(buf) * scalarSize[T]()
+	cr := c.newCollRequest(PrimIbcast, bytes)
+	p := len(c.members)
+	if p == 1 {
+		cr.complete(nil)
+	} else {
+		cr.op = &ibcastOp[T]{
+			c: c, cr: cr, buf: buf, root: root, p: p,
+			rel: (c.rank - root + p) % p, tag: c.nextCollTag(),
+		}
+		cr.advance()
+	}
+	c.profExit(tok, PrimIbcast, c.members[root], -1, bytes, cr.msgid, 0, 0)
+	return cr, nil
+}
+
+type ibcastOp[T Scalar] struct {
+	c                 *Comm
+	cr                *CollRequest
+	buf               []T
+	root, p, rel, tag int
+	mask              int // parent mask once the receive is posted
+	pr                *pendingRecv
+}
+
+func (o *ibcastOp[T]) step() (bool, error) {
+	if o.rel == 0 {
+		// Root: fan out to binomial children, highest distance first, and
+		// complete immediately (hops are eager).
+		mask := 1
+		for mask < o.p {
+			mask <<= 1
+		}
+		for m := mask >> 1; m > 0; m >>= 1 {
+			if o.rel+m < o.p {
+				child := (o.rel + m + o.root) % o.p
+				if err := o.c.collSendEagerOwned(marshalPooled(o.buf), child, o.tag); err != nil {
+					return false, err
+				}
+			}
+		}
+		return true, nil
+	}
+	if o.pr == nil {
+		mask := 1
+		for mask < o.p && o.rel&mask == 0 {
+			mask <<= 1
+		}
+		o.mask = mask
+		parent := (o.rel - mask + o.root) % o.p
+		o.pr = o.c.mb.postRecvColl(o.c.collCtx(), parent, o.tag, o.cr)
+	}
+	env, ok := o.c.mb.takeColl(o.cr, o.pr)
+	if !ok {
+		return false, nil
+	}
+	putPR(o.pr)
+	o.pr = nil
+	b := env.data
+	putEnv(env)
+	if len(b) != len(o.buf)*scalarSize[T]() {
+		putBuf(b)
+		return false, fmt.Errorf("%w: Ibcast delivered %d bytes, expected %d elements", ErrLengthMismatch, len(b), len(o.buf))
+	}
+	// Forward the wire bytes to children before decoding, so the tree
+	// keeps fanning out while this rank unpacks.
+	for m := o.mask >> 1; m > 0; m >>= 1 {
+		if o.rel+m < o.p {
+			child := (o.rel + m + o.root) % o.p
+			if err := o.c.collSendEagerOwned(copyToPooled(b), child, o.tag); err != nil {
+				putBuf(b)
+				return false, err
+			}
+		}
+	}
+	err := decodeInto(o.buf, b)
+	putBuf(b)
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (o *ibcastOp[T]) cleanup() {
+	if o.pr != nil {
+		o.c.mb.cancelColl(o.cr, o.pr)
+		o.pr = nil
+	}
+}
+
+// Ireduce starts a nonblocking in-place reduction onto root along the
+// binomial tree (MPI_Ireduce with MPI_IN_PLACE). After Wait the root's
+// buf holds the reduction; on other ranks buf's contents are unspecified
+// (they have been folded into a parent). The fold order matches the
+// blocking ReduceInto exactly.
+func Ireduce[T Scalar](c *Comm, buf []T, op Op[T], root int) (*CollRequest, error) {
+	if err := c.checkPeer(root, false); err != nil {
+		return nil, err
+	}
+	tok := c.profEnter()
+	c.countCall(PrimIreduce)
+	bytes := len(buf) * scalarSize[T]()
+	cr := c.newCollRequest(PrimIreduce, bytes)
+	p := len(c.members)
+	if p == 1 {
+		cr.complete(nil)
+	} else {
+		cr.op = &ireduceOp[T]{
+			c: c, cr: cr, buf: buf, op: op, root: root, p: p,
+			rel: (c.rank - root + p) % p, mask: 1, tag: c.nextCollTag(),
+		}
+		cr.advance()
+	}
+	c.profExit(tok, PrimIreduce, c.members[root], -1, bytes, cr.msgid, 0, 0)
+	return cr, nil
+}
+
+type ireduceOp[T Scalar] struct {
+	c                 *Comm
+	cr                *CollRequest
+	buf               []T
+	op                Op[T]
+	root, p, rel, tag int
+	mask              int
+	pr                *pendingRecv
+}
+
+func (o *ireduceOp[T]) step() (bool, error) {
+	size := scalarSize[T]()
+	for {
+		if o.pr != nil {
+			env, ok := o.c.mb.takeColl(o.cr, o.pr)
+			if !ok {
+				return false, nil
+			}
+			putPR(o.pr)
+			o.pr = nil
+			b := env.data
+			putEnv(env)
+			if len(b) != len(o.buf)*size {
+				putBuf(b)
+				return false, fmt.Errorf("%w: Ireduce child contributed %d bytes, expected %d elements", ErrLengthMismatch, len(b), len(o.buf))
+			}
+			err := reduceFromWire(o.buf, b, o.op)
+			putBuf(b)
+			if err != nil {
+				return false, err
+			}
+			o.mask <<= 1
+		}
+		if o.mask >= o.p {
+			return true, nil // root: every child folded
+		}
+		if o.rel&o.mask != 0 {
+			parent := (o.rel - o.mask + o.root) % o.p
+			return true, o.c.collSendEagerOwned(marshalPooled(o.buf), parent, o.tag)
+		}
+		childRel := o.rel | o.mask
+		if childRel < o.p {
+			child := (childRel + o.root) % o.p
+			o.pr = o.c.mb.postRecvColl(o.c.collCtx(), child, o.tag, o.cr)
+			continue
+		}
+		o.mask <<= 1
+	}
+}
+
+func (o *ireduceOp[T]) cleanup() {
+	if o.pr != nil {
+		o.c.mb.cancelColl(o.cr, o.pr)
+		o.pr = nil
+	}
+}
+
+// Ibarrier starts a nonblocking barrier (MPI_Ibarrier): Wait returns
+// once every rank of the communicator has entered it. Dissemination
+// algorithm, ceil(log2 p) background rounds.
+func Ibarrier(c *Comm) (*CollRequest, error) {
+	tok := c.profEnter()
+	c.countCall(PrimIbarrier)
+	cr := c.newCollRequest(PrimIbarrier, 0)
+	p := len(c.members)
+	if p == 1 {
+		cr.complete(nil)
+	} else {
+		cr.op = &ibarrierOp{c: c, cr: cr, p: p, r: c.rank, k: 1, tag: c.nextCollTag()}
+		cr.advance()
+	}
+	c.profExit(tok, PrimIbarrier, -1, -1, 0, cr.msgid, 0, 0)
+	return cr, nil
+}
+
+type ibarrierOp struct {
+	c            *Comm
+	cr           *CollRequest
+	p, r, k, tag int
+	pr           *pendingRecv
+}
+
+func (o *ibarrierOp) step() (bool, error) {
+	for {
+		if o.pr != nil {
+			env, ok := o.c.mb.takeColl(o.cr, o.pr)
+			if !ok {
+				return false, nil
+			}
+			putPR(o.pr)
+			o.pr = nil
+			putBuf(env.data)
+			putEnv(env)
+			o.k <<= 1
+		}
+		if o.k >= o.p {
+			return true, nil
+		}
+		from := (o.r - o.k + o.p) % o.p
+		to := (o.r + o.k) % o.p
+		o.pr = o.c.mb.postRecvColl(o.c.collCtx(), from, o.tag, o.cr)
+		if err := o.c.collSendEagerOwned(nil, to, o.tag); err != nil {
+			return false, err
+		}
+	}
+}
+
+func (o *ibarrierOp) cleanup() {
+	if o.pr != nil {
+		o.c.mb.cancelColl(o.cr, o.pr)
+		o.pr = nil
+	}
+}
+
+// Iallgather starts a nonblocking in-place ring allgather
+// (MPI_Iallgather with MPI_IN_PLACE): buf holds p equal blocks, rank r's
+// contribution pre-filled at block r; after Wait every block is
+// populated. len(buf) must be a multiple of the communicator size.
+func Iallgather[T Scalar](c *Comm, buf []T) (*CollRequest, error) {
+	p := len(c.members)
+	if len(buf)%p != 0 {
+		return nil, fmt.Errorf("%w: Iallgather buffer of %d elements across %d ranks", ErrLengthMismatch, len(buf), p)
+	}
+	tok := c.profEnter()
+	c.countCall(PrimIallgather)
+	bytes := len(buf) * scalarSize[T]()
+	cr := c.newCollRequest(PrimIallgather, bytes)
+	if p == 1 {
+		cr.complete(nil)
+	} else {
+		cr.op = &iallgatherOp[T]{
+			c: c, cr: cr, buf: buf, n: len(buf) / p, p: p, r: c.rank, tag: c.nextCollTag(),
+		}
+		cr.advance()
+	}
+	c.profExit(tok, PrimIallgather, -1, -1, bytes, cr.msgid, 0, 0)
+	return cr, nil
+}
+
+type iallgatherOp[T Scalar] struct {
+	c            *Comm
+	cr           *CollRequest
+	buf          []T
+	n, p, r, tag int // n = block length
+	idx          int
+	pr           *pendingRecv
+}
+
+func (o *iallgatherOp[T]) block(i int) []T { return o.buf[i*o.n : (i+1)*o.n] }
+
+func (o *iallgatherOp[T]) step() (bool, error) {
+	size := scalarSize[T]()
+	left := (o.r - 1 + o.p) % o.p
+	right := (o.r + 1) % o.p
+	for {
+		if o.pr != nil {
+			env, ok := o.c.mb.takeColl(o.cr, o.pr)
+			if !ok {
+				return false, nil
+			}
+			putPR(o.pr)
+			o.pr = nil
+			b := env.data
+			putEnv(env)
+			if len(b) != o.n*size {
+				putBuf(b)
+				return false, fmt.Errorf("%w: Iallgather block of %d bytes, expected %d elements", ErrLengthMismatch, len(b), o.n)
+			}
+			err := decodeInto(o.block(collMod(o.r-1-o.idx, o.p)), b)
+			putBuf(b)
+			if err != nil {
+				return false, err
+			}
+			o.idx++
+		}
+		if o.idx == o.p-1 {
+			return true, nil
+		}
+		o.pr = o.c.mb.postRecvColl(o.c.collCtx(), left, o.tag, o.cr)
+		if err := o.c.collSendEagerOwned(marshalPooled(o.block(collMod(o.r-o.idx, o.p))), right, o.tag); err != nil {
+			return false, err
+		}
+	}
+}
+
+func (o *iallgatherOp[T]) cleanup() {
+	if o.pr != nil {
+		o.c.mb.cancelColl(o.cr, o.pr)
+		o.pr = nil
+	}
+}
+
+// ReduceScatterInto reduces every rank's buf elementwise with op and
+// scatters the result by equal segments (MPI_Reduce_scatter_block with
+// MPI_IN_PLACE): after the call, rank r's reduced segment occupies
+// buf[r*seg:(r+1)*seg] where seg = len(buf)/p; the other segments hold
+// partial folds and are unspecified. len(buf) must be a multiple of the
+// communicator size. The ring schedule and fold order are identical to
+// Iallreduce's reduce-scatter phase, so the shards it produces are
+// bit-identical to the corresponding Iallreduce segments — the property
+// ZeRO-style sharded optimizers rely on.
+func ReduceScatterInto[T Scalar](c *Comm, buf []T, op Op[T]) error {
+	p := len(c.members)
+	if len(buf)%p != 0 {
+		return fmt.Errorf("%w: ReduceScatter buffer of %d elements across %d ranks", ErrLengthMismatch, len(buf), p)
+	}
+	tok := c.profEnter()
+	c.countCall(PrimReduceScatter)
+	err := reduceScatterRing(c, buf, op)
+	c.profExit(tok, PrimReduceScatter, -1, -1, len(buf)*scalarSize[T](), 0, 0, 0)
+	return err
+}
+
+// ReduceScatter is ReduceScatterInto returning rank r's freshly
+// allocated reduced segment, leaving data untouched.
+func ReduceScatter[T Scalar](c *Comm, data []T, op Op[T]) ([]T, error) {
+	p := len(c.members)
+	if len(data)%p != 0 {
+		return nil, fmt.Errorf("%w: ReduceScatter buffer of %d elements across %d ranks", ErrLengthMismatch, len(data), p)
+	}
+	tok := c.profEnter()
+	c.countCall(PrimReduceScatter)
+	buf := append([]T(nil), data...)
+	err := reduceScatterRing(c, buf, op)
+	c.profExit(tok, PrimReduceScatter, -1, -1, len(data)*scalarSize[T](), 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	seg := len(data) / p
+	out := make([]T, seg)
+	copy(out, buf[c.rank*seg:(c.rank+1)*seg])
+	return out, nil
+}
+
+// reduceScatterRing runs the shifted ring reduce-scatter in place: at
+// step s, rank r sends segment (r-1-s) mod p — the partial it folded the
+// previous step — and folds the incoming wire bytes into segment
+// (r-2-s) mod p. After p-1 steps rank r owns the fully reduced segment r.
+func reduceScatterRing[T Scalar](c *Comm, buf []T, op Op[T]) error {
+	p, r := len(c.members), c.rank
+	if p == 1 || len(buf) == 0 {
+		return nil
+	}
+	tag := c.nextCollTag()
+	seg := len(buf) / p
+	size := scalarSize[T]()
+	segment := func(i int) []T { return buf[i*seg : (i+1)*seg] }
+	left := (r - 1 + p) % p
+	right := (r + 1) % p
+	for s := 0; s < p-1; s++ {
+		pr := c.collIrecv(left, tag)
+		if err := c.collSendOwned(marshalPooled(segment(collMod(r-1-s, p))), right, tag); err != nil {
+			return err
+		}
+		b, err := c.collFinish(pr)
+		if err != nil {
+			return err
+		}
+		if len(b) != seg*size {
+			putBuf(b)
+			return fmt.Errorf("%w: ReduceScatter segment of %d bytes, expected %d elements", ErrLengthMismatch, len(b), seg)
+		}
+		err = reduceFromWire(segment(collMod(r-2-s, p)), b, op)
+		putBuf(b)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cancelColl abandons a collective receive during failure cleanup,
+// releasing a matched-but-unconsumed payload so the one-owner pool
+// contract holds on error paths. Runs on the request's strand.
+func (mb *mailbox) cancelColl(cr *CollRequest, pr *pendingRecv) {
+	mb.mu.Lock()
+	if pr.env != nil {
+		putBuf(pr.env.data)
+		putEnv(pr.env)
+		pr.env = nil
+		if cr.unconsumed > 0 {
+			cr.unconsumed--
+		}
+	}
+	mb.dropPending(pr)
+	mb.mu.Unlock()
+	putPR(pr)
+}

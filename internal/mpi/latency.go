@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyTransport wraps any transport with a deterministic link-latency
+// emulator (WithLinkLatency): every cross-rank envelope is stamped with
+// a due time on entry and held on its source rank's FIFO pipe until
+// then, so messages spend a realistic wire-transit interval invisibly
+// in flight. Two properties matter:
+//
+//   - The sender never blocks. deliver enqueues and returns, exactly
+//     like a NIC accepting a frame — so an overlapped schedule can ride
+//     compute ahead of its in-flight messages, which is the effect the
+//     latency-hiding modules measure.
+//   - Per-source FIFO is preserved (a single ordered pipe per source),
+//     which subsumes the per-(src,dst) non-overtaking order the matching
+//     engine relies on.
+//
+// Because frames become due in enqueue order, the pipe goroutine only
+// ever sleeps on its head item; a burst of sends becomes due together
+// and drains back-to-back, so the pipe adds latency, not serialization.
+type latencyTransport struct {
+	inner transport
+	delay time.Duration
+	pipes []*latencyPipe
+	wg    sync.WaitGroup
+}
+
+type latencyItem struct {
+	e   *envelope
+	due time.Time
+}
+
+type latencyPipe struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []latencyItem
+	closed bool
+}
+
+func newLatencyTransport(inner transport, delay time.Duration, np int) *latencyTransport {
+	t := &latencyTransport{inner: inner, delay: delay, pipes: make([]*latencyPipe, np)}
+	for i := range t.pipes {
+		p := &latencyPipe{}
+		p.cond = sync.NewCond(&p.mu)
+		t.pipes[i] = p
+		t.wg.Add(1)
+		go t.drain(p)
+	}
+	return t
+}
+
+func (t *latencyTransport) deliver(e *envelope) error {
+	// Self-sends never cross the wire; out-of-range sources (none today)
+	// fall through to the inner transport's own validation.
+	if e.wsrc == e.wdst || e.wsrc < 0 || e.wsrc >= len(t.pipes) {
+		return t.inner.deliver(e)
+	}
+	p := t.pipes[e.wsrc]
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return t.inner.deliver(e)
+	}
+	p.queue = append(p.queue, latencyItem{e: e, due: time.Now().Add(t.delay)})
+	p.mu.Unlock()
+	p.cond.Signal()
+	return nil
+}
+
+// drain delivers the pipe's items in order, sleeping until each is due.
+// After close the remaining backlog is flushed without further delay.
+func (t *latencyTransport) drain(p *latencyPipe) {
+	defer t.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		it := p.queue[0]
+		n := copy(p.queue, p.queue[1:])
+		p.queue[n] = latencyItem{}
+		p.queue = p.queue[:n]
+		closed := p.closed
+		p.mu.Unlock()
+		if !closed {
+			if d := time.Until(it.due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		_ = t.inner.deliver(it.e)
+	}
+}
+
+func (t *latencyTransport) close() error {
+	for _, p := range t.pipes {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	}
+	t.wg.Wait()
+	return t.inner.close()
+}
+
+// supportsDeadlockDetection is false: like TCP, the emulated link holds
+// envelopes invisibly in flight, so the precise blocked-census verdict
+// would be unsound.
+func (t *latencyTransport) supportsDeadlockDetection() bool { return false }

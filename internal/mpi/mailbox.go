@@ -17,6 +17,7 @@ const (
 	waitProbe          // blocked in Probe on (ctx, src, tag)
 	waitAck            // blocked in a rendezvous Send on seq
 	waitRMA            // blocked in a one-sided Get/CompareAndSwap on a reply seq
+	waitColl           // blocked in CollRequest.Wait on a nonblocking collective
 )
 
 func (k waitKind) String() string {
@@ -29,6 +30,8 @@ func (k waitKind) String() string {
 		return "ack"
 	case waitRMA:
 		return "rma"
+	case waitColl:
+		return "icoll"
 	}
 	return "none"
 }
@@ -42,15 +45,20 @@ type waitInfo struct {
 	src  int          // waitProbe
 	tag  int          // waitProbe
 	seq  int64        // waitAck
+	coll *CollRequest // waitColl
 }
 
 // pendingRecv is a posted receive awaiting a matching envelope. env is set
-// exactly once, under the mailbox mutex, when a message matches.
+// exactly once, under the mailbox mutex, when a message matches. coll,
+// when non-nil, names the nonblocking collective that owns this receive:
+// a match bumps its unconsumed count (under the same lock) and triggers
+// its state machine on the delivering goroutine.
 type pendingRecv struct {
-	ctx int32
-	src int // AnySource allowed
-	tag int // AnyTag allowed
-	env *envelope
+	ctx  int32
+	src  int // AnySource allowed
+	tag  int // AnyTag allowed
+	env  *envelope
+	coll *CollRequest
 }
 
 // matches reports whether an envelope satisfies a (ctx, src, tag) pattern.
@@ -216,11 +224,22 @@ func (mb *mailbox) post(e *envelope) {
 	for _, pr := range mb.pending {
 		if pr.env == nil && matches(e, pr.ctx, pr.src, pr.tag) {
 			pr.env = e
+			coll := pr.coll
+			if coll != nil {
+				coll.unconsumed++
+			}
 			seq, wsrc, ctx := e.seq, e.wsrc, e.ctx
 			e.seq = 0 // consumed: completion paths must not double-ack
 			mb.cond.Broadcast()
 			mb.mu.Unlock()
 			mb.sendAck(wsrc, ctx, seq)
+			if coll != nil {
+				// Arrival-driven progress: advance the collective's state
+				// machine on the delivering goroutine, so the owning rank
+				// can keep computing while its collective completes.
+				icollArrivals.Add(1)
+				coll.advance()
+			}
 			return
 		}
 	}
@@ -267,6 +286,50 @@ func (mb *mailbox) postRecv(ctx int32, src, tag int) *pendingRecv {
 	mb.pending = append(mb.pending, pr)
 	mb.mu.Unlock()
 	return pr
+}
+
+// postRecvColl registers a receive owned by a nonblocking collective's
+// state machine. Unlike postRecv it attaches cr before the record becomes
+// visible to the matching engine, so an arrival can credit cr.unconsumed
+// and advance the state machine; the caller (the machine itself) consumes
+// completions through takeColl.
+func (mb *mailbox) postRecvColl(ctx int32, src, tag int, cr *CollRequest) *pendingRecv {
+	pr := getPR(ctx, src, tag)
+	pr.coll = cr
+	mb.mu.Lock()
+	for i, e := range mb.unexpected {
+		if matches(e, ctx, src, tag) {
+			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+			pr.env = e
+			cr.unconsumed++
+			seq, wsrc := e.seq, e.wsrc
+			e.seq = 0
+			mb.mu.Unlock()
+			mb.sendAck(wsrc, ctx, seq)
+			return pr
+		}
+	}
+	mb.pending = append(mb.pending, pr)
+	mb.mu.Unlock()
+	return pr
+}
+
+// takeColl consumes a completed collective receive: on match it removes
+// pr from the posted queue, debits cr's unconsumed credit and returns the
+// envelope (owned by the caller). The credit accounting keeps the
+// deadlock detector sound: a rank blocked in waitColl is satisfiable
+// exactly while a matched-but-unconsumed arrival exists.
+func (mb *mailbox) takeColl(cr *CollRequest, pr *pendingRecv) (*envelope, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if pr.env == nil {
+		return nil, false
+	}
+	mb.dropPending(pr)
+	if cr.unconsumed > 0 {
+		cr.unconsumed--
+	}
+	return pr.env, true
 }
 
 // stopErrLocked reports why this rank's blocked operation must give up,
@@ -492,6 +555,12 @@ func (mb *mailbox) satisfiableLocked() bool {
 	case waitRMA:
 		_, ok := mb.rmaResp[wi.seq]
 		return ok
+	case waitColl:
+		// Satisfiable while the collective has finished (the waiter just
+		// has not observed it yet) or holds a matched arrival its state
+		// machine has not consumed. A mid-step background advance is
+		// covered by the world-level collActive gate in verifyDeadlock.
+		return wi.coll.done.Load() || wi.coll.unconsumed > 0
 	}
 	return true
 }

@@ -105,6 +105,7 @@ type options struct {
 	injector        Injector      // fault-injection plan (see fault.go)
 	opTimeout       time.Duration // per-operation deadline; 0 = none
 	heartbeat       time.Duration // failure-detection interval; 0 = off
+	linkLatency     time.Duration // emulated one-way wire latency; 0 = off (latency.go)
 }
 
 // Option configures a World created by Run or RunTCP.
@@ -134,6 +135,19 @@ func WithDeadlockDetection(on bool) Option {
 // is not available.
 func WithWatchdog(d time.Duration) Option {
 	return func(o *options) { o.watchdogTimeout = d }
+}
+
+// WithLinkLatency emulates an interconnect with one-way wire latency d:
+// every cross-rank envelope is held on a per-source FIFO pipe for d
+// before delivery, without blocking the sender — transit time, not link
+// occupancy, exactly like messages in flight on a real network. Local
+// loopback is orders of magnitude faster than any cluster fabric, so
+// this is how the latency-hiding modules expose a realistic gap between
+// blocking and overlapped communication schedules on one host. The
+// precise deadlock detector is unavailable while frames can be
+// invisibly in flight (as over TCP); use WithWatchdog as the backstop.
+func WithLinkLatency(d time.Duration) Option {
+	return func(o *options) { o.linkLatency = d }
 }
 
 // WithTracer attaches a phase tracer; the runtime records time spent

@@ -210,7 +210,7 @@ func getPR(ctx int32, src, tag int) *pendingRecv {
 		prPool.free[m-1] = nil
 		prPool.free = prPool.free[:m-1]
 		prPool.mu.Unlock()
-		pr.ctx, pr.src, pr.tag, pr.env = ctx, src, tag, nil
+		pr.ctx, pr.src, pr.tag, pr.env, pr.coll = ctx, src, tag, nil, nil
 		return pr
 	}
 	prPool.mu.Unlock()
@@ -221,6 +221,7 @@ func getPR(ctx int32, src, tag int) *pendingRecv {
 // is no longer in any mailbox queue and no other goroutine can touch it.
 func putPR(pr *pendingRecv) {
 	pr.env = nil
+	pr.coll = nil
 	prPool.mu.Lock()
 	if len(prPool.free) < maxFreePendingRecvs {
 		prPool.free = append(prPool.free, pr)

@@ -188,7 +188,10 @@ func (r *Request) payload() []byte {
 }
 
 // Waitall completes every request (MPI_Waitall), returning the first error
-// encountered after attempting all of them.
+// encountered after attempting all of them. When any request fails, the
+// payloads of the requests that did complete are recycled before
+// returning: the caller only sees the error, so it could never Release
+// them itself, and each would otherwise leak out of the buffer pool.
 func Waitall(reqs ...*Request) error {
 	var firstErr error
 	for _, r := range reqs {
@@ -201,6 +204,21 @@ func Waitall(reqs ...*Request) error {
 		r.waitEvent(tok)
 		if err != nil && firstErr == nil {
 			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		for _, r := range reqs {
+			if r == nil || !r.done {
+				continue
+			}
+			if r.env != nil && r.env.data != nil {
+				putBuf(r.env.data)
+				r.env.data = nil
+			}
+			if r.buf != nil {
+				putBuf(r.buf)
+				r.buf = nil
+			}
 		}
 	}
 	return firstErr

@@ -45,6 +45,15 @@ const (
 	PrimRMAFlush
 	PrimRMAWinCreate
 	PrimRMAWinFree
+	// Nonblocking collectives (icoll.go). Appended after the RMA block so
+	// the [PrimRMAPut, PrimRMAWinFree] range checks stay valid.
+	PrimIallreduce
+	PrimIbcast
+	PrimIreduce
+	PrimIbarrier
+	PrimIallgather
+	PrimReduceScatter
+	PrimWaitColl
 	numPrimitives
 )
 
@@ -57,6 +66,8 @@ var primitiveNames = [numPrimitives]string{
 	"MPI_Put", "MPI_Get", "MPI_Accumulate", "MPI_Compare_and_swap",
 	"MPI_Win_fence", "MPI_Win_lock", "MPI_Win_unlock", "MPI_Win_flush",
 	"MPI_Win_create", "MPI_Win_free",
+	"MPI_Iallreduce", "MPI_Ibcast", "MPI_Ireduce", "MPI_Ibarrier",
+	"MPI_Iallgather", "MPI_Reduce_scatter", "MPI_Wait_coll",
 }
 
 // String returns the MPI-style name of the primitive.
@@ -89,6 +100,49 @@ var (
 // sent and absorbed by this process across all worlds.
 func HeartbeatStats() (sent, received int64) {
 	return hbSent.Load(), hbRecv.Load()
+}
+
+// Nonblocking-collective telemetry: process-wide counters for the
+// background progress engine (icoll.go), read by IcollStats. Steps per
+// completion is the figure of merit for overlap: arrival-driven advances
+// that ran on a delivering goroutine are the work a blocking collective
+// would have charged to the caller.
+var (
+	icollStarted   atomic.Int64 // nonblocking collectives initiated
+	icollCompleted atomic.Int64 // nonblocking collectives completed (or failed)
+	icollSteps     atomic.Int64 // state-machine advances executed
+	icollArrivals  atomic.Int64 // advances driven by a message arrival (background progress)
+)
+
+// IcollCounters is a snapshot of the nonblocking-collective progress
+// engine, aggregated over every world in the process (mirrors
+// RMABatchCounters).
+type IcollCounters struct {
+	Started   int64 // collectives initiated
+	Completed int64 // collectives completed, including failures
+	Steps     int64 // state-machine advances
+	Arrivals  int64 // advances triggered by arrivals rather than Wait/Test polls
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (c IcollCounters) Sub(prev IcollCounters) IcollCounters {
+	return IcollCounters{
+		Started:   c.Started - prev.Started,
+		Completed: c.Completed - prev.Completed,
+		Steps:     c.Steps - prev.Steps,
+		Arrivals:  c.Arrivals - prev.Arrivals,
+	}
+}
+
+// IcollStats reports cumulative nonblocking-collective counters for this
+// process.
+func IcollStats() IcollCounters {
+	return IcollCounters{
+		Started:   icollStarted.Load(),
+		Completed: icollCompleted.Load(),
+		Steps:     icollSteps.Load(),
+		Arrivals:  icollArrivals.Load(),
+	}
 }
 
 // PrimitiveByName resolves an MPI-style name ("MPI_Send") to a Primitive.

@@ -95,6 +95,12 @@ type World struct {
 	localRanks []int
 	auxStop    chan struct{}
 	auxWG      sync.WaitGroup
+
+	// collActive counts nonblocking-collective state machines currently
+	// mid-step (icoll.go). A background advance runs on a delivering
+	// goroutine, outside any rank's blocked census, so the deadlock
+	// verdict is unsound while one is in flight.
+	collActive atomic.Int64
 }
 
 // Run launches fn on np goroutine ranks connected by the in-process channel
@@ -144,6 +150,12 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 		w.transport = &channelTransport{mailboxes: w.mailboxes}
 	}
 	_, w.sharedMem = w.transport.(*channelTransport)
+	if o.linkLatency > 0 {
+		// The emulated interconnect wraps whichever transport was built;
+		// sharedMem stays as resolved above, since RMA's direct path is a
+		// window-memory access, not a wire crossing.
+		w.transport = newLatencyTransport(w.transport, o.linkLatency, np)
+	}
 	defer w.transport.close()
 
 	if o.detectDeadlock && w.transport.supportsDeadlockDetection() {
@@ -386,6 +398,11 @@ func (w *World) verifyDeadlock() bool {
 			mb.mu.Unlock()
 		}
 	}()
+	if w.collActive.Load() > 0 {
+		// A collective state machine is mid-step on some delivering
+		// goroutine: progress is happening outside the blocked census.
+		return false
+	}
 	anyWaiting := false
 	epoch := w.failEpoch.Load()
 	for _, mb := range w.mailboxes {

@@ -188,6 +188,8 @@ func sendsPayload(p mpi.Primitive) bool {
 		mpi.PrimGather, mpi.PrimGatherv, mpi.PrimAllgather,
 		mpi.PrimReduce, mpi.PrimAllreduce, mpi.PrimScan,
 		mpi.PrimAlltoall, mpi.PrimAlltoallv,
+		mpi.PrimIallreduce, mpi.PrimIbcast, mpi.PrimIreduce,
+		mpi.PrimIallgather, mpi.PrimReduceScatter,
 		mpi.PrimRMAPut, mpi.PrimRMAAcc, mpi.PrimRMACas:
 		return true
 	}

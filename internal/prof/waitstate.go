@@ -130,7 +130,12 @@ func classify(e mpi.Event) (WaitKind, int, bool) {
 		return LateSender, -1, true
 	case mpi.PrimBarrier, mpi.PrimBcast, mpi.PrimScatter, mpi.PrimScatterv,
 		mpi.PrimGather, mpi.PrimGatherv, mpi.PrimAllgather, mpi.PrimReduce,
-		mpi.PrimAllreduce, mpi.PrimScan, mpi.PrimAlltoall, mpi.PrimAlltoallv:
+		mpi.PrimAllreduce, mpi.PrimScan, mpi.PrimAlltoall, mpi.PrimAlltoallv,
+		mpi.PrimReduceScatter, mpi.PrimIallreduce, mpi.PrimIbcast,
+		mpi.PrimIreduce, mpi.PrimIbarrier, mpi.PrimIallgather,
+		mpi.PrimWaitColl:
+		// Nonblocking-collective initiations rarely block; MPI_Wait_coll
+		// carries the time the rank actually stalled on the collective.
 		return CollectiveWait, -1, true
 	case mpi.PrimRMAFence, mpi.PrimRMAWinCreate, mpi.PrimRMAWinFree:
 		// Epoch-closing RMA calls barrier internally: blocking there is the
