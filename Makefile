@@ -19,15 +19,20 @@ RMA_BENCHES = BenchmarkRMA_PutLatency|BenchmarkRMA_BatchedPut|BenchmarkRMA_GetLa
 # (EXPERIMENTS.md records their baselines in BENCH_ddp.json).
 DDP_BENCHES = BenchmarkDDP_Step|BenchmarkIallreduce
 
-.PHONY: all build test race bench bench-all check faults fuzz report examples metrics-demo clean
+# The chaos soak's seed sweep. `make chaos` defaults to a wider fixed
+# sweep than the in-tree default ({1,2}); override with
+# CHAOS_SEEDS=5,6,7 make chaos.
+CHAOS_SEEDS ?= 1,2,3,4,5,6,7,8,9,10,11,12
+
+.PHONY: all build test race bench bench-all check chaos faults fuzz report examples metrics-demo clean
 
 all: build test
 
 # The full static + dynamic gate: vet, the race-enabled test suite, the
-# allocation-regression tests, the fault-tolerance matrix, and a
-# one-iteration bench smoke of the MPI benchmarks under the race
-# detector.
-check: faults
+# allocation-regression tests, the fault-tolerance matrix, the chaos
+# soak, and a one-iteration bench smoke of the MPI benchmarks under the
+# race detector.
+check: faults chaos
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestAlloc' ./internal/mpi
@@ -36,10 +41,18 @@ check: faults
 	$(GO) test -race -run 'TestIcollEventParity|TestFaultIallreduceKill|TestIcollDeadlockDetected|TestLinkLatency' ./internal/mpi
 	$(GO) test -race -run 'TestOverlapBitIdentical|TestZero1BitIdenticalWithDDP|TestAllocDDPBucketFlush' ./internal/modules/ddp
 	$(GO) test -run 'TestAlloc|TestEvent' ./internal/telemetry
-	$(GO) test -race -run 'TestMetricsEndpointsLive|TestTransportCounterParity|TestGatherMerged' ./internal/telemetry
+	$(GO) test -race -run 'TestMetricsEndpointsLive|TestTransportCounterParity|TestLossyLinkCounterParity|TestGatherMerged' ./internal/telemetry
 	$(GO) test -race -run NONE -bench '$(MPI_BENCHES)' -benchtime=1x .
 	$(GO) test -race -run NONE -bench '$(RMA_BENCHES)' -benchtime=1x .
 	$(GO) test -race -run NONE -bench '$(DDP_BENCHES)' -benchtime=1x .
+
+# The chaos soak: for each seed, derive a randomized fault plan (rank
+# kills × frame drop/dup/corrupt/reorder) and drive the module ×
+# transport matrix through it, asserting bit-identical results on every
+# surviving rank (or the one licensed typed error) with no goroutine or
+# pool-buffer leaks. Fixed seeds keep the sweep reproducible.
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 ./internal/chaos
 
 # The fault-tolerance matrix: seeded deterministic injection across the
 # runtime (kill/shrink/agree, frame faults, abort propagation on all
@@ -80,6 +93,7 @@ fuzz:
 	$(GO) test ./internal/mpi -fuzz=FuzzUnmarshalFloat64 -fuzztime=10s
 	$(GO) test ./internal/mpi -fuzz=FuzzRMAFrame -fuzztime=10s
 	$(GO) test ./internal/mpi -fuzz=FuzzRMABatchFrame -fuzztime=10s
+	$(GO) test ./internal/mpi -fuzz=FuzzReliableFrame -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzParseScript -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzClusterFaultOps -fuzztime=10s
 	$(GO) test ./internal/modules/distsort -fuzz=FuzzEquiDepthBoundaries -fuzztime=10s

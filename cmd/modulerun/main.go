@@ -17,6 +17,8 @@
 //	modulerun -activity hash-join -inject frame=delay:prob=0.02:seed=7 -transport tcp
 //	modulerun -activity ddp -transport tcp                 # overlapped DDP training
 //	modulerun -activity ddp-zero1 -overlap=off -bucket-bytes 65536
+//	modulerun -activity ddp -transport tcp -reliable -inject frame=drop:prob=0.02:seed=7
+//	modulerun -respawn -inject rank=2:call=8:kill          # full-width recovery from checkpoint
 package main
 
 import (
@@ -69,6 +71,8 @@ type options struct {
 	heartbeat   time.Duration
 	opTimeout   time.Duration
 	latency     time.Duration
+	reliable    bool
+	respawn     bool
 	metrics     bool
 }
 
@@ -100,6 +104,8 @@ func newFlagSet(o *options) *flag.FlagSet {
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
 	fs.DurationVar(&o.opTimeout, "op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
 	fs.DurationVar(&o.latency, "latency", 0, "emulate an interconnect with this one-way wire latency on every cross-rank message (e.g. 1ms; 0 = off)")
+	fs.BoolVar(&o.reliable, "reliable", false, "reliable links on the tcp transport: per-link sequencing, acks, retransmission and CRC32C checksums (survives -inject frame drop/dup/corrupt/reorder)")
+	fs.BoolVar(&o.respawn, "respawn", false, "run the Module-5 k-means through respawn recovery: a killed rank (see -inject) is replaced at full width from the latest checkpoint, bit-identical to the failure-free run")
 	fs.BoolVar(&o.metrics, "metrics", false, "serve per-rank /metrics + /debug/pprof/ endpoints (ephemeral ports) during each activity and print the cross-rank merged snapshot")
 	return fs
 }
@@ -186,6 +192,9 @@ func faultOptions(o *options) (*faults.Plan, []mpi.Option, error) {
 	if o.latency > 0 {
 		opts = append(opts, mpi.WithLinkLatency(o.latency))
 	}
+	if o.reliable {
+		opts = append(opts, mpi.WithReliableLinks())
+	}
 	return plan, opts, nil
 }
 
@@ -206,10 +215,13 @@ func run(o *options, fs *flag.FlagSet) error {
 		return err
 	}
 	if len(faultOpts) > 0 && (o.scale != "" || o.weak != "") {
-		return errors.New("-inject/-heartbeat/-op-timeout/-latency are unavailable with scaling studies (each study point owns its world)")
+		return errors.New("-inject/-heartbeat/-op-timeout/-latency/-reliable are unavailable with scaling studies (each study point owns its world)")
 	}
 
 	switch {
+	case o.respawn:
+		return runRespawnKmeans(o, tcp, plan, faultOpts)
+
 	case o.checkpoint != "" || o.restart != "":
 		if o.checkpoint != "" && o.restart != "" {
 			return errors.New("-checkpoint and -restart are exclusive (both name the checkpoint file)")
@@ -397,6 +409,75 @@ func runCheckpointKmeans(np int, tcp bool, path string, every int, resume bool) 
 		mode, path, every, res.Iterations, res.Converged, res.Inertia)
 	if step, _, ok, lerr := cp.Load(); lerr == nil && ok {
 		fmt.Printf("  latest checkpoint: iteration %d\n", step)
+	}
+	return nil
+}
+
+// runRespawnKmeans demonstrates full-width recovery on the Module-5
+// k-means: the run checkpoints periodically, and when a fault plan kills
+// a rank mid-iteration the survivors rebuild the world at its original
+// width (RespawnAndRestore), the replacement restores from the latest
+// checkpoint, and the run finishes. A failure-free reference run of the
+// same configuration verifies the recovered centroids bit for bit.
+func runRespawnKmeans(o *options, tcp bool, plan *faults.Plan, faultOpts []mpi.Option) error {
+	np := o.np
+	if np <= 0 {
+		np = 4
+	}
+	every := o.ckptEvery
+	if every <= 0 {
+		every = 5
+	}
+	pts, _ := data.GaussianMixture(4096, 2, 5, 1.0, 100, 31)
+	attempt := func(opts ...mpi.Option) (kmeans.Result, error) {
+		cfg := kmeans.Config{K: 5, MaxIter: 50, Seed: 2, Checkpoint: ckpt.NewMem(), CheckpointEvery: every}
+		var mu sync.Mutex
+		var res kmeans.Result
+		runner := func(c *mpi.Comm) error {
+			r, _, _, err := kmeans.DistributedResilient(c, pts, cfg)
+			if err != nil {
+				return err
+			}
+			// The centroids, inertia and iteration count are identical on
+			// every rank (the update is a collective), so any completing
+			// rank's copy is the run's result — a killed rank never
+			// completes, but its survivors do.
+			mu.Lock()
+			res = r
+			mu.Unlock()
+			return nil
+		}
+		var err error
+		if tcp {
+			err = mpi.RunTCP(np, runner, opts...)
+		} else {
+			err = mpi.Run(np, runner, opts...)
+		}
+		return res, err
+	}
+	reference, err := attempt()
+	if err != nil {
+		return fmt.Errorf("failure-free reference run: %w", err)
+	}
+	before := mpi.RespawnsTotal()
+	recovered, err := attempt(faultOpts...)
+	if err = reportFault(plan, err); err != nil {
+		return err
+	}
+	identical := len(recovered.Centroids.Coords) == len(reference.Centroids.Coords) &&
+		len(recovered.Centroids.Coords) > 0
+	for i := range recovered.Centroids.Coords {
+		if !identical || recovered.Centroids.Coords[i] != reference.Centroids.Coords[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("[module 5] kmeans (respawn recovery): %d iters (converged=%v), inertia %.1f\n",
+		recovered.Iterations, recovered.Converged, recovered.Inertia)
+	fmt.Printf("  ranks respawned: %d; centroids bit-identical to the failure-free run: %v\n",
+		mpi.RespawnsTotal()-before, identical)
+	if !identical {
+		return errors.New("recovered centroids diverged from the failure-free run")
 	}
 	return nil
 }

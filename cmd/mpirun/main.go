@@ -12,6 +12,7 @@
 //	mpirun -np 2 -trace-out lat.json latency     # Perfetto trace with flows
 //	mpirun -np 4 -inject rank=2:call=50:kill resilient   # ULFM-style recovery
 //	mpirun -np 2 -transport tcp -inject frame=drop:prob=0.01:seed=7 -op-timeout 2s latency
+//	mpirun -np 2 -transport tcp -reliable -inject frame=drop:prob=0.02:seed=7 latency   # lossy wire, exact results
 //	mpirun -np 4 rma                             # one-sided Put/Accumulate/CAS + PutAsync demo
 package main
 
@@ -63,6 +64,7 @@ type options struct {
 	inject      string
 	heartbeat   time.Duration
 	opTimeout   time.Duration
+	reliable    bool
 	metricsAddr string
 }
 
@@ -76,6 +78,7 @@ func newFlagSet(o *options) *flag.FlagSet {
 	fs.StringVar(&o.inject, "inject", "", "deterministic fault plan, e.g. rank=2:call=50:kill or frame=drop:prob=0.01:seed=7")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "failure-detection heartbeat interval on the tcp transport (0 = default when -inject is set)")
 	fs.DurationVar(&o.opTimeout, "op-timeout", 0, "per-operation timeout: blocked primitives fail with a timeout instead of hanging (0 = off)")
+	fs.BoolVar(&o.reliable, "reliable", false, "reliable links on the tcp transport: per-link sequencing, acks, retransmission and CRC32C checksums (survives -inject frame drop/dup/corrupt/reorder)")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve per-rank /metrics + /debug/pprof/ endpoints at HOST:PORT (port 0 = ephemeral per rank, fixed port P = P+rank) and print the cross-rank merged snapshot at exit")
 	return fs
 }
@@ -194,6 +197,9 @@ func main() {
 		}
 		if *opTimeout > 0 {
 			opts = append(opts, mpi.WithOpTimeout(*opTimeout))
+		}
+		if o.reliable {
+			opts = append(opts, mpi.WithReliableLinks())
 		}
 		run := prog.run
 		if set != nil {

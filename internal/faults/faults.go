@@ -3,9 +3,10 @@
 //
 //   - rank kills, fired at an exact per-rank MPI call count
 //     (rank=2:call=50:kill);
-//   - frame faults on the socket transports — drop, duplicate, or delay a
-//     data frame, selected by a seeded PRNG or an exact occurrence count
-//     (frame=drop:prob=0.1:seed=7, frame=delay:ms=20:src=0:dst=3);
+//   - frame faults on the socket transports — drop, duplicate, corrupt,
+//     reorder, or delay a data frame, selected by a seeded PRNG or an
+//     exact occurrence count (frame=drop:prob=0.1:seed=7,
+//     frame=corrupt:count=1, frame=delay:ms=20:src=0:dst=3);
 //   - cluster node failures at a simulated time
 //     (node=3:at=2m, consumed by the scheduler simulator).
 //
@@ -78,7 +79,7 @@ type frameState struct {
 // yields an empty plan (no faults). Grammar, per rule:
 //
 //	rank=R:call=N:kill
-//	frame=drop|dup|delay[:prob=P][:seed=S][:ms=D][:src=A][:dst=B][:count=N]
+//	frame=drop|dup|corrupt|reorder|delay[:prob=P][:seed=S][:ms=D][:src=A][:dst=B][:count=N]
 //	node=K:at=DUR
 //
 // prob defaults to 1 (every matching frame), seed to 1, src/dst to any.
@@ -194,10 +195,14 @@ func (p *Plan) parseFrame(rule string, fields map[string]string) error {
 		fr.Action = mpi.FrameDrop
 	case "dup":
 		fr.Action = mpi.FrameDup
+	case "corrupt":
+		fr.Action = mpi.FrameCorrupt
+	case "reorder":
+		fr.Action = mpi.FrameReorder
 	case "delay":
 		fr.Action = mpi.FrameDeliver // delivered, after Delay
 	default:
-		return fmt.Errorf("faults: rule %q: frame action must be drop, dup, or delay", rule)
+		return fmt.Errorf("faults: rule %q: frame action must be drop, dup, corrupt, reorder, or delay", rule)
 	}
 	var err error
 	if v, ok := fields["prob"]; ok {

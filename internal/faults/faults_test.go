@@ -114,6 +114,62 @@ func TestFrameDeterminism(t *testing.T) {
 	}
 }
 
+func TestParseCorruptReorder(t *testing.T) {
+	p, err := Parse("frame=corrupt:prob=0.25:seed=5, frame=reorder:count=2:src=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := p.FrameRules()
+	if len(fr) != 2 {
+		t.Fatalf("frame rules: %v", fr)
+	}
+	wantC := FrameRule{Action: mpi.FrameCorrupt, Prob: 0.25, Seed: 5, Src: -1, Dst: -1}
+	wantR := FrameRule{Action: mpi.FrameReorder, Prob: 1, Seed: 1, Src: 1, Dst: -1, Count: 2}
+	if fr[0] != wantC {
+		t.Fatalf("corrupt rule = %+v, want %+v", fr[0], wantC)
+	}
+	if fr[1] != wantR {
+		t.Fatalf("reorder rule = %+v, want %+v", fr[1], wantR)
+	}
+	if a, _ := p.AtFrame(1, 0); a != mpi.FrameReorder {
+		// Seed 5 may or may not fire corrupt on the first draw; a reorder
+		// from src=1 must fire when corrupt passes. Either verdict is a
+		// fault, never a plain deliver on the first matching frame.
+		if a != mpi.FrameCorrupt {
+			t.Fatalf("first frame from src=1 delivered untouched: %v", a)
+		}
+	}
+}
+
+// TestCorruptRuleOnWire drives a parsed corrupt rule through a reliable
+// TCP world: the grammar's verb must reach the link layer's CRC gate.
+func TestCorruptRuleOnWire(t *testing.T) {
+	before := mpi.ReliabilityStats()
+	p := MustParse("frame=corrupt:count=1:src=0:dst=1")
+	want := []int64{5, 6, 7}
+	err := mpi.RunTCP(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return mpi.Send(c, want, 1, 3)
+		}
+		got, _, err := mpi.Recv[int64](c, 0, 3)
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return errors.New("payload damaged despite reliable link")
+			}
+		}
+		return nil
+	}, mpi.WithInjector(p), mpi.WithReliableLinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mpi.ReliabilityStats().Sub(before); d.FramesCorrupt < 1 || d.Retransmits < 1 {
+		t.Fatalf("corrupt rule left no trace in link counters: %+v", d)
+	}
+}
+
 func TestFrameCountCap(t *testing.T) {
 	p := MustParse("frame=dup:count=2")
 	dups := 0

@@ -1,0 +1,119 @@
+// Package leakcheck is a test helper asserting that a block of code —
+// typically a whole mpi world run, fault injection and recovery
+// included — shuts down clean: no goroutines left behind, and every
+// caller-supplied resource gauge (pool bytes in flight, open handles)
+// back to its starting value.
+//
+// It deliberately does not import the runtime it checks. Gauges are
+// injected as closures, so the mpi package's own tests (which live in
+// package mpi and therefore cannot be imported back) can hand in
+// mpi.PoolStats-backed readings without an import cycle.
+//
+// Usage:
+//
+//	defer leakcheck.Snapshot(t, leakcheck.Gauge{
+//	    Name: "pool_bytes_in_flight",
+//	    Read: func() int64 { return mpi.PoolStats().BytesInFlight },
+//	}).Check()
+//
+// Both goroutine counts and gauge readings are rechecked with backoff
+// until a deadline, because orderly teardown is asynchronous: readers
+// drain after sockets close, finalizing goroutines take a scheduler
+// round to die. Only a value still wrong at the deadline is a leak.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Gauge is one resource level that must return to its snapshot value.
+type Gauge struct {
+	Name      string
+	Read      func() int64
+	Tolerance int64 // acceptable absolute drift from the snapshot (default 0)
+}
+
+// State is a point-in-time baseline taken by Snapshot.
+type State struct {
+	t          testing.TB
+	goroutines int
+	gauges     []Gauge
+	base       []int64
+	deadline   time.Duration
+}
+
+// Snapshot records the current goroutine count and every gauge's level.
+// Call it before starting the world under test and Check (usually
+// deferred) after it finishes.
+func Snapshot(t testing.TB, gauges ...Gauge) *State {
+	t.Helper()
+	s := &State{t: t, goroutines: runtime.NumGoroutine(), gauges: gauges, deadline: 5 * time.Second}
+	for _, g := range gauges {
+		s.base = append(s.base, g.Read())
+	}
+	return s
+}
+
+// Check asserts that the goroutine count is back at (or below) the
+// snapshot and every gauge is back at its baseline, retrying with
+// backoff until the deadline to let asynchronous teardown finish.
+func (s *State) Check() {
+	s.t.Helper()
+	deadline := time.Now().Add(s.deadline)
+	wait := time.Millisecond
+	for {
+		problems := s.problems()
+		if len(problems) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, p := range problems {
+				s.t.Error(p)
+			}
+			if grew := runtime.NumGoroutine() - s.goroutines; grew > 0 {
+				s.t.Logf("goroutine dump:\n%s", goroutineDump())
+			}
+			return
+		}
+		time.Sleep(wait)
+		if wait < 100*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+func (s *State) problems() []string {
+	var out []string
+	if now := runtime.NumGoroutine(); now > s.goroutines {
+		out = append(out, fmt.Sprintf("leakcheck: %d goroutines, was %d at snapshot", now, s.goroutines))
+	}
+	for i, g := range s.gauges {
+		now := g.Read()
+		drift := now - s.base[i]
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > g.Tolerance {
+			out = append(out, fmt.Sprintf("leakcheck: gauge %s = %d, was %d at snapshot (tolerance %d)", g.Name, now, s.base[i], g.Tolerance))
+		}
+	}
+	return out
+}
+
+// goroutineDump renders all goroutine stacks, truncated to keep test
+// logs readable.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	dump := string(buf[:n])
+	const maxLines = 200
+	lines := strings.Split(dump, "\n")
+	if len(lines) > maxLines {
+		lines = append(lines[:maxLines], "... (truncated)")
+	}
+	return strings.Join(lines, "\n")
+}

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/mpi"
 )
 
@@ -42,6 +43,23 @@ type Config struct {
 	Overlap      bool    // initiate bucket collectives during backward instead of waiting at each flush
 	Zero1        bool    // ZeRO-1 sharded optimizer instead of full replication
 	Seed         int64   // deterministic init and data (default 1)
+
+	// Checkpoint, when set on rank 0, persists (step, parameters,
+	// momentum) every CheckpointEvery steps during Train. Under full
+	// replication every rank holds identical optimizer state, so rank
+	// 0's snapshot restores the whole world; ZeRO-1 shards the momentum
+	// per rank and is rejected with checkpointing enabled.
+	Checkpoint ckpt.Checkpointer
+	// CheckpointEvery is the step period between saves; 0 disables
+	// checkpointing even when Checkpoint is set.
+	CheckpointEvery int
+	// Restart resumes Train from rank 0's latest checkpoint: the
+	// restored parameters and momentum are broadcast, every rank
+	// fast-forwards its private batch stream to the saved step, and the
+	// remaining steps recompute exactly what the uninterrupted run
+	// would have — the final parameters are bit-identical. Must be set
+	// on every rank; with no checkpoint saved the run starts fresh.
+	Restart bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -238,14 +256,62 @@ func Train(c *mpi.Comm, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg = t.Cfg // defaults applied
+	if cfg.Zero1 && (cfg.Restart || (cfg.Checkpoint != nil && cfg.CheckpointEvery > 0)) {
+		return Result{}, fmt.Errorf("ddp: checkpoint/restart requires full replication (rank 0's momentum is the world's); ZeRO-1 shards it per rank")
+	}
 	res := Result{
-		Steps:   t.Cfg.Steps,
+		Steps:   cfg.Steps,
 		Params:  t.Params(),
 		Buckets: t.Buckets(),
 	}
+
+	// Restart: rank 0 restores (step, params, momentum) and broadcasts;
+	// every rank fast-forwards its batch stream so step startStep draws
+	// the exact samples the uninterrupted run would have drawn.
+	startStep := 0
+	if cfg.Restart {
+		var state []float64
+		if c.Rank() == 0 {
+			if cfg.Checkpoint == nil {
+				return Result{}, fmt.Errorf("ddp: Restart requires a Checkpointer on rank 0")
+			}
+			step, payload, ok, lerr := cfg.Checkpoint.Load()
+			if lerr != nil {
+				return Result{}, lerr
+			}
+			if ok {
+				vals, derr := ckpt.DecodeFloat64s(payload)
+				if derr != nil {
+					return Result{}, derr
+				}
+				if len(vals) != 2*t.Params() {
+					return Result{}, fmt.Errorf("ddp: checkpoint holds %d values, want %d (model shape changed?)", len(vals), 2*t.Params())
+				}
+				state = append([]float64{float64(step)}, vals...)
+			} else {
+				state = []float64{-1} // no checkpoint yet: cold start
+			}
+		}
+		state, err = mpi.Bcast(c, state, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		if state[0] >= 0 {
+			startStep = int(state[0])
+			n := t.Params()
+			t.m.setFlatParams(state[1 : 1+n])
+			t.m.setFlatVel(state[1+n : 1+2*n])
+			for s := 0; s < startStep; s++ {
+				t.nextBatch() // replay the rng stream, discard the batches
+			}
+			c.Lifecycle(mpi.LifeRecovery, fmt.Sprintf("ddp restart from step %d", startStep))
+		}
+	}
+
 	np := float64(c.Size())
 	start := time.Now()
-	for s := 0; s < t.Cfg.Steps; s++ {
+	for s := startStep; s < cfg.Steps; s++ {
 		loss, err := t.Step()
 		if err != nil {
 			return Result{}, err
@@ -255,11 +321,25 @@ func Train(c *mpi.Comm, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		res.Losses = append(res.Losses, g[0]/np)
+
+		// The snapshot captures the post-step state: a restart resumes
+		// at step s+1 with these exact parameters and momentum.
+		if c.Rank() == 0 && cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 && (s+1)%cfg.CheckpointEvery == 0 {
+			snap := append(t.m.flatParams(), t.m.flatVel()...)
+			if err := cfg.Checkpoint.Save(s+1, ckpt.EncodeFloat64s(snap)); err != nil {
+				return Result{}, err
+			}
+			c.Lifecycle(mpi.LifeCheckpoint, fmt.Sprintf("ddp step %d", s+1))
+		}
 	}
 	res.Elapsed = time.Since(start)
-	res.PerStep = res.Elapsed / time.Duration(t.Cfg.Steps)
-	res.FirstLoss = res.Losses[0]
-	res.LastLoss = res.Losses[len(res.Losses)-1]
+	if executed := cfg.Steps - startStep; executed > 0 {
+		res.PerStep = res.Elapsed / time.Duration(executed)
+	}
+	if len(res.Losses) > 0 {
+		res.FirstLoss = res.Losses[0]
+		res.LastLoss = res.Losses[len(res.Losses)-1]
+	}
 	res.FinalFlat = t.FlatParams()
 	return res, nil
 }

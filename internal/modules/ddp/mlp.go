@@ -179,6 +179,38 @@ func (m *model) flatParams() []float64 {
 	return out
 }
 
+// flatVel concatenates every bucket's live momentum state in the same
+// order as flatParams. Only meaningful under full replication, where
+// every rank holds the complete velocity; ZeRO-1 shards it per rank.
+func (m *model) flatVel() []float64 {
+	out := make([]float64, 0, m.paramCount())
+	for _, b := range m.buckets {
+		out = append(out, b.vel[:b.n]...)
+	}
+	return out
+}
+
+// setFlatParams restores parameters from a flatParams snapshot. Padded
+// tail elements are untouched; they are provably zero on a fresh model
+// and stay zero through updates.
+func (m *model) setFlatParams(v []float64) {
+	off := 0
+	for _, b := range m.buckets {
+		copy(b.params[:b.n], v[off:off+b.n])
+		off += b.n
+	}
+}
+
+// setFlatVel restores momentum state from a flatVel snapshot (full
+// replication only).
+func (m *model) setFlatVel(v []float64) {
+	off := 0
+	for _, b := range m.buckets {
+		copy(b.vel[:b.n], v[off:off+b.n])
+		off += b.n
+	}
+}
+
 // forward runs the batch through the network: tanh hidden layers, linear
 // output. X is batch×sizes[0] row-major and is copied into acts[0] for
 // backward.

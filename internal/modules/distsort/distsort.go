@@ -221,6 +221,57 @@ func SortOpts(c *mpi.Comm, local []float64, splitter Splitter, opt Options) ([]f
 	}, nil
 }
 
+// SortResilient is SortOpts wrapped in the runtime's respawn recovery
+// loop: when a rank dies mid-sort, the survivors rebuild the world at
+// full width (mpi.Comm.RespawnAndRestore) and the sort re-runs. Because
+// every rank owns distinct data, recovery needs rank-indexed access to
+// both inputs and checkpoints — a replacement runs on behalf of the
+// dead rank:
+//
+//   - localFor(rank) returns the rank's original unsorted keys (in
+//     practice: re-read from the shared input);
+//   - ckptFor(rank) returns the rank's checkpointer, or nil to disable
+//     checkpointing.
+//
+// Whether a retry restarts from checkpoints is decided collectively: an
+// Allreduce(min) of "I have a checkpoint" ensures all ranks take the
+// same path even when a kill lands mid-save and only some ranks
+// persisted their buckets. The killed rank's call returns ErrRankKilled;
+// survivors return their post-recovery bucket.
+func SortResilient(c *mpi.Comm, splitter Splitter, localFor func(rank int) []float64, ckptFor func(rank int) ckpt.Checkpointer) ([]float64, Result, error) {
+	var (
+		mine []float64
+		res  Result
+	)
+	myRank := c.Rank()
+	err := c.RunResilient(func(rc *mpi.Comm, restart bool) error {
+		opt := Options{}
+		if ckptFor != nil {
+			opt.Checkpoint = ckptFor(rc.Rank())
+		}
+		if restart && opt.Checkpoint != nil {
+			have := int64(0)
+			if _, _, ok, err := opt.Checkpoint.Load(); err == nil && ok {
+				have = 1
+			}
+			all, err := mpi.Allreduce(rc, []int64{have}, mpi.OpMin)
+			if err != nil {
+				return err
+			}
+			opt.Restart = all[0] == 1
+		}
+		m, r, err := SortOpts(rc, localFor(rc.Rank()), splitter, opt)
+		if err == nil && rc.Rank() == myRank {
+			mine, res = m, r
+		}
+		return err
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return mine, res, nil
+}
+
 // shareImbalance computes max/mean bucket size across ranks: in-place
 // MPI_Reduce of bucket sizes onto rank 0, which shares the verdict with
 // everyone over point-to-point messages. Only rank 0 reads the reduced

@@ -253,6 +253,42 @@ func Distributed(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, 
 	return res, assign, offset, nil
 }
 
+// DistributedResilient is Distributed wrapped in the runtime's respawn
+// recovery loop: when a rank dies mid-run, the survivors rebuild the
+// world at full width (mpi.Comm.RespawnAndRestore), the replacement rank
+// joins, and the whole clustering restarts from rank 0's latest
+// checkpoint — so the final centroids are bit-identical to an
+// uninterrupted run. Every rank must pass the same cfg, and for
+// recovery to survive the death of rank 0 itself the Checkpointer must
+// be reachable from every rank (a shared ckpt.Mem or a shared path).
+// The killed rank's call still returns ErrRankKilled — its replacement
+// runs on a fresh goroutine and its copy of the results is discarded;
+// survivors return the post-recovery result.
+func DistributedResilient(c *mpi.Comm, pts data.Points, cfg Config) (Result, []int, int, error) {
+	var (
+		res    Result
+		assign []int
+		off    int
+	)
+	myRank := c.Rank()
+	err := c.RunResilient(func(rc *mpi.Comm, restart bool) error {
+		rcfg := cfg
+		// Post-failure retries resume from the checkpoint when there is
+		// one; without a checkpointer they recompute from scratch, which
+		// is equally bit-identical — the algorithm is deterministic.
+		rcfg.Restart = cfg.Restart || (restart && cfg.Checkpoint != nil)
+		r, a, o, err := Distributed(rc, pts, rcfg)
+		if err == nil && rc.Rank() == myRank {
+			res, assign, off = r, a, o
+		}
+		return err
+	})
+	if err != nil {
+		return Result{}, nil, 0, err
+	}
+	return res, assign, off, nil
+}
+
 // weightedMeansUpdate is the efficient option: one in-place Allreduce of
 // k×(dim+1) values updates every rank's centroids identically. payload is
 // caller-provided scratch of that length, reused across iterations.

@@ -67,7 +67,24 @@ const (
 	FrameDeliver FrameAction = iota // pass the frame through unchanged
 	FrameDrop                       // discard the frame (lossy link)
 	FrameDup                        // deliver the frame twice
+	FrameCorrupt                    // flip one bit: silent damage on a raw link, CRC-rejected on a reliable one
+	FrameReorder                    // hold the frame until its successor overtakes it
 )
+
+// frameActionName renders an action for lifecycle events.
+func frameActionName(a FrameAction) string {
+	switch a {
+	case FrameDrop:
+		return "drop"
+	case FrameDup:
+		return "duplicate"
+	case FrameCorrupt:
+		return "corrupt"
+	case FrameReorder:
+		return "reorder"
+	}
+	return "deliver"
+}
 
 // Injector is the deterministic fault-injection interface consulted by
 // the runtime at its two interposition points. Implementations must be
@@ -415,32 +432,64 @@ func (w *World) blockedSnapshot() string {
 	return sb.String()
 }
 
-// applyFrameFault consults the injector about one outbound data frame and
-// applies the verdict on the given connection. It reports whether the
-// frame was consumed (dropped), in which case the caller must not write
-// or recycle it again.
-func applyFrameFault(w *World, tc *tcpConn, e *envelope) (dropped bool) {
+// faultableFrame reports whether a frame kind is subject to injection:
+// application data and RMA traffic, never the runtime's own heartbeats
+// or abort notifications.
+func faultableFrame(kind int8) bool {
+	return kind == kindData || kind == kindRMAReq || kind == kindRMAResp || kind == kindRMABatch
+}
+
+// frameVerdict consults the injector about one outbound frame, applies
+// any injected delay, and emits the inject lifecycle event. Unlike
+// applyFrameFault it does not consume or alter the envelope: the
+// reliable link layer applies the verdict at the wire-write level, where
+// retransmission still recovers the frame.
+func (w *World) frameVerdict(e *envelope) FrameAction {
 	in := w.opts.injector
-	if in == nil || (e.kind != kindData && e.kind != kindRMAReq && e.kind != kindRMAResp && e.kind != kindRMABatch) {
-		return false
+	if in == nil || !faultableFrame(e.kind) {
+		return FrameDeliver
 	}
 	act, delay := in.AtFrame(e.wsrc, e.wdst)
 	if act == FrameDeliver && delay <= 0 {
-		return false
+		return FrameDeliver
 	}
 	if delay > 0 {
 		w.emitLifecycle(e.wsrc, LifeInject, fmt.Sprintf("delay frame %d->%d by %v", e.wsrc, e.wdst, delay))
 		time.Sleep(delay)
 	}
-	switch act {
+	if act != FrameDeliver {
+		w.emitLifecycle(e.wsrc, LifeInject, fmt.Sprintf("%s frame %d->%d (%d bytes)", frameActionName(act), e.wsrc, e.wdst, len(e.data)))
+	}
+	return act
+}
+
+// applyFrameFault resolves and applies the injector's verdict for one
+// outbound data frame on a raw (unguarded) connection. It reports
+// whether the frame was consumed (dropped or held for reordering), in
+// which case the caller must not write or recycle it again.
+//
+// The raw path is the teaching contrast to reliable.go: a dropped frame
+// is simply gone (the run stalls until a heartbeat or timeout notices),
+// a corrupted frame is delivered with a silently flipped payload bit —
+// without a checksum the application computes a wrong answer — and a
+// reordered frame breaks the non-overtaking guarantee.
+func applyFrameFault(w *World, tc *tcpConn, e *envelope) (consumed bool) {
+	switch w.frameVerdict(e) {
 	case FrameDrop:
-		w.emitLifecycle(e.wsrc, LifeInject, fmt.Sprintf("drop frame %d->%d (%d bytes)", e.wsrc, e.wdst, len(e.data)))
+		relFramesDropped.Add(1)
 		putBuf(e.data)
 		putEnv(e)
 		return true
 	case FrameDup:
-		w.emitLifecycle(e.wsrc, LifeInject, fmt.Sprintf("duplicate frame %d->%d", e.wsrc, e.wdst))
 		_ = tc.writeEnvelope(e)
+	case FrameCorrupt:
+		relFramesCorrupt.Add(1)
+		if len(e.data) > 0 {
+			e.data[len(e.data)/2] ^= 0x20
+		}
+	case FrameReorder:
+		tc.holdRaw(e)
+		return true
 	}
 	return false
 }

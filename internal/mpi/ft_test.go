@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
 
 // testInjector adapts plain functions to the Injector interface so the
@@ -80,6 +82,7 @@ func resilientSum(killRank int, sums []int64) func(*Comm) error {
 // and complete. The world error carries only the simulated crash — no
 // deadlock, no abort.
 func TestFaultKillShrinkChannel(t *testing.T) {
+	defer leakcheck.Snapshot(t, poolGauge()).Check()
 	const np, victim = 4, 2
 	sums := make([]int64, np)
 	err := Run(np, resilientSum(victim, sums), WithInjector(killAtCall(victim, 1)))
@@ -105,6 +108,7 @@ func TestFaultKillShrinkChannel(t *testing.T) {
 // watchdog), survivors unblock with RankFailedError within a few
 // heartbeat intervals, and the shrunken world completes.
 func TestFaultKillShrinkTCPHeartbeat(t *testing.T) {
+	defer leakcheck.Snapshot(t, poolGauge()).Check()
 	const (
 		np     = 4
 		victim = 1
@@ -151,6 +155,7 @@ func TestFaultKillShrinkTCPHeartbeat(t *testing.T) {
 // original communicator (acknowledging the failure), both when all vote
 // true and when one votes false.
 func TestAgreeAfterFailure(t *testing.T) {
+	defer leakcheck.Snapshot(t, poolGauge()).Check()
 	const np, victim = 3, 1
 	err := Run(np, func(c *Comm) error {
 		err := c.Barrier()
@@ -244,6 +249,7 @@ func TestOpTimeoutRendezvous(t *testing.T) {
 // 0→1 on the TCP transport; with a per-op deadline the receiver reports
 // the lossy link as ErrTimeout instead of hanging until the watchdog.
 func TestFrameDropSurfacesAsTimeout(t *testing.T) {
+	defer leakcheck.Snapshot(t, poolGauge()).Check()
 	var dropped atomic.Int32
 	in := &testInjector{
 		atFrame: func(src, dst int) (FrameAction, time.Duration) {
@@ -276,6 +282,7 @@ func TestFrameDropSurfacesAsTimeout(t *testing.T) {
 // with the world. Here the receiver posts exactly one receive and
 // verifies its payload.
 func TestFrameDupIsHarmless(t *testing.T) {
+	defer leakcheck.Snapshot(t, poolGauge()).Check()
 	var dup atomic.Int32
 	in := &testInjector{
 		atFrame: func(src, dst int) (FrameAction, time.Duration) {
@@ -311,6 +318,7 @@ func TestAbortPropagationTCP(t *testing.T)     { testAbortPropagation(t, RunTCP)
 
 func testAbortPropagation(t *testing.T, runner func(int, func(*Comm) error, ...Option) error) {
 	t.Helper()
+	defer leakcheck.Snapshot(t, poolGauge()).Check()
 	cause := errors.New("deliberate test abort")
 	var sawAbort atomic.Bool
 	start := time.Now()
@@ -363,6 +371,7 @@ func TestWatchdogDiagnostic(t *testing.T) {
 // TestShrinkIsCollectiveAndOrdered: shrinking twice after two distinct
 // failures yields consistent, ordered survivor worlds.
 func TestShrinkTwice(t *testing.T) {
+	defer leakcheck.Snapshot(t, poolGauge()).Check()
 	const np = 5
 	in := &testInjector{atCall: func(r, call int) bool {
 		return (r == 1 && call == 1) || (r == 3 && call == 4)
@@ -411,6 +420,7 @@ func TestShrinkTwice(t *testing.T) {
 
 // TestFailedRanksAccessor: survivors can enumerate the failed set.
 func TestFailedRanksAccessor(t *testing.T) {
+	defer leakcheck.Snapshot(t, poolGauge()).Check()
 	err := Run(3, func(c *Comm) error {
 		err := c.Barrier()
 		if c.Rank() == 2 {

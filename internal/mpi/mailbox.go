@@ -117,6 +117,13 @@ type mailbox struct {
 	// deadlock detector reads it while the owner may store.
 	failAck atomic.Int64
 
+	// respawnJoin is the highest rebuild generation this rank has joined
+	// (RespawnAndRestore). The coordinating survivor treats a peer's
+	// join marker reaching the current generation as proof the peer has
+	// captured the failed set, and only then withdraws declarations.
+	// Monotonic; never reset.
+	respawnJoin atomic.Int64
+
 	// calls counts the rank's communication primitives for call-indexed
 	// fault injection. Owner-goroutine only.
 	calls int64

@@ -11,6 +11,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -268,6 +269,7 @@ func runSingleRank(np, rank int, fn func(*Comm) error, mkTransport func(*World) 
 		return err
 	}
 	w.transport = t
+	defer w.drainMailboxes()
 	defer t.close()
 	if o.watchdogTimeout > 0 {
 		w.watchdogCh = make(chan struct{})
@@ -303,10 +305,11 @@ func runSingleRank(np, rank int, fn func(*Comm) error, mkTransport func(*World) 
 // processTransport is the cross-process mesh: this process owns one rank;
 // envelopes to every other rank go over its socket.
 type processTransport struct {
-	world  *World
-	myRank int
-	conns  []*tcpConn // indexed by peer rank; nil for self
-	lns    net.Listener
+	world   *World
+	myRank  int
+	conns   []*tcpConn // indexed by peer rank; nil for self
+	lns     net.Listener
+	readers sync.WaitGroup
 }
 
 // newProcessTransport connects the mesh over the worker's already-open
@@ -334,8 +337,8 @@ func newProcessTransport(w *World, myRank int, addrs []string, ln net.Listener) 
 			t.close()
 			return nil, fmt.Errorf("mpi: rank %d got bad hello from rank %d", myRank, peer)
 		}
-		t.conns[peer] = &tcpConn{c: conn, w: bufio.NewWriterSize(conn, tcpBufSize)}
-		t.startReader(conn)
+		t.conns[peer] = newTCPConn(conn, w.opts.reliableLinks, linkSeed(myRank, peer))
+		t.startReader(t.conns[peer])
 	}
 	for j := myRank + 1; j < np; j++ {
 		peer := j
@@ -352,8 +355,8 @@ func newProcessTransport(w *World, myRank int, addrs []string, ln net.Listener) 
 			t.close()
 			return nil, fmt.Errorf("mpi: rank %d hello to rank %d: %w", myRank, j, err)
 		}
-		t.conns[j] = &tcpConn{c: conn, w: bufio.NewWriterSize(conn, tcpBufSize)}
-		t.startReader(conn)
+		t.conns[j] = newTCPConn(conn, w.opts.reliableLinks, linkSeed(myRank, j))
+		t.startReader(t.conns[j])
 	}
 	return t, nil
 }
@@ -366,6 +369,12 @@ func (t *processTransport) deliver(e *envelope) error {
 	tc := t.conns[e.wdst]
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection to rank %d", e.wdst)
+	}
+	if tc.rel != nil {
+		err := tc.writeReliable(e, t.world.frameVerdict(e))
+		putBuf(e.data)
+		putEnv(e)
+		return err
 	}
 	if applyFrameFault(t.world, tc, e) {
 		return nil
@@ -399,11 +408,13 @@ func (t *processTransport) close() error {
 	for _, tc := range t.conns {
 		if tc != nil {
 			tc.c.Close()
+			tc.shutdownRel()
 		}
 	}
 	if t.lns != nil {
 		t.lns.Close()
 	}
+	t.readers.Wait()
 	return nil
 }
 
@@ -411,8 +422,10 @@ func (t *processTransport) supportsDeadlockDetection() bool { return false }
 
 // startReader consumes envelopes from one peer connection via the shared
 // pooled frame reader.
-func (t *processTransport) startReader(conn net.Conn) {
+func (t *processTransport) startReader(tc *tcpConn) {
+	t.readers.Add(1)
 	go func() {
-		readFrames(bufio.NewReaderSize(conn, tcpBufSize), t.world)
+		defer t.readers.Done()
+		readFrames(bufio.NewReaderSize(tc.c, tcpBufSize), tc, t.world)
 	}()
 }

@@ -60,18 +60,36 @@ type tcpTransport struct {
 // writer registers in pending before taking the lock, and only the writer
 // that observes no successor flushes, so a burst of sends from several
 // goroutines hits the socket with one syscall.
+//
+// With WithReliableLinks the connection additionally carries the ARQ
+// state of reliable.go (rel non-nil) and every frame is link-framed;
+// without it the wire format and the zero-alloc write path are
+// untouched. rawHeld is the FrameReorder holdback on a raw link: one
+// assembled frame waiting to be overtaken by its successor.
 type tcpConn struct {
 	mu      sync.Mutex
 	w       *bufio.Writer
 	c       net.Conn
 	pending atomic.Int32
 	hdr     [4 + envelopeHeaderLen]byte // guarded by mu
+	rel     *relState                   // nil unless WithReliableLinks
+	rawHeld []byte                      // guarded by mu
 }
 
 func (tc *tcpConn) writeEnvelope(e *envelope) error {
+	if tc.rel != nil {
+		return tc.writeReliable(e, FrameDeliver)
+	}
 	tc.pending.Add(1)
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	return tc.writeFrameLocked(e)
+}
+
+// writeFrameLocked writes e's length-prefixed frame, releases any
+// reorder holdback behind it, and applies the coalesced-flush protocol.
+// The caller holds tc.mu and has already registered in tc.pending.
+func (tc *tcpConn) writeFrameLocked(e *envelope) error {
 	binary.LittleEndian.PutUint32(tc.hdr[:4], uint32(envelopeHeaderLen+len(e.data)))
 	putHeader(tc.hdr[4:], e)
 	if _, err := tc.w.Write(tc.hdr[:]); err != nil {
@@ -80,6 +98,15 @@ func (tc *tcpConn) writeEnvelope(e *envelope) error {
 	}
 	if len(e.data) > 0 {
 		if _, err := tc.w.Write(e.data); err != nil {
+			tc.pending.Add(-1)
+			return err
+		}
+	}
+	if h := tc.rawHeld; h != nil {
+		tc.rawHeld = nil
+		_, err := tc.w.Write(h)
+		putBuf(h)
+		if err != nil {
 			tc.pending.Add(-1)
 			return err
 		}
@@ -93,45 +120,78 @@ func (tc *tcpConn) writeEnvelope(e *envelope) error {
 	return tc.w.Flush()
 }
 
-// readFrames consumes length-prefixed envelope frames from r and posts
-// them to the destination mailboxes until the connection closes. The
-// header lands in a stack scratch buffer and the payload is read directly
-// into an exactly-sized pooled buffer — the frame is never materialized
-// as a whole, and the payload bytes are written once. Shared by the
-// loopback-mesh and multi-process transports.
-func readFrames(r *bufio.Reader, w *World) {
-	var hdr [4 + envelopeHeaderLen]byte
-	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return // connection closed
-		}
-		frameLen := binary.LittleEndian.Uint32(hdr[:4])
-		if frameLen < envelopeHeaderLen {
-			w.abort(fmt.Errorf("mpi: wire frame of %d bytes shorter than header", frameLen))
-			return
-		}
-		env := getEnv()
-		payloadLen := parseHeader(hdr[4:], env)
-		if payloadLen != int(frameLen)-envelopeHeaderLen || payloadLen > maxPayloadLen {
-			putEnv(env)
-			w.abort(fmt.Errorf("mpi: wire frame declares %d payload bytes in a %d-byte frame", payloadLen, frameLen))
-			return
-		}
-		if env.wdst < 0 || env.wdst >= len(w.mailboxes) {
-			putEnv(env)
-			w.abort(fmt.Errorf("mpi: envelope for unknown rank %d", env.wdst))
-			return
-		}
-		if payloadLen > 0 {
-			env.data = getBuf(payloadLen)
-			if _, err := io.ReadFull(r, env.data); err != nil {
-				putBuf(env.data)
-				putEnv(env)
-				return
-			}
-		}
-		w.mailboxes[env.wdst].post(env)
+// holdRaw assembles e's frame into a pooled buffer and parks it on the
+// connection: the next frame written overtakes it (writeFrameLocked
+// releases the holdback after its own bytes). The envelope is consumed.
+func (tc *tcpConn) holdRaw(e *envelope) {
+	buf := getBuf(4 + envelopeHeaderLen + len(e.data))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(envelopeHeaderLen+len(e.data)))
+	putHeader(buf[4:], e)
+	copy(buf[4+envelopeHeaderLen:], e.data)
+	tc.mu.Lock()
+	if old := tc.rawHeld; old != nil {
+		// Only one frame is held at a time; the older one goes out now,
+		// still behind whatever was written since it was parked.
+		tc.w.Write(old)
+		putBuf(old)
 	}
+	tc.rawHeld = buf
+	tc.mu.Unlock()
+	putBuf(e.data)
+	putEnv(e)
+}
+
+// readFrames consumes frames from one connection and posts them to the
+// destination mailboxes until the connection closes. On a reliable link
+// (tc.rel non-nil) traffic is link-framed and flows through the ARQ
+// reader; otherwise frames are bare and forwarded as-is. Shared by the
+// loopback-mesh and multi-process transports.
+func readFrames(r *bufio.Reader, tc *tcpConn, w *World) {
+	if tc != nil && tc.rel != nil {
+		readFramesReliable(r, tc, w)
+		return
+	}
+	for readOneRawFrame(r, w) {
+	}
+}
+
+// readOneRawFrame reads one length-prefixed envelope frame. The header
+// lands in a stack scratch buffer and the payload is read directly into
+// an exactly-sized pooled buffer — the frame is never materialized as a
+// whole, and the payload bytes are written once. Returns false when the
+// stream ends or the world aborts.
+func readOneRawFrame(r *bufio.Reader, w *World) bool {
+	var hdr [4 + envelopeHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return false // connection closed
+	}
+	frameLen := binary.LittleEndian.Uint32(hdr[:4])
+	if frameLen < envelopeHeaderLen {
+		w.abort(fmt.Errorf("mpi: wire frame of %d bytes shorter than header", frameLen))
+		return false
+	}
+	env := getEnv()
+	payloadLen := parseHeader(hdr[4:], env)
+	if payloadLen != int(frameLen)-envelopeHeaderLen || payloadLen > maxPayloadLen {
+		putEnv(env)
+		w.abort(fmt.Errorf("mpi: wire frame declares %d payload bytes in a %d-byte frame", payloadLen, frameLen))
+		return false
+	}
+	if env.wdst < 0 || env.wdst >= len(w.mailboxes) {
+		putEnv(env)
+		w.abort(fmt.Errorf("mpi: envelope for unknown rank %d", env.wdst))
+		return false
+	}
+	if payloadLen > 0 {
+		env.data = getBuf(payloadLen)
+		if _, err := io.ReadFull(r, env.data); err != nil {
+			putBuf(env.data)
+			putEnv(env)
+			return false
+		}
+	}
+	w.mailboxes[env.wdst].post(env)
+	return true
 }
 
 // newTCPTransport builds the mesh: one listener per rank, then rank i
@@ -216,37 +276,46 @@ func newTCPTransport(w *World) (transport, error) {
 	}
 
 	need := np * (np - 1) // one record per direction endpoint
+	reliable := w.opts.reliableLinks
 	for k := 0; k < need; k++ {
 		d := <-results
 		if d.err == errDialerSide {
-			t.conns[d.from][d.to] = &tcpConn{c: d.conn, w: bufio.NewWriterSize(d.conn, tcpBufSize)}
-			t.startReader(d.conn)
+			tc := newTCPConn(d.conn, reliable, linkSeed(d.from, d.to))
+			t.conns[d.from][d.to] = tc
+			t.startReader(tc)
 			continue
 		}
 		if d.err != nil {
 			t.close()
 			return nil, fmt.Errorf("mpi: tcp mesh: %w", d.err)
 		}
-		t.conns[d.to][d.from] = &tcpConn{c: d.conn, w: bufio.NewWriterSize(d.conn, tcpBufSize)}
-		t.startReader(d.conn)
+		tc := newTCPConn(d.conn, reliable, linkSeed(d.to, d.from))
+		t.conns[d.to][d.from] = tc
+		t.startReader(tc)
 	}
 	dialWG.Wait()
 	acceptWG.Wait()
 	return t, nil
 }
 
+// linkSeed derives the deterministic retransmit-jitter seed of the
+// (src → dst) link endpoint.
+func linkSeed(src, dst int) int64 { return int64(src)*1_000_003 + int64(dst) }
+
 // errDialerSide is an internal sentinel marking the dialer's half of a
 // connection handshake result.
 var errDialerSide = fmt.Errorf("mpi: internal: dialer side")
 
-// startReader consumes envelopes arriving on conn and posts them to the
-// destination mailboxes. Which peer sent them is carried inside each
-// envelope, so one reader per connection suffices.
-func (t *tcpTransport) startReader(conn net.Conn) {
+// startReader consumes envelopes arriving on tc's socket and posts them
+// to the destination mailboxes. Which peer sent them is carried inside
+// each envelope, so one reader per connection suffices. The reader is
+// paired with tc — the writer half of the same socket — so link acks it
+// emits travel back to the peer whose ARQ window covers this traffic.
+func (t *tcpTransport) startReader(tc *tcpConn) {
 	t.readers.Add(1)
 	go func() {
 		defer t.readers.Done()
-		readFrames(bufio.NewReaderSize(conn, tcpBufSize), t.world)
+		readFrames(bufio.NewReaderSize(tc.c, tcpBufSize), tc, t.world)
 	}()
 }
 
@@ -260,8 +329,16 @@ func (t *tcpTransport) deliver(e *envelope) error {
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection %d→%d", e.wsrc, e.wdst)
 	}
+	if tc.rel != nil {
+		// Reliable link: the injector's verdict applies at the wire
+		// level and the ARQ recovers whatever it damages.
+		err := tc.writeReliable(e, t.world.frameVerdict(e))
+		putBuf(e.data)
+		putEnv(e)
+		return err
+	}
 	if applyFrameFault(t.world, tc, e) {
-		return nil // frame dropped: the bytes never reach the wire
+		return nil // frame dropped or held: the bytes never reach the wire here
 	}
 	err := tc.writeEnvelope(e)
 	// The envelope's journey ends at the socket: its bytes are on the
@@ -288,6 +365,7 @@ func (t *tcpTransport) close() error {
 		for _, tc := range row {
 			if tc != nil {
 				tc.c.Close()
+				tc.shutdownRel()
 			}
 		}
 	}

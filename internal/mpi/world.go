@@ -101,6 +101,22 @@ type World struct {
 	// goroutine, outside any rank's blocked census, so the deadlock
 	// verdict is unsound while one is in flight.
 	collActive atomic.Int64
+
+	// Respawn recovery state (respawn.go). canRespawn is true only when
+	// every rank lives in this process; respawnWG tracks replacement
+	// goroutines so run() outlives them; respawnErrs collects their
+	// terminal errors for the final join.
+	canRespawn  bool
+	respawnWG   sync.WaitGroup
+	respawnMu   sync.Mutex
+	respawnErrs []error
+
+	// respawnGen is the highest rebuild generation whose coordinator
+	// finished reviving the dead (respawn.go). A survivor that arrives
+	// at an already-completed generation must not coordinate it a second
+	// time — the election below would otherwise hand the rebuild to a
+	// late rank after the real coordinator completed it and died.
+	respawnGen atomic.Int64
 }
 
 // Run launches fn on np goroutine ranks connected by the in-process channel
@@ -129,6 +145,7 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 		ctxNext:      2, // 0/1 are the world's user/collective contexts
 		ctxByKey:     make(map[ctxKey]int32),
 		windows:      make(map[winKey]*winState),
+		canRespawn:   true, // every rank is a goroutine here
 	}
 	w.seqCounter.Store(0)
 	w.mailboxes = make([]*mailbox, np)
@@ -156,6 +173,10 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 		// window-memory access, not a wire crossing.
 		w.transport = newLatencyTransport(w.transport, o.linkLatency, np)
 	}
+	// LIFO: the transport closes first (readers drain), then leftover
+	// queued envelopes — orphaned by kills and recoveries — return to
+	// the pool so leak checks balance.
+	defer w.drainMailboxes()
 	defer w.transport.close()
 
 	if o.detectDeadlock && w.transport.supportsDeadlockDetection() {
@@ -191,11 +212,17 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 		}(r)
 	}
 	wg.Wait()
+	// Replacement ranks spawned by RespawnAndRestore outlive their
+	// original goroutines; the world stays up until they return too.
+	w.respawnWG.Wait()
 	w.stopDetector()
 	if w.watchdogCh != nil {
 		close(w.watchdogCh)
 	}
 	w.stopAux()
+	w.respawnMu.Lock()
+	errs = append(errs, w.respawnErrs...)
+	w.respawnMu.Unlock()
 	if w.deadlocked.Load() {
 		// Blocked ranks already returned wrapped ErrDeadlock errors;
 		// make sure at least one surfaces even if a rank swallowed it.
@@ -216,6 +243,27 @@ func run(np int, fn func(*Comm) error, mkTransport func(*World) (transport, erro
 		}
 	}
 	return errors.Join(compactErrs(errs)...)
+}
+
+// drainMailboxes recycles envelopes still queued after the world ends:
+// unexpected arrivals nobody received (orphaned by kills, aborts and
+// recoveries) and unclaimed RMA responses. Runs after the transport has
+// closed, so no reader can post concurrently; it keeps the buffer pool's
+// in-flight gauge balanced for leak checks.
+func (w *World) drainMailboxes() {
+	for _, mb := range w.mailboxes {
+		mb.mu.Lock()
+		for _, e := range mb.unexpected {
+			putBuf(e.data)
+			putEnv(e)
+		}
+		mb.unexpected = nil
+		for seq, b := range mb.rmaResp {
+			putBuf(b)
+			delete(mb.rmaResp, seq)
+		}
+		mb.mu.Unlock()
+	}
 }
 
 // compactErrs drops nils and deduplicates the bare ErrDeadlock sentinel so

@@ -1,12 +1,14 @@
 package telemetry
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/prof"
 )
@@ -102,6 +104,110 @@ func TestGatherMergedStragglerAgreesWithProf(t *testing.T) {
 				t.Errorf("straggler report does not name rank 3:\n%s", rep)
 			}
 		})
+	}
+}
+
+// TestGatherMergedResilienceCounters: the reliability and recovery
+// counters must be visible end to end — scraped from the process
+// registry and folded into the Finalize-time merge. A lossy run over
+// reliable TCP links must move the wire counters (drops force
+// retransmits; every data frame is eventually acked; corruption is
+// CRC-rejected and counted), and a kill + RunResilient run must move
+// the respawn counter.
+func TestGatherMergedResilienceCounters(t *testing.T) {
+	const np = 4
+	resilience := []string{
+		"mpi_retransmits_total", "mpi_acks_total",
+		"mpi_frames_dropped_total", "mpi_frames_corrupt_total",
+		"mpi_respawns_total",
+	}
+
+	set := NewMPISet(np)
+	before := mpi.ReliabilityStats()
+	var mu sync.Mutex
+	var merged *Merged
+	err := mpi.RunTCP(np, func(c *mpi.Comm) error {
+		buf := make([]float64, 64)
+		for it := 0; it < 30; it++ {
+			buf[0] = float64(it)
+			if err := mpi.AllreduceInto(c, buf, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+		m, err := set.Gather(c, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			merged = m
+			mu.Unlock()
+		}
+		return nil
+	},
+		mpi.WithReliableLinks(),
+		mpi.WithInjector(faults.MustParse("frame=drop:prob=0.03:seed=11,frame=corrupt:prob=0.03:seed=12")),
+		mpi.WithHook(set), mpi.WithWatchdog(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == nil {
+		t.Fatal("rank 0 received no merged snapshot")
+	}
+	for _, name := range resilience {
+		if merged.Lookup(name) == nil {
+			t.Errorf("merged view is missing %s", name)
+		}
+	}
+	after := mpi.ReliabilityStats().Sub(before)
+	if after.FramesDropped == 0 || after.FramesCorrupt == 0 {
+		t.Fatalf("injector did not fire (deltas %+v); the assertions below would be vacuous", after)
+	}
+	wantMoved := map[string]int64{
+		"mpi_retransmits_total":    before.Retransmits,
+		"mpi_acks_total":           before.AcksSent,
+		"mpi_frames_dropped_total": before.FramesDropped,
+		"mpi_frames_corrupt_total": before.FramesCorrupt,
+	}
+	for name, floor := range wantMoved {
+		s := merged.Lookup(name)
+		if s == nil {
+			continue // reported above
+		}
+		if s.Value[0] <= float64(floor) {
+			t.Errorf("%s = %v in the merge, want > %d (the pre-run cumulative value)", name, s.Value[0], floor)
+		}
+	}
+
+	// Kill a rank and recover at full width: the respawn counter —
+	// already shown present in the merge above — must advance.
+	respawnsBefore := mpi.RespawnsTotal()
+	err = mpi.Run(np, func(c *mpi.Comm) error {
+		return c.RunResilient(func(rc *mpi.Comm, restart bool) error {
+			for i := 0; i < 6; i++ {
+				if err := rc.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}, mpi.WithInjector(faults.MustParse("rank=1:call=2:kill")), mpi.WithHook(set), mpi.WithWatchdog(time.Minute))
+	if !errors.Is(err, mpi.ErrRankKilled) {
+		t.Fatalf("kill world returned %v, want the killed rank's ErrRankKilled", err)
+	}
+	if got := mpi.RespawnsTotal(); got <= respawnsBefore {
+		t.Errorf("mpi_respawns_total = %d after a kill + RunResilient, want > %d", got, respawnsBefore)
+	}
+	// And the scrape path the /metrics endpoint serves: all five series
+	// render from the process registry.
+	var text strings.Builder
+	if err := WritePrometheus(&text, set.ProcessRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range resilience {
+		if !strings.Contains(text.String(), name) {
+			t.Errorf("process registry text exposition is missing %s", name)
+		}
 	}
 }
 

@@ -88,7 +88,29 @@ func NewMPISet(np int) *MPISet {
 		func() int64 { return mpi.IcollStats().Steps })
 	s.proc.CounterFunc("mpi_icoll_arrivals_total", "Collective hop arrivals that advanced a nonblocking collective on the delivering goroutine.",
 		func() int64 { return mpi.IcollStats().Arrivals })
+	s.proc.CounterFunc("mpi_retransmits_total", "Data frames re-sent by the reliable link layer after a retransmit timeout.",
+		func() int64 { return mpi.ReliabilityStats().Retransmits })
+	s.proc.CounterFunc("mpi_acks_total", "Cumulative link acknowledgements written by the reliable link layer.",
+		func() int64 { return mpi.ReliabilityStats().AcksSent })
+	s.proc.CounterFunc("mpi_frames_dropped_total", "Outbound frames discarded by the fault injector.",
+		func() int64 { return mpi.ReliabilityStats().FramesDropped })
+	s.proc.CounterFunc("mpi_frames_corrupt_total", "Frames corrupted by the fault injector (CRC-rejected on reliable links).",
+		func() int64 { return mpi.ReliabilityStats().FramesCorrupt })
+	s.proc.CounterFunc("mpi_respawns_total", "Ranks brought back at full width by RespawnAndRestore.",
+		func() int64 { return mpi.RespawnsTotal() })
 	return s
+}
+
+// resilienceSeries are the process-wide reliability/recovery counters
+// that Gather folds into the cross-rank merge alongside the per-rank
+// series, so the Finalize-time table shows what the wire and the
+// recovery layer did during the run.
+var resilienceSeries = map[string]bool{
+	"mpi_retransmits_total":    true,
+	"mpi_acks_total":           true,
+	"mpi_frames_dropped_total": true,
+	"mpi_frames_corrupt_total": true,
+	"mpi_respawns_total":       true,
 }
 
 // Ranks returns the number of per-rank instrument sets.

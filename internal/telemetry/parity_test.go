@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/mpi"
 )
 
@@ -144,5 +145,47 @@ func TestTransportCounterParity(t *testing.T) {
 	}
 	if a, b := strings.Join(got[0], "\n"), strings.Join(got[1], "\n"); a != b {
 		t.Fatalf("counter parity violated between transports:\n--- channel ---\n%s\n--- tcp ---\n%s", a, b)
+	}
+}
+
+// TestLossyLinkCounterParity is the reliability layer's promise to the
+// observability stack: drops, duplicates, corruption and reordering on
+// the wire are absorbed below the primitive layer, so the calls and
+// bytes counters of a run over a lossy reliable link are identical to a
+// clean channel run — the injected chaos is invisible to profilers.
+// (The wire's side of the story lands in the process-level retransmit
+// and frame counters instead; see TestGatherMergedResilienceCounters.)
+func TestLossyLinkCounterParity(t *testing.T) {
+	const np = 4
+	const noise = "frame=drop:prob=0.02:seed=31,frame=dup:prob=0.02:seed=32," +
+		"frame=corrupt:prob=0.02:seed=33,frame=reorder:prob=0.02:seed=34"
+	runs := []struct {
+		name string
+		run  func() (*MPISet, error)
+	}{
+		{"channel-clean", func() (*MPISet, error) {
+			set := NewMPISet(np)
+			return set, mpi.Run(np, parityWorkload, mpi.WithHook(set), mpi.WithWatchdog(time.Minute))
+		}},
+		{"tcp-lossy", func() (*MPISet, error) {
+			set := NewMPISet(np)
+			return set, mpi.RunTCP(np, parityWorkload,
+				mpi.WithHook(set), mpi.WithReliableLinks(),
+				mpi.WithInjector(faults.MustParse(noise)), mpi.WithWatchdog(time.Minute))
+		}},
+	}
+	got := make([][]string, len(runs))
+	for i, tc := range runs {
+		set, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got[i] = countSnapshot(set)
+		if len(got[i]) == 0 {
+			t.Fatalf("%s: no counters recorded", tc.name)
+		}
+	}
+	if a, b := strings.Join(got[0], "\n"), strings.Join(got[1], "\n"); a != b {
+		t.Fatalf("wire faults leaked into the primitive counters:\n--- channel clean ---\n%s\n--- tcp lossy ---\n%s", a, b)
 	}
 }

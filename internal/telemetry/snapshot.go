@@ -135,7 +135,18 @@ func (s *MPISet) Gather(c *mpi.Comm, root int) (*Merged, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("telemetry: no registry for rank %d", c.Rank())
 	}
-	b, err := json.Marshal(RegSnapshot{Rank: c.Rank(), Series: reg.Snapshot()})
+	series := reg.Snapshot()
+	// Fold the process-wide resilience counters into this rank's
+	// snapshot so the merged table shows retransmits, injector drops and
+	// respawns next to the per-rank series. In-process worlds share one
+	// process registry, so every rank column reads the same global value;
+	// under the multi-process transport each column is its own process.
+	for _, ss := range s.proc.Snapshot() {
+		if resilienceSeries[ss.Name] {
+			series = append(series, ss)
+		}
+	}
+	b, err := json.Marshal(RegSnapshot{Rank: c.Rank(), Series: series})
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +262,17 @@ func (m *Merged) Table(topN int) string {
 		return rows[i].key < rows[j].key
 	})
 	if topN > 0 && len(rows) > topN {
-		rows = rows[:topN]
+		// The resilience counters are process-global (zero imbalance), so
+		// they sort last — but on a lossy run they are the story. Exempt
+		// them from the cut instead of letting per-rank spread crowd them
+		// out.
+		kept := rows[:topN:topN]
+		for _, r := range rows[topN:] {
+			if resilienceSeries[r.key] {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-52s %12s %12s %12s %9s\n", "series", "min", "max", "mean", "imbal")
