@@ -19,6 +19,13 @@ RMA_BENCHES = BenchmarkRMA_PutLatency|BenchmarkRMA_BatchedPut|BenchmarkRMA_GetLa
 # (EXPERIMENTS.md records their baselines in BENCH_ddp.json).
 DDP_BENCHES = BenchmarkDDP_Step|BenchmarkIallreduce
 
+# The event-core benchmarks: the heap engine at 10k/100k/1M generated
+# jobs against the seed's linear-scan baseline at 10k/100k (EXPERIMENTS.md
+# records the events/sec ratio in BENCH_cluster.json). The linear 100k
+# point is O(n²) by construction and takes minutes — that slowness is
+# the measurement.
+CLUSTER_BENCHES = BenchmarkClusterDrain|BenchmarkClusterDrainLinear
+
 # The chaos soak's seed sweep. `make chaos` defaults to a wider fixed
 # sweep than the in-tree default ({1,2}); override with
 # CHAOS_SEEDS=5,6,7 make chaos.
@@ -45,6 +52,9 @@ check: faults chaos
 	$(GO) test -race -run NONE -bench '$(MPI_BENCHES)' -benchtime=1x .
 	$(GO) test -race -run NONE -bench '$(RMA_BENCHES)' -benchtime=1x .
 	$(GO) test -race -run NONE -bench '$(DDP_BENCHES)' -benchtime=1x .
+	$(GO) test -race -run 'TestHeapVsLinear|TestRunUntilSinglePop|FuzzWorkloadSpec' ./internal/cluster ./internal/workload
+	$(GO) test -run 'TestHelpGolden' ./cmd/sbatch ./cmd/modulerun
+	$(GO) run ./cmd/sbatch -workload "poisson:600/h;runtime=exp:60s;tasks=fixed:8" -njobs 100000 -nodes 4
 
 # The chaos soak: for each seed, derive a randomized fault plan (rank
 # kills × frame drop/dup/corrupt/reorder) and drive the module ×
@@ -82,6 +92,7 @@ bench:
 	$(GO) test -run NONE -bench '$(MPI_BENCHES)' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_mpi.json
 	$(GO) test -run NONE -bench '$(RMA_BENCHES)' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_rma.json
 	$(GO) test -run NONE -bench '$(DDP_BENCHES)' -benchmem -count=1 . | $(GO) run ./cmd/benchjson > BENCH_ddp.json
+	$(GO) test -run NONE -bench '$(CLUSTER_BENCHES)' -benchmem -count=1 -timeout 60m ./internal/cluster | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -96,6 +107,7 @@ fuzz:
 	$(GO) test ./internal/mpi -fuzz=FuzzReliableFrame -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzParseScript -fuzztime=10s
 	$(GO) test ./internal/cluster -fuzz=FuzzClusterFaultOps -fuzztime=10s
+	$(GO) test ./internal/workload -fuzz=FuzzWorkloadSpec -fuzztime=10s
 	$(GO) test ./internal/modules/distsort -fuzz=FuzzEquiDepthBoundaries -fuzztime=10s
 
 # Regenerate every table and figure of the paper.

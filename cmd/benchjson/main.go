@@ -25,6 +25,10 @@ type Benchmark struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. "events/sec" from
+	// the cluster drain benchmarks). encoding/json emits map keys
+	// sorted, so the document stays deterministic.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Doc is the whole converted page.
@@ -122,6 +126,11 @@ func parseLine(line string) (Benchmark, bool, error) {
 			b.BytesPerOp = int64(val)
 		case "allocs/op":
 			b.AllocsPerOp = int64(val)
+		default: // custom b.ReportMetric units
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[f[i+1]] = val
 		}
 	}
 	return b, true, nil

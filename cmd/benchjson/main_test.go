@@ -13,6 +13,7 @@ pkg: repro
 cpu: Example CPU @ 2.00GHz
 BenchmarkZeta/large-8         	     100	   1234.5 ns/op	 512.3 MB/s	      64 B/op	       2 allocs/op
 BenchmarkAlpha-8              	 5000000	      35.33 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDrain/jobs=10k-8     	       5	 214748364 ns/op	    532199 events/sec	    4096 B/op	      12 allocs/op
 PASS
 ok  	repro	1.234s
 `
@@ -22,14 +23,19 @@ func TestParseDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.Benchmarks) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
 	}
 	// Sorted by name regardless of input order.
-	if doc.Benchmarks[0].Name != "BenchmarkAlpha" || doc.Benchmarks[1].Name != "BenchmarkZeta/large" {
-		t.Fatalf("order: %q, %q", doc.Benchmarks[0].Name, doc.Benchmarks[1].Name)
+	if doc.Benchmarks[0].Name != "BenchmarkAlpha" || doc.Benchmarks[2].Name != "BenchmarkZeta/large" {
+		t.Fatalf("order: %q, %q", doc.Benchmarks[0].Name, doc.Benchmarks[2].Name)
 	}
-	z := doc.Benchmarks[1]
+	// Custom ReportMetric units land in extra.
+	d := doc.Benchmarks[1]
+	if d.Name != "BenchmarkDrain/jobs=10k" || d.Extra["events/sec"] != 532199 {
+		t.Fatalf("custom metric parsed as %+v", d)
+	}
+	z := doc.Benchmarks[2]
 	if z.Procs != 8 || z.Iterations != 100 || z.NsPerOp != 1234.5 || z.MBPerS != 512.3 ||
 		z.BytesPerOp != 64 || z.AllocsPerOp != 2 {
 		t.Fatalf("zeta parsed as %+v", z)

@@ -2,13 +2,16 @@
 // module: submit jobs, inspect the queue, and replay the co-scheduling
 // scenarios the paper's Module 4 and Section IV-B build on.
 //
-//	sbatch -demo backfill   # FIFO + EASY backfill walkthrough
-//	sbatch -demo twins      # terrible-twins bandwidth contention
-//	sbatch -demo quiz4      # the Section IV-B placement decision
-//	sbatch -demo sacct      # profiled module runs feeding the accounting ledger
-//	sbatch -demo faults     # node failure, --requeue backoff, repair
+//	sbatch -demo backfill     # FIFO + EASY backfill walkthrough
+//	sbatch -demo twins        # terrible-twins bandwidth contention
+//	sbatch -demo quiz4        # the Section IV-B placement decision
+//	sbatch -demo sacct        # profiled module runs feeding the accounting ledger
+//	sbatch -demo faults       # node failure, --requeue backoff, repair
+//	sbatch -demo saturation   # knee search: where FIFO and backfill give out
 //	sbatch -nodes 4 -jobs "alpha:32:60s,beta:16:30s,gamma:64:45s"
 //	sbatch -script job.sh -runtime 45s
+//	sbatch -workload "diurnal:peak=2000/h,trough=200/h;runtime=pareto:1.5,30s,30m;tasks=zipf:64" -njobs 100000
+//	sbatch -workload "poisson:1200/h;runtime=exp:90s;tasks=uniform:1,32;timelimit=4x" -sweep knee -policy fifo
 package main
 
 import (
@@ -29,18 +32,57 @@ import (
 	"repro/internal/telemetry"
 )
 
+// options collects every sbatch flag; newFlagSet defines them on a
+// fresh FlagSet so the golden help test captures exactly the surface
+// main parses.
+type options struct {
+	demo    string
+	nodes   int
+	jobs    string
+	script  string
+	runtime time.Duration
+	metrics bool
+
+	workload  string
+	seed      int64
+	njobs     int
+	policy    string
+	mult      float64
+	sweep     string
+	faultSpec string
+	repair    time.Duration
+}
+
+func newFlagSet(o *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("sbatch", flag.ContinueOnError)
+	fs.StringVar(&o.demo, "demo", "", "scenario: backfill, twins, quiz4, sacct, faults or saturation")
+	fs.IntVar(&o.nodes, "nodes", 4, "cluster size for -jobs and -workload")
+	fs.StringVar(&o.jobs, "jobs", "", "comma-separated name:tasks:duration job list")
+	fs.StringVar(&o.script, "script", "", "SLURM batch script to parse and submit")
+	fs.DurationVar(&o.runtime, "runtime", 30*time.Second, "simulated runtime for -script jobs")
+	fs.BoolVar(&o.metrics, "metrics", false, "serve the scheduler's gauge registry at /metrics (+ /debug/pprof/) on an ephemeral port during the run")
+	fs.StringVar(&o.workload, "workload", "", "generated workload spec, e.g. 'diurnal:peak=2000/h,trough=200/h;runtime=pareto:1.5,30s;tasks=zipf:64' (see internal/workload)")
+	fs.Int64Var(&o.seed, "seed", 1, "workload generator seed (same seed = bit-identical stream)")
+	fs.IntVar(&o.njobs, "njobs", 20000, "jobs to stream from -workload")
+	fs.StringVar(&o.policy, "policy", "backfill", "scheduling policy for -workload: backfill (EASY) or fifo")
+	fs.Float64Var(&o.mult, "mult", 1, "arrival-rate multiplier for a single -workload run")
+	fs.StringVar(&o.sweep, "sweep", "", "saturation sweep over arrival-rate multipliers: 'knee' bisects the saturation knee, or give points like '0.5,1,2,4'")
+	fs.StringVar(&o.faultSpec, "faults", "", "fault plan applied to -workload runs, node rules only (e.g. 'node=0:at=30m,node=1:at=2h')")
+	fs.DurationVar(&o.repair, "repair", 0, "repair each -faults node failure this long after it fires (0 = stays down)")
+	return fs
+}
+
 func main() {
-	demo := flag.String("demo", "", "scenario: backfill, twins, quiz4, sacct or faults")
-	nodes := flag.Int("nodes", 4, "cluster size for -jobs")
-	jobs := flag.String("jobs", "", "comma-separated name:tasks:duration job list")
-	script := flag.String("script", "", "SLURM batch script to parse and submit")
-	runtime := flag.Duration("runtime", 30*time.Second, "simulated runtime for -script jobs")
-	metrics := flag.Bool("metrics", false, "serve the scheduler's gauge registry at /metrics (+ /debug/pprof/) on an ephemeral port during the run")
-	flag.Parse()
+	var o options
+	fs := newFlagSet(&o)
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2) // the flag package already reported the problem
+	}
 
 	var g *cluster.Gauges
 	var srv *telemetry.Server
-	if *metrics {
+	if o.metrics {
 		reg := telemetry.NewRegistry()
 		g = cluster.NewGauges(reg)
 		var err error
@@ -51,7 +93,7 @@ func main() {
 		}
 		fmt.Fprint(os.Stderr, telemetry.ListenMap([]*telemetry.Server{srv}))
 	}
-	err := run(*demo, *nodes, *jobs, *script, *runtime, g)
+	err := run(&o, fs, g)
 	if srv != nil {
 		if lerr := telemetry.SelfScrape(srv.URL()); lerr != nil {
 			fmt.Fprintln(os.Stderr, "sbatch: metrics self-scrape:", lerr)
@@ -75,8 +117,8 @@ func observe(g *cluster.Gauges, c *cluster.Cluster) {
 	}
 }
 
-func run(demo string, nodes int, jobs, script string, runtime time.Duration, g *cluster.Gauges) error {
-	switch demo {
+func run(o *options, fs *flag.FlagSet, g *cluster.Gauges) error {
+	switch o.demo {
 	case "backfill":
 		return demoBackfill(g)
 	case "twins":
@@ -87,17 +129,22 @@ func run(demo string, nodes int, jobs, script string, runtime time.Duration, g *
 		return demoSacct(g)
 	case "faults":
 		return demoFaults(g)
+	case "saturation":
+		return demoSaturation()
 	case "":
-		if script != "" {
-			return runScript(nodes, script, runtime, g)
+		if o.workload != "" {
+			return runWorkload(o, g)
 		}
-		if jobs == "" {
-			flag.Usage()
-			return errors.New("choose -demo, -jobs or -script")
+		if o.script != "" {
+			return runScript(o.nodes, o.script, o.runtime, g)
 		}
-		return runJobList(nodes, jobs, g)
+		if o.jobs == "" {
+			fs.Usage()
+			return errors.New("choose -demo, -jobs, -script or -workload")
+		}
+		return runJobList(o.nodes, o.jobs, g)
 	default:
-		return fmt.Errorf("unknown demo %q", demo)
+		return fmt.Errorf("unknown demo %q", o.demo)
 	}
 }
 

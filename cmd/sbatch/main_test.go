@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestHelpGolden pins the -help output so flag drift (adding, renaming
+// or re-documenting a flag without regenerating the golden) fails CI.
+// Regenerate with: go test ./cmd/sbatch -run HelpGolden -update
+func TestHelpGolden(t *testing.T) {
+	var o options
+	fs := newFlagSet(&o)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "help.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("help output drifted from %s (regenerate with -update)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+	// The workload-generation flags must stay documented.
+	for _, f := range []string{"-workload", "-seed", "-njobs", "-policy", "-sweep", "-faults", "-repair", "-mult"} {
+		if !strings.Contains(got, f+" ") && !strings.Contains(got, f+"\n") {
+			t.Errorf("help output does not document %s", f)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := parsePolicy("fifo"); err != nil || p != cluster.PolicyFIFO {
+		t.Errorf("parsePolicy(fifo) = %v, %v", p, err)
+	}
+	if p, err := parsePolicy("backfill"); err != nil || p != cluster.PolicyBackfill {
+		t.Errorf("parsePolicy(backfill) = %v, %v", p, err)
+	}
+	if _, err := parsePolicy("sjf"); err == nil {
+		t.Error("parsePolicy(sjf) did not error")
+	}
+}
+
+// TestSaturationConfig covers the flag-to-config assembly, including
+// the node-rules-only restriction on -faults.
+func TestSaturationConfig(t *testing.T) {
+	o := &options{
+		workload:  "poisson:10/h;tasks=fixed:2",
+		policy:    "fifo",
+		seed:      7,
+		njobs:     100,
+		nodes:     3,
+		faultSpec: "node=0:at=1m",
+	}
+	cfg, err := saturationConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != cluster.PolicyFIFO || cfg.Seed != 7 || cfg.Jobs != 100 || cfg.Nodes != 3 {
+		t.Errorf("config = %+v does not reflect flags %+v", cfg, o)
+	}
+	if len(cfg.Faults) != 1 || cfg.Faults[0].Node != 0 {
+		t.Errorf("faults = %+v, want the node=0 rule", cfg.Faults)
+	}
+
+	o.faultSpec = "rank=0:call=3:kill" // no node rules: useless for -workload
+	if _, err := saturationConfig(o); err == nil {
+		t.Error("fault plan without node rules accepted")
+	}
+	o.faultSpec = ""
+	o.workload = "poisson:nope"
+	if _, err := saturationConfig(o); err == nil {
+		t.Error("invalid workload spec accepted")
+	}
+	o.workload = "poisson:10/h"
+	o.policy = "sjf"
+	if _, err := saturationConfig(o); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}

@@ -10,6 +10,17 @@
 // every affected job's progress rate is recomputed from the machine
 // model, so a memory-bound job visibly slows when a bandwidth-hungry
 // neighbour lands on its node.
+//
+// The event core is an indexed min-heap of generation-stamped events
+// (completions, walltime kills, requeue-backoff expiries, node
+// failures/repairs unified in one queue) with lazy progress settling:
+// a job's remaining work is only drained when its rate changes or it
+// finishes, so advancing time is O(1) and a Drain over n jobs costs
+// O(events · log n) rather than the O(events · jobs) of a per-event
+// rescan. Stats accumulate incrementally at submit/finish, and
+// SetRetainFinished(false) evicts terminal jobs so memory stays bounded
+// by in-flight work — together these let the internal/workload generators
+// stream millions of jobs through one Cluster.
 package cluster
 
 import (
@@ -54,6 +65,28 @@ func (s JobState) String() string {
 	default:
 		return "??"
 	}
+}
+
+// Policy selects how pending jobs are started.
+type Policy int
+
+const (
+	// PolicyBackfill is FIFO order with EASY backfill: later jobs may
+	// start early when their walltime estimate provably cannot delay
+	// the head job's reservation. This is the default (and the only
+	// behaviour before the policy knob existed).
+	PolicyBackfill Policy = iota
+	// PolicyFIFO is strict FIFO: the first eligible pending job that
+	// cannot be placed blocks everything behind it.
+	PolicyFIFO
+)
+
+// String names the policy the way the sweep tables print it.
+func (p Policy) String() string {
+	if p == PolicyFIFO {
+		return "fifo"
+	}
+	return "backfill"
 }
 
 // JobSpec is the sbatch-style description of a job.
@@ -107,10 +140,17 @@ type Job struct {
 	// tasks per allocated node, parallel to Nodes.
 	tasksOn []int
 
-	// work remaining in [0, 1]; rate is progress per second under the
-	// current contention.
+	// work remaining in [0, 1] as of settledAt; rate is progress per
+	// second under the current contention. Between rate changes the
+	// remaining work drains linearly, so it is settled lazily: only
+	// when the rate changes or the job finishes.
 	remaining float64
 	rate      float64
+	settledAt time.Duration
+	// gen stamps the job's scheduled heap events; any state or rate
+	// transition bumps it, invalidating events pushed under older
+	// generations (they are discarded when popped).
+	gen uint32
 	// dedicated runtime (seconds) under the allocation, fixed at start.
 	dedicatedSec float64
 	// eligibleAt delays a requeued job's next start (backoff).
@@ -131,11 +171,47 @@ type Cluster struct {
 	machine perfmodel.Machine
 	nodes   []*node
 	jobs    map[int]*Job
+	// running indexes the currently-running jobs so rate recomputation
+	// and backfill reservations never scan the full (possibly evicted)
+	// job table.
+	running map[int]*Job
 	order   []int // submission order of pending job ids
 	nextID  int
 	now     time.Duration
-	// nodeEvents are scheduled node failures/repairs, time-sorted.
-	nodeEvents []nodeEvent
+
+	// events is the unified min-heap (completions, walltime kills,
+	// requeue expiries, node failures/repairs).
+	events   []simEvent
+	eventSeq uint64
+	// probePops/probeStale count dispatched and discarded heap pops;
+	// regression tests pin single-pop-per-event behaviour with them.
+	probePops  int
+	probeStale int
+
+	// kernelRunning counts running jobs with a contention kernel; when
+	// zero, occupancy changes cannot move any job's rate and the
+	// recompute pass is skipped entirely.
+	kernelRunning int
+	// demand is the per-node bandwidth-demand scratch buffer reused by
+	// recomputeRates.
+	demand []float64
+	// rateScratch holds the sorted running-job ids recomputeRates
+	// iterates (map order must not leak into float summation order).
+	rateScratch []int
+
+	policy Policy
+	// backfillLimit caps how many pending jobs past the head one
+	// scheduling pass examines for backfill (0 = unlimited), like
+	// SLURM's bf_max_job_test. At saturation the queue is long and an
+	// uncapped scan is quadratic in queue depth.
+	backfillLimit int
+
+	// retainFinished keeps terminal jobs in the job table for Status /
+	// Jobs / Sacct (the default). Workload streaming turns it off so
+	// memory stays bounded by in-flight jobs.
+	retainFinished bool
+
+	agg statsAgg
 }
 
 // maxDuration is the "never" sentinel for event-time computations.
@@ -149,7 +225,14 @@ func New(n int, m perfmodel.Machine) (*Cluster, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{machine: m, jobs: make(map[int]*Job), nextID: 1}
+	c := &Cluster{
+		machine:        m,
+		jobs:           make(map[int]*Job),
+		running:        make(map[int]*Job),
+		nextID:         1,
+		retainFinished: true,
+		demand:         make([]float64, n),
+	}
 	for i := 0; i < n; i++ {
 		c.nodes = append(c.nodes, &node{id: i, freeCores: m.CoresPerNode})
 	}
@@ -158,6 +241,28 @@ func New(n int, m perfmodel.Machine) (*Cluster, error) {
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() time.Duration { return c.now }
+
+// SetPolicy selects the scheduling policy. Changing it mid-run applies
+// from the next scheduling pass.
+func (c *Cluster) SetPolicy(p Policy) { c.policy = p }
+
+// SetBackfillLimit caps the backfill scan depth past the queue head
+// (0 = unlimited), like SLURM's bf_max_job_test. Saturation sweeps set
+// it so a diverging queue cannot make every event quadratic.
+func (c *Cluster) SetBackfillLimit(n int) { c.backfillLimit = n }
+
+// SetRetainFinished controls whether terminal jobs stay in the job
+// table. With retention off, finished jobs are evicted as soon as they
+// can no longer be requeued: Stats stays exact (it accumulates
+// incrementally), but Status/Jobs/Sacct only see live jobs. Streaming
+// workloads turn retention off so memory is bounded by in-flight jobs.
+func (c *Cluster) SetRetainFinished(keep bool) { c.retainFinished = keep }
+
+// LiveJobs reports how many job records the cluster currently holds —
+// with retention off this is the in-flight set (pending + running),
+// which the workload memory-bound test asserts stays small while
+// millions of jobs stream through.
+func (c *Cluster) LiveJobs() int { return len(c.jobs) }
 
 // Submit queues a job and immediately tries to schedule, returning the
 // job id (like `sbatch` printing "Submitted batch job N").
@@ -183,6 +288,8 @@ func (c *Cluster) Submit(spec JobSpec) (int, error) {
 	c.nextID++
 	c.jobs[j.ID] = j
 	c.order = append(c.order, j.ID)
+	c.agg.submitted++
+	c.agg.offeredCoreSec += float64(spec.Tasks) * spec.BaseTime.Seconds()
 	c.schedule()
 	return j.ID, nil
 }
@@ -197,9 +304,13 @@ func (c *Cluster) Cancel(id int) error {
 	case Pending:
 		j.State = Cancelled
 		j.EndTime = c.now
+		j.gen++ // invalidate a pending requeue-backoff event
 		c.dropPending(id)
+		c.accountTerminal(j)
+		c.evict(j)
 	case Running:
 		c.finish(j, Cancelled)
+		c.evict(j)
 	default:
 		return fmt.Errorf("cluster: job %d already %v", id, j.State)
 	}
@@ -207,7 +318,8 @@ func (c *Cluster) Cancel(id int) error {
 	return nil
 }
 
-// Status returns a copy of the job record.
+// Status returns a copy of the job record. With retention off, finished
+// jobs are evicted and no longer found.
 func (c *Cluster) Status(id int) (Job, error) {
 	j, ok := c.jobs[id]
 	if !ok {
@@ -220,9 +332,26 @@ func (c *Cluster) Status(id int) (Job, error) {
 func (c *Cluster) dropPending(id int) {
 	for i, v := range c.order {
 		if v == id {
-			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.dropPendingIdx(i)
 			return
 		}
+	}
+}
+
+// dropPendingIdx removes the i-th pending entry (the scheduler already
+// knows the index; re-scanning a saturated queue per start is wasted).
+func (c *Cluster) dropPendingIdx(i int) {
+	c.order = append(c.order[:i], c.order[i+1:]...)
+}
+
+// evict drops a terminal job from the table when retention is off.
+func (c *Cluster) evict(j *Job) {
+	if c.retainFinished {
+		return
+	}
+	switch j.State {
+	case Completed, Cancelled, TimedOut, NodeFail:
+		delete(c.jobs, j.ID)
 	}
 }
 
@@ -282,13 +411,25 @@ func (c *Cluster) tryPlace(j *Job) ([]int, []int) {
 	return nodes, tasks
 }
 
-// schedule starts jobs in FIFO order with EASY backfill: the head pending
-// job gets a reservation at its earliest possible start; later jobs may
-// start now only if their walltime estimate finishes before that
-// reservation (or they don't need the reserved capacity).
+// schedule starts jobs according to the active policy. PolicyBackfill is
+// FIFO with EASY backfill: the head pending job gets a reservation at its
+// earliest possible start; later jobs may start now only if their
+// walltime estimate finishes before that reservation (or they don't need
+// the reserved capacity). PolicyFIFO stops at the first eligible job that
+// cannot be placed.
 func (c *Cluster) schedule() {
+	if c.policy == PolicyFIFO {
+		c.scheduleFIFO()
+		return
+	}
 	for {
 		started := false
+		// The head's earliest start is invariant within one pass (a
+		// start restarts the pass), so compute it at most once.
+		headStartDone := false
+		var headCanStart bool
+		var headStart time.Duration
+		scanned := 0
 		for idx := 0; idx < len(c.order); idx++ {
 			id := c.order[idx]
 			j := c.jobs[id]
@@ -297,19 +438,43 @@ func (c *Cluster) schedule() {
 				// holds no reservation either.
 				continue
 			}
-			nodes, tasks := c.tryPlace(j)
-			if nodes != nil {
-				if idx == 0 || c.fitsBackfill(idx) {
-					c.start(j, nodes, tasks)
-					c.dropPending(id)
-					started = true
+			if idx > 0 {
+				scanned++
+				if c.backfillLimit > 0 && scanned > c.backfillLimit {
 					break
 				}
+			}
+			nodes, tasks := c.tryPlace(j)
+			if nodes == nil {
 				continue
 			}
-			if idx == 0 {
-				// Head of queue cannot start; others may backfill.
-				continue
+			fits := idx == 0
+			if !fits {
+				if !headStartDone {
+					headStartDone = true
+					head := c.jobs[c.order[0]]
+					if hn, _ := c.tryPlace(head); hn != nil {
+						headCanStart = true
+					} else {
+						headStart = c.earliestStart(head)
+					}
+				}
+				// The candidate must either not threaten the head's
+				// reservation (head can start anyway) or provably
+				// finish before it.
+				if headCanStart {
+					fits = true
+				} else if j.Spec.TimeLimit == 0 {
+					fits = false // no estimate: never backfill
+				} else {
+					fits = c.now+j.Spec.TimeLimit <= headStart
+				}
+			}
+			if fits {
+				c.start(j, nodes, tasks)
+				c.dropPendingIdx(idx)
+				started = true
+				break
 			}
 		}
 		if !started {
@@ -318,24 +483,29 @@ func (c *Cluster) schedule() {
 	}
 }
 
-// fitsBackfill reports whether starting the idx-th pending job now cannot
-// delay the head job's reservation. Conservatively: the candidate must
-// have a time limit and finish before the head's earliest start.
-func (c *Cluster) fitsBackfill(idx int) bool {
-	if len(c.order) == 0 || idx == 0 {
-		return true
+// scheduleFIFO starts eligible jobs strictly in submission order; the
+// first eligible job that cannot be placed blocks everything behind it
+// (requeued jobs still in backoff are held, not blocking).
+func (c *Cluster) scheduleFIFO() {
+	for {
+		idx := -1
+		for i, id := range c.order {
+			if c.jobs[id].eligibleAt <= c.now {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		j := c.jobs[c.order[idx]]
+		nodes, tasks := c.tryPlace(j)
+		if nodes == nil {
+			return
+		}
+		c.start(j, nodes, tasks)
+		c.dropPendingIdx(idx)
 	}
-	head := c.jobs[c.order[0]]
-	if nodes, _ := c.tryPlace(head); nodes != nil {
-		// Head can start too; no reservation to protect.
-		return true
-	}
-	cand := c.jobs[c.order[idx]]
-	if cand.Spec.TimeLimit == 0 {
-		return false // no estimate: never backfill
-	}
-	headStart := c.earliestStart(head)
-	return c.now+cand.Spec.TimeLimit <= headStart
 }
 
 // earliestStart estimates when the head job could start, assuming running
@@ -346,19 +516,22 @@ func (c *Cluster) earliestStart(head *Job) time.Duration {
 		at    time.Duration
 		node  int
 		cores int
-		excl  bool
 	}
 	var rel []release
-	for _, j := range c.jobs {
-		if j.State != Running {
-			continue
-		}
+	for _, j := range c.running {
 		eta := c.now + c.predictRemaining(j)
 		for i, nid := range j.Nodes {
 			rel = append(rel, release{at: eta, node: nid, cores: j.tasksOn[i]})
 		}
 	}
-	sort.Slice(rel, func(a, b int) bool { return rel[a].at < rel[b].at })
+	// Deterministic replay order: ties on time release lower node ids
+	// first (map iteration order must not leak into the schedule).
+	sort.Slice(rel, func(a, b int) bool {
+		if rel[a].at != rel[b].at {
+			return rel[a].at < rel[b].at
+		}
+		return rel[a].node < rel[b].node
+	})
 	// Replay releases until the head fits.
 	free := make([]int, len(c.nodes))
 	excl := make([]bool, len(c.nodes))
@@ -410,19 +583,29 @@ func (c *Cluster) earliestStart(head *Job) time.Duration {
 }
 
 // predictRemaining estimates a running job's remaining time at current
-// rates, capped by its time limit.
+// rates, capped by its time limit. It reads the lazily-settled progress
+// without mutating it: the job's scheduled completion event was computed
+// from (settledAt, remaining, rate), and re-settling here would nudge
+// those floats by an ulp and detach the estimate from the event.
 func (c *Cluster) predictRemaining(j *Job) time.Duration {
 	if j.rate <= 0 {
 		return time.Duration(math.MaxInt64)
 	}
-	rem := time.Duration(j.remaining / j.rate * float64(time.Second))
-	if j.Spec.TimeLimit > 0 {
-		used := c.now - j.StartTime
-		if lim := j.Spec.TimeLimit - used; lim < rem {
-			rem = lim
+	rem := j.remaining
+	if j.State == Running && c.now > j.settledAt {
+		rem -= j.rate * (c.now - j.settledAt).Seconds()
+		if rem < 0 {
+			rem = 0
 		}
 	}
-	return rem
+	remDur := durationFromSeconds(rem / j.rate)
+	if j.Spec.TimeLimit > 0 {
+		used := c.now - j.StartTime
+		if lim := j.Spec.TimeLimit - used; lim < remDur {
+			remDur = lim
+		}
+	}
+	return remDur
 }
 
 // start allocates and launches a job.
@@ -432,6 +615,9 @@ func (c *Cluster) start(j *Job, nodes, tasks []int) {
 	j.Nodes = nodes
 	j.NumNodes = len(nodes)
 	j.tasksOn = tasks
+	j.remaining = 1
+	j.settledAt = c.now
+	j.rate = 0 // a requeued job must not inherit its previous run's rate
 	for i, nid := range nodes {
 		n := c.nodes[nid]
 		n.freeCores -= tasks[i]
@@ -441,8 +627,21 @@ func (c *Cluster) start(j *Job, nodes, tasks []int) {
 			n.freeCores = 0
 		}
 	}
+	c.running[j.ID] = j
 	j.dedicatedSec = c.dedicatedSeconds(j)
-	c.recomputeRates()
+	if j.Spec.Kernel != nil {
+		c.kernelRunning++
+		c.recomputeRates()
+		return
+	}
+	// Fixed-duration job: contention never moves its rate; schedule its
+	// lifetime events once, here.
+	if j.dedicatedSec <= 0 {
+		j.rate = math.Inf(1)
+	} else {
+		j.rate = 1 / j.dedicatedSec
+	}
+	c.pushJobEvents(j)
 }
 
 // dedicatedSeconds computes the job's runtime on its allocation with no
@@ -467,6 +666,7 @@ func (c *Cluster) dedicatedSeconds(j *Job) float64 {
 func (c *Cluster) finish(j *Job, state JobState) {
 	j.State = state
 	j.EndTime = c.now
+	j.gen++ // invalidate scheduled completion/timeout events
 	for i, nid := range j.Nodes {
 		n := c.nodes[nid]
 		if j.Spec.Exclusive {
@@ -483,59 +683,84 @@ func (c *Cluster) finish(j *Job, state JobState) {
 		}
 	}
 	j.Nodes, j.tasksOn = nil, nil
+	delete(c.running, j.ID)
+	c.accountTerminal(j)
+	if j.Spec.Kernel != nil {
+		c.kernelRunning--
+	}
 	c.recomputeRates()
 }
 
-// recomputeRates updates every running job's progress rate from the
-// contention model: a job's share on a node is NodeBW/totalDemand when
-// the bus is oversubscribed; its rate is dedicated/contended runtime, and
-// multi-node jobs run at their worst node's rate.
+// recomputeRates updates every running kernel job's progress rate from
+// the contention model: a job's share on a node is NodeBW/totalDemand
+// when the bus is oversubscribed; its rate is dedicated/contended
+// runtime, and multi-node jobs run at their worst node's rate. Jobs
+// whose rate moved get their work settled and fresh events scheduled.
+// Fixed-duration (nil-kernel) jobs neither exert nor feel contention,
+// so when no kernel job is running the pass is skipped entirely.
 func (c *Cluster) recomputeRates() {
-	// Total bandwidth demand per node.
-	demand := make([]float64, len(c.nodes))
-	for _, j := range c.jobs {
-		if j.State != Running || j.Spec.Kernel == nil {
+	if c.kernelRunning == 0 {
+		return
+	}
+	// Total bandwidth demand per node, summed in job-id order so float
+	// rounding is identical run to run.
+	for i := range c.demand {
+		c.demand[i] = 0
+	}
+	c.rateScratch = c.rateScratch[:0]
+	for id := range c.running {
+		c.rateScratch = append(c.rateScratch, id)
+	}
+	sort.Ints(c.rateScratch)
+	for _, id := range c.rateScratch {
+		j := c.running[id]
+		if j.Spec.Kernel == nil {
 			continue
 		}
 		for i, nid := range j.Nodes {
 			jb := perfmodel.Job{Kernel: *j.Spec.Kernel, Ranks: j.tasksOn[i]}
-			demand[nid] += c.machine.BandwidthDemand(jb)
+			c.demand[nid] += c.machine.BandwidthDemand(jb)
 		}
 	}
-	for _, j := range c.jobs {
-		if j.State != Running {
-			continue
-		}
-		if j.dedicatedSec <= 0 {
-			j.rate = math.Inf(1)
-			continue
-		}
-		if j.Spec.Kernel == nil {
+	for _, id := range c.rateScratch {
+		j := c.running[id]
+		rate := j.rate
+		switch {
+		case j.dedicatedSec <= 0:
+			rate = math.Inf(1)
+		case j.Spec.Kernel == nil:
 			// Fixed-duration job: contention does not affect it.
-			j.rate = 1 / j.dedicatedSec
-			continue
-		}
-		// Worst bandwidth share across the job's nodes.
-		share := 1.0
-		for i, nid := range j.Nodes {
-			jb := perfmodel.Job{Kernel: *j.Spec.Kernel, Ranks: j.tasksOn[i]}
-			my := c.machine.BandwidthDemand(jb)
-			if demand[nid] > c.machine.NodeBW && my > 0 {
-				if s := c.machine.NodeBW / demand[nid]; s < share {
-					share = s
+			rate = 1 / j.dedicatedSec
+		default:
+			// Worst bandwidth share across the job's nodes.
+			share := 1.0
+			for i, nid := range j.Nodes {
+				jb := perfmodel.Job{Kernel: *j.Spec.Kernel, Ranks: j.tasksOn[i]}
+				my := c.machine.BandwidthDemand(jb)
+				if c.demand[nid] > c.machine.NodeBW && my > 0 {
+					if s := c.machine.NodeBW / c.demand[nid]; s < share {
+						share = s
+					}
 				}
 			}
+			contended, err := c.machine.Time(*j.Spec.Kernel, perfmodel.Placement{
+				Ranks:          j.Spec.Tasks,
+				Nodes:          maxi(len(j.Nodes), 1),
+				BandwidthShare: share,
+			})
+			if err != nil || contended <= 0 {
+				rate = 1 / j.dedicatedSec
+			} else {
+				rate = 1 / contended.Seconds()
+			}
 		}
-		contended, err := c.machine.Time(*j.Spec.Kernel, perfmodel.Placement{
-			Ranks:          j.Spec.Tasks,
-			Nodes:          maxi(len(j.Nodes), 1),
-			BandwidthShare: share,
-		})
-		if err != nil || contended <= 0 {
-			j.rate = 1 / j.dedicatedSec
-			continue
+		if rate != j.rate {
+			// Settle drained work at the old rate before switching, then
+			// reschedule the job's events under the new trajectory.
+			c.settle(j)
+			j.rate = rate
+			c.pushJobEvents(j)
 		}
-		j.rate = 1 / contended.Seconds()
 	}
 }
 

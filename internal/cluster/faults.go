@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 	"time"
 )
 
@@ -37,13 +36,6 @@ func requeueBackoff(attempt int) time.Duration {
 	return d
 }
 
-// nodeEvent is a scheduled state change of one node.
-type nodeEvent struct {
-	at   time.Duration
-	node int
-	fail bool // true = fail, false = repair
-}
-
 // ScheduleNodeFail arranges for node id to fail at virtual time at.
 // Events in the past fire at the next Step.
 func (c *Cluster) ScheduleNodeFail(id int, at time.Duration) error {
@@ -63,8 +55,7 @@ func (c *Cluster) scheduleNodeEvent(id int, at time.Duration, fail bool) error {
 	if at < 0 {
 		return fmt.Errorf("cluster: node event at negative time %v", at)
 	}
-	c.nodeEvents = append(c.nodeEvents, nodeEvent{at: at, node: id, fail: fail})
-	sort.SliceStable(c.nodeEvents, func(a, b int) bool { return c.nodeEvents[a].at < c.nodeEvents[b].at })
+	c.pushEvent(simEvent{at: at, class: evNode, node: id, fail: fail})
 	return nil
 }
 
@@ -89,6 +80,9 @@ func (c *Cluster) FailNode(id int) error {
 		}
 		c.finish(j, NodeFail)
 		c.maybeRequeue(j)
+		if j.State == NodeFail {
+			c.evict(j) // requeue budget exhausted (or never requeued)
+		}
 	}
 	c.schedule()
 	return nil
@@ -123,7 +117,9 @@ func (c *Cluster) DownNodes() []int {
 // requeue budget is not exhausted. The job keeps its id and original
 // submit time; it becomes eligible to start after an exponential
 // backoff, losing all progress (the simulator models full restarts; the
-// checkpoint/restart story lives in the MPI runtime and modules).
+// checkpoint/restart story lives in the MPI runtime and modules). The
+// backoff expiry is scheduled as a heap event so the eligible job wakes
+// the scheduler without anyone scanning the pending queue.
 func (c *Cluster) maybeRequeue(j *Job) {
 	if !j.Spec.Requeue {
 		return
@@ -140,38 +136,7 @@ func (c *Cluster) maybeRequeue(j *Job) {
 	j.remaining = 1
 	j.eligibleAt = c.now + requeueBackoff(j.Restarts)
 	c.order = append(c.order, j.ID)
-}
-
-// processNodeEventsUntil fires every scheduled node event with at <= t,
-// in time order, advancing the clock to each event. It returns how many
-// events fired.
-func (c *Cluster) processNodeEventsUntil(t time.Duration) int {
-	fired := 0
-	for len(c.nodeEvents) > 0 && c.nodeEvents[0].at <= t {
-		ev := c.nodeEvents[0]
-		c.nodeEvents = c.nodeEvents[1:]
-		if ev.at > c.now {
-			c.advanceTo(ev.at)
-		}
-		if ev.fail {
-			c.FailNode(ev.node)
-		} else {
-			c.RepairNode(ev.node)
-		}
-		fired++
-	}
-	return fired
-}
-
-// nextRequeueAt returns the earliest backoff expiry among pending
-// requeued jobs that cannot start yet, or maxDuration if none.
-func (c *Cluster) nextRequeueAt() time.Duration {
-	at := maxDuration
-	for _, id := range c.order {
-		j := c.jobs[id]
-		if j.eligibleAt > c.now && j.eligibleAt < at {
-			at = j.eligibleAt
-		}
-	}
-	return at
+	c.agg.requeues++
+	c.agg.nodeFailed-- // finish(NodeFail) counted it; the job is back in the queue
+	c.pushEvent(simEvent{at: j.eligibleAt, class: evRequeue, job: j.ID, gen: j.gen})
 }

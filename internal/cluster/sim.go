@@ -3,101 +3,224 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
+
+// eventClass orders simultaneous events. The tie-breaks preserve the
+// original engine's semantics: a node failure at the same instant as a
+// completion sees the job still there, a requeue expiry fires before job
+// events, and a completion beats a walltime kill at the same instant.
+type eventClass uint8
+
+const (
+	evNode eventClass = iota
+	evRequeue
+	evJobDone
+	evJobTimeout
+)
+
+// simEvent is one entry of the unified event heap. Job-bound events are
+// stamped with the job's generation at push time; any later rate or
+// state transition bumps the generation, so stale entries are simply
+// discarded when they surface (lazy invalidation — the heap is never
+// searched or re-keyed).
+type simEvent struct {
+	at    time.Duration
+	class eventClass
+	job   int    // job id (evRequeue/evJobDone/evJobTimeout)
+	gen   uint32 // job generation at push time
+	seq   uint64 // push order; final FIFO tie-break
+	node  int    // node id (evNode)
+	fail  bool   // evNode: failure vs repair
+}
+
+// evLess is the heap order: time, then class, then job id, then push
+// order. Everything after `at` only breaks exact ties, deterministically.
+func evLess(a, b simEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.job != b.job {
+		return a.job < b.job
+	}
+	return a.seq < b.seq
+}
+
+// pushEvent adds an event to the min-heap (sift-up).
+func (c *Cluster) pushEvent(ev simEvent) {
+	ev.seq = c.eventSeq
+	c.eventSeq++
+	c.events = append(c.events, ev)
+	i := len(c.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(c.events[i], c.events[parent]) {
+			break
+		}
+		c.events[i], c.events[parent] = c.events[parent], c.events[i]
+		i = parent
+	}
+}
+
+// popEventHeap removes the heap minimum (sift-down).
+func (c *Cluster) popEventHeap() simEvent {
+	top := c.events[0]
+	last := len(c.events) - 1
+	c.events[0] = c.events[last]
+	c.events = c.events[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(c.events) && evLess(c.events[l], c.events[min]) {
+			min = l
+		}
+		if r < len(c.events) && evLess(c.events[r], c.events[min]) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		c.events[i], c.events[min] = c.events[min], c.events[i]
+		i = min
+	}
+}
+
+// eventValid reports whether a popped event still describes reality.
+func (c *Cluster) eventValid(ev simEvent) bool {
+	switch ev.class {
+	case evNode:
+		return true
+	case evRequeue:
+		j, ok := c.jobs[ev.job]
+		return ok && j.State == Pending && ev.gen == j.gen
+	default: // evJobDone, evJobTimeout
+		j, ok := c.jobs[ev.job]
+		return ok && j.State == Running && ev.gen == j.gen
+	}
+}
+
+// peekValid discards stale heap entries until the minimum is a live
+// event, returning it without removing it. O(1) when the top is already
+// valid — RunUntil's peek + Step's pop cost one pop total per event.
+func (c *Cluster) peekValid() (simEvent, bool) {
+	for len(c.events) > 0 {
+		if c.eventValid(c.events[0]) {
+			return c.events[0], true
+		}
+		c.popEventHeap()
+		c.probeStale++
+	}
+	return simEvent{}, false
+}
+
+// pushJobEvents (re)schedules a running job's completion and walltime
+// kill under its current rate, invalidating whatever was scheduled
+// before.
+func (c *Cluster) pushJobEvents(j *Job) {
+	j.gen++
+	if j.State != Running {
+		return
+	}
+	if eta, ok := c.completionETA(j); ok {
+		c.pushEvent(simEvent{at: eta, class: evJobDone, job: j.ID, gen: j.gen})
+	}
+	if j.Spec.TimeLimit > 0 {
+		c.pushEvent(simEvent{at: j.StartTime + j.Spec.TimeLimit, class: evJobTimeout, job: j.ID, gen: j.gen})
+	}
+}
+
+// completionETA predicts when the job finishes its remaining work at the
+// current rate. Jobs with no positive rate never complete on their own.
+func (c *Cluster) completionETA(j *Job) (time.Duration, bool) {
+	if j.rate <= 0 {
+		return 0, false
+	}
+	eta := j.settledAt + durationFromSeconds(j.remaining/j.rate)
+	if eta < c.now {
+		eta = c.now
+	}
+	return eta, true
+}
+
+// durationFromSeconds converts with saturation instead of overflow wrap.
+func durationFromSeconds(s float64) time.Duration {
+	v := s * float64(time.Second)
+	if v >= float64(math.MaxInt64) {
+		return maxDuration
+	}
+	return time.Duration(v)
+}
+
+// settle drains a running job's remaining work up to the current time at
+// its current rate. Between rate changes progress is linear, so this is
+// exact however late it runs; advancing the clock itself is O(1).
+func (c *Cluster) settle(j *Job) {
+	if j.State == Running && c.now > j.settledAt {
+		j.remaining -= j.rate * (c.now - j.settledAt).Seconds()
+		if j.remaining < 0 {
+			j.remaining = 0
+		}
+	}
+	j.settledAt = c.now
+}
 
 // Step advances virtual time to the next event — a job completion or
 // timeout, a scheduled node failure/repair, or a requeued job's backoff
 // expiry — and processes it. It returns false when no event is left
 // (nothing can make progress without a new submission).
 func (c *Cluster) Step() bool {
-	jobAt, victim, timeout := c.nextJobEvent()
-	nodeAt := maxDuration
-	if len(c.nodeEvents) > 0 {
-		nodeAt = c.nodeEvents[0].at
-		if nodeAt < c.now {
-			nodeAt = c.now // late-scheduled event fires immediately
-		}
-	}
-	reqAt := c.nextRequeueAt()
-
-	// Earliest event wins; node events break ties first (a failure at
-	// the same instant as a completion should see the job still there).
-	if nodeAt <= jobAt && nodeAt <= reqAt {
-		if len(c.nodeEvents) == 0 {
-			return false
-		}
-		c.processNodeEventsUntil(nodeAt)
-		return true
-	}
-	if reqAt <= jobAt {
-		if reqAt == maxDuration {
-			return false
-		}
-		c.advanceTo(reqAt)
-		c.schedule()
-		return true
-	}
-	if victim == nil {
+	ev, ok := c.peekValid()
+	if !ok {
 		return false
 	}
-	c.advanceTo(jobAt)
-	if timeout {
-		c.finish(victim, TimedOut)
-	} else {
-		victim.remaining = 0
-		c.finish(victim, Completed)
+	c.popEventHeap()
+	c.probePops++
+	if ev.at > c.now {
+		c.advanceTo(ev.at)
 	}
-	c.schedule()
+	switch ev.class {
+	case evNode:
+		// Late-scheduled events fire immediately (at <= now handled by
+		// the clamp above).
+		if ev.fail {
+			c.FailNode(ev.node) // kills residents, requeues, reschedules
+		} else {
+			c.RepairNode(ev.node)
+		}
+	case evRequeue:
+		c.schedule()
+	case evJobDone:
+		j := c.jobs[ev.job]
+		c.settle(j)
+		j.remaining = 0
+		c.finish(j, Completed)
+		c.evict(j)
+		c.schedule()
+	case evJobTimeout:
+		j := c.jobs[ev.job]
+		c.settle(j)
+		c.finish(j, TimedOut)
+		c.evict(j)
+		c.schedule()
+	}
 	return true
 }
 
-// nextJobEvent finds the earliest completion or walltime kill among
-// running jobs.
-func (c *Cluster) nextJobEvent() (time.Duration, *Job, bool) {
-	nextAt := maxDuration
-	var victim *Job
-	var timeout bool
-	for _, j := range c.jobs {
-		if j.State != Running {
-			continue
-		}
-		// Completion time at current rate.
-		if j.rate > 0 {
-			eta := c.now + time.Duration(j.remaining/j.rate*float64(time.Second))
-			if eta < nextAt {
-				nextAt, victim, timeout = eta, j, false
-			}
-		}
-		// Walltime limit.
-		if j.Spec.TimeLimit > 0 {
-			kill := j.StartTime + j.Spec.TimeLimit
-			if kill < nextAt {
-				nextAt, victim, timeout = kill, j, true
-			}
-		}
-	}
-	return nextAt, victim, timeout
-}
-
-// advanceTo moves virtual time forward, draining every running job's
-// remaining work at its current rate.
+// advanceTo moves virtual time forward. Running jobs drain lazily — their
+// remaining work is settled when their rate changes or they finish — so
+// this is O(1) regardless of how many jobs are in flight.
 func (c *Cluster) advanceTo(t time.Duration) {
-	dt := (t - c.now).Seconds()
-	if dt < 0 {
-		return
+	if t > c.now {
+		c.now = t
 	}
-	for _, j := range c.jobs {
-		if j.State == Running {
-			j.remaining -= j.rate * dt
-			if j.remaining < 0 {
-				j.remaining = 0
-			}
-		}
-	}
-	c.now = t
 }
 
 // Drain runs the simulation until every submitted job has finished.
@@ -111,12 +234,13 @@ func (c *Cluster) Drain() int {
 }
 
 // RunUntil advances the simulation clock to t, processing any events due
-// before it.
+// before it. The pending event is peeked in O(1) off the heap top, so
+// stepping to a deadline does no more event-finding work than Drain
+// (pinned by TestRunUntilSinglePopPerEvent).
 func (c *Cluster) RunUntil(t time.Duration) {
 	for {
-		// Find the next event time without processing.
-		next := c.nextEventTime()
-		if next > t || next == math.MaxInt64 {
+		ev, ok := c.peekValid()
+		if !ok || ev.at > t {
 			break
 		}
 		if !c.Step() {
@@ -128,24 +252,16 @@ func (c *Cluster) RunUntil(t time.Duration) {
 	}
 }
 
-func (c *Cluster) nextEventTime() time.Duration {
-	at, _, _ := c.nextJobEvent()
-	if len(c.nodeEvents) > 0 {
-		nodeAt := c.nodeEvents[0].at
-		if nodeAt < c.now {
-			nodeAt = c.now
-		}
-		if nodeAt < at {
-			at = nodeAt
-		}
-	}
-	if reqAt := c.nextRequeueAt(); reqAt < at {
-		at = reqAt
-	}
-	return at
+// EventProbe reports how many heap events were dispatched and how many
+// stale (generation-mismatched) entries were discarded since the cluster
+// was created. Tests use it to pin the single-pop-per-event contract and
+// to bound invalidation churn.
+func (c *Cluster) EventProbe() (dispatched, stale int) {
+	return c.probePops, c.probeStale
 }
 
-// Jobs returns copies of all job records sorted by id.
+// Jobs returns copies of all retained job records sorted by id. With
+// retention off (SetRetainFinished(false)) this is the in-flight set.
 func (c *Cluster) Jobs() []Job {
 	out := make([]Job, 0, len(c.jobs))
 	for _, j := range c.jobs {
@@ -220,17 +336,25 @@ func (c *Cluster) Utilization() float64 {
 	return float64(used) / float64(total)
 }
 
+// truncate shortens s to at most n display runes. Slicing happens on
+// rune boundaries: byte-slicing a multibyte job name would emit invalid
+// UTF-8 into the squeue/sacct tables.
 func truncate(s string, n int) string {
 	if len(s) <= n {
+		return s // bytes ≤ n implies runes ≤ n
+	}
+	if utf8.RuneCountInString(s) <= n {
 		return s
 	}
-	return s[:n-1] + "…"
+	runes := []rune(s)
+	return string(runes[:n-1]) + "…"
 }
 
 // CheckInvariants validates the scheduler's bookkeeping: per-node free
 // cores must equal capacity minus the tasks of resident jobs, exclusive
 // nodes host exactly one job, every running job's nodes list it, and no
-// node is oversubscribed. Tests call it after every event.
+// node is oversubscribed. Tests call it after every event (or, at
+// million-job scale, on a sampled subset of events — it is O(jobs)).
 func (c *Cluster) CheckInvariants() error {
 	type nodeLoad struct {
 		tasks int
@@ -240,6 +364,9 @@ func (c *Cluster) CheckInvariants() error {
 	for _, j := range c.jobs {
 		if j.State != Running {
 			continue
+		}
+		if c.running[j.ID] != j {
+			return fmt.Errorf("cluster: running job %d missing from running index", j.ID)
 		}
 		if len(j.Nodes) != len(j.tasksOn) {
 			return fmt.Errorf("cluster: job %d has %d nodes but %d task entries", j.ID, len(j.Nodes), len(j.tasksOn))
@@ -266,6 +393,9 @@ func (c *Cluster) CheckInvariants() error {
 		if total != j.Spec.Tasks {
 			return fmt.Errorf("cluster: job %d placed %d of %d tasks", j.ID, total, j.Spec.Tasks)
 		}
+	}
+	if len(c.running) != c.countRunningRetained() {
+		return fmt.Errorf("cluster: running index has %d jobs, table has %d", len(c.running), c.countRunningRetained())
 	}
 	for i, n := range c.nodes {
 		if load[i].tasks > c.machine.CoresPerNode {
@@ -294,66 +424,161 @@ func (c *Cluster) CheckInvariants() error {
 	return nil
 }
 
+func (c *Cluster) countRunningRetained() int {
+	n := 0
+	for _, j := range c.jobs {
+		if j.State == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// waitBuckets is the size of the log₂-spaced wait-time histogram backing
+// the p99 estimate: bucket i holds waits in [2^(i-1), 2^i) milliseconds.
+const waitBuckets = 48
+
+// statsAgg accumulates workload statistics incrementally at submit and
+// finish so Stats is O(1) and never rescans the job table (which may
+// have been evicted anyway).
+type statsAgg struct {
+	submitted  int
+	completed  int
+	timedOut   int
+	cancelled  int
+	nodeFailed int
+	requeues   int
+
+	started  int
+	waitSum  time.Duration
+	maxWait  time.Duration
+	runSum   time.Duration
+	coreTime time.Duration
+	makespan time.Duration
+	waitHist [waitBuckets]int
+
+	// offeredCoreSec sums Tasks × BaseTime over submissions: the load
+	// offered to the cluster, independent of whether it kept up.
+	offeredCoreSec float64
+}
+
+// accountTerminal folds a job that just reached a terminal state into the
+// aggregate. A NodeFail job that is later requeued is backed out again by
+// maybeRequeue (it only contributed the NodeFailed count — wait/runtime
+// figures are only accumulated for Completed/TimedOut/started-Cancelled
+// jobs, which never return to the queue).
+func (c *Cluster) accountTerminal(j *Job) {
+	a := &c.agg
+	switch j.State {
+	case Completed:
+		a.completed++
+	case TimedOut:
+		a.timedOut++
+	case Cancelled:
+		a.cancelled++
+	case NodeFail:
+		a.nodeFailed++
+		return
+	default:
+		return
+	}
+	if j.State == Cancelled && j.StartTime == 0 {
+		return // cancelled while pending: never started
+	}
+	wait := j.StartTime - j.SubmitTime
+	a.waitSum += wait
+	if wait > a.maxWait {
+		a.maxWait = wait
+	}
+	a.waitHist[waitBucket(wait)]++
+	a.started++
+	run := j.EndTime - j.StartTime
+	a.runSum += run
+	a.coreTime += run * time.Duration(j.Spec.Tasks)
+	if j.EndTime > a.makespan {
+		a.makespan = j.EndTime
+	}
+}
+
+// waitBucket maps a wait to its log₂ millisecond bucket.
+func waitBucket(w time.Duration) int {
+	ms := uint64(w / time.Millisecond)
+	b := bits.Len64(ms)
+	if b >= waitBuckets {
+		return waitBuckets - 1
+	}
+	return b
+}
+
 // WorkloadStats summarizes a completed workload: the scheduler-quality
 // numbers a SLURM operator (or the ancillary module's students) would
 // look at.
 type WorkloadStats struct {
-	Jobs        int
-	Completed   int
-	TimedOut    int
-	Cancelled   int
-	NodeFailed  int           // jobs currently in NodeFail (requeue budget exhausted or no --requeue)
-	Requeues    int           // total resubmissions after node failures
-	Makespan    time.Duration // last completion time
-	MeanWait    time.Duration // submit → start, over started jobs
-	MaxWait     time.Duration
+	Jobs       int
+	Completed  int
+	TimedOut   int
+	Cancelled  int
+	NodeFailed int           // jobs currently in NodeFail (requeue budget exhausted or no --requeue)
+	Requeues   int           // total resubmissions after node failures
+	Makespan   time.Duration // last completion time
+	MeanWait   time.Duration // submit → start, over started jobs
+	MaxWait    time.Duration
+	// P99Wait is the 99th-percentile wait, estimated from a log₂
+	// millisecond histogram (reported as the upper bound of the bucket
+	// holding the percentile — ≤2× resolution, O(1) memory).
+	P99Wait     time.Duration
 	MeanRuntime time.Duration // start → end, over finished jobs
 	// Utilization is the core-time actually allocated divided by
 	// nodes × cores × makespan.
 	Utilization float64
 }
 
-// Stats computes workload statistics over every submitted job.
+// Stats computes workload statistics over every job ever submitted. It
+// reads the incremental aggregate, so it is O(1) and remains exact when
+// finished jobs have been evicted.
 func (c *Cluster) Stats() WorkloadStats {
-	var st WorkloadStats
-	var waitSum, runSum time.Duration
-	started := 0
-	var coreTime time.Duration
-	for _, j := range c.jobs {
-		st.Jobs++
-		switch j.State {
-		case Completed:
-			st.Completed++
-		case TimedOut:
-			st.TimedOut++
-		case Cancelled:
-			st.Cancelled++
-		case NodeFail:
-			st.NodeFailed++
-		}
-		st.Requeues += j.Restarts
-		if j.State == Completed || j.State == TimedOut || (j.State == Cancelled && j.StartTime > 0) {
-			wait := j.StartTime - j.SubmitTime
-			waitSum += wait
-			if wait > st.MaxWait {
-				st.MaxWait = wait
-			}
-			started++
-			run := j.EndTime - j.StartTime
-			runSum += run
-			coreTime += run * time.Duration(j.Spec.Tasks)
-			if j.EndTime > st.Makespan {
-				st.Makespan = j.EndTime
-			}
-		}
+	a := &c.agg
+	st := WorkloadStats{
+		Jobs:       a.submitted,
+		Completed:  a.completed,
+		TimedOut:   a.timedOut,
+		Cancelled:  a.cancelled,
+		NodeFailed: a.nodeFailed,
+		Requeues:   a.requeues,
+		Makespan:   a.makespan,
+		MaxWait:    a.maxWait,
 	}
-	if started > 0 {
-		st.MeanWait = waitSum / time.Duration(started)
-		st.MeanRuntime = runSum / time.Duration(started)
+	if a.started > 0 {
+		st.MeanWait = a.waitSum / time.Duration(a.started)
+		st.MeanRuntime = a.runSum / time.Duration(a.started)
+		st.P99Wait = waitPercentile(&a.waitHist, a.started, 0.99)
 	}
 	if st.Makespan > 0 {
 		capacity := st.Makespan * time.Duration(len(c.nodes)*c.machine.CoresPerNode)
-		st.Utilization = float64(coreTime) / float64(capacity)
+		st.Utilization = float64(a.coreTime) / float64(capacity)
 	}
 	return st
+}
+
+// waitPercentile reads the q-quantile out of the log₂ histogram,
+// reporting the upper bound of the bucket that crosses it.
+func waitPercentile(hist *[waitBuckets]int, total int, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0
+	for i, n := range hist {
+		cum += n
+		if cum >= rank {
+			if i == 0 {
+				return 0 // sub-millisecond waits
+			}
+			return time.Duration(uint64(1)<<uint(i)) * time.Millisecond
+		}
+	}
+	return maxDuration
 }

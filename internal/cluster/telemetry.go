@@ -16,6 +16,8 @@ type Gauges struct {
 	nodeStates  map[string]telemetry.Gauge
 	utilization telemetry.Gauge // fraction × 1e6 (registry values are int64)
 	jobsPerSec  telemetry.Gauge // rate × 1e6
+	arrivalRate telemetry.Gauge // submissions per simulated second × 1e6
+	offeredLoad telemetry.Gauge // offered core-seconds per capacity core-second × 1e6
 }
 
 // utilScale fixes the fixed-point factor for fractional gauges.
@@ -31,6 +33,8 @@ func NewGauges(reg *telemetry.Registry) *Gauges {
 		nodeStates:  make(map[string]telemetry.Gauge),
 		utilization: reg.Gauge("cluster_utilization_ppm", "Allocated core fraction, parts per million."),
 		jobsPerSec:  reg.Gauge("cluster_jobs_per_second_ppm", "Completed jobs per simulated second, parts per million."),
+		arrivalRate: reg.Gauge("cluster_arrival_rate_per_second_ppm", "Submitted jobs per simulated second, parts per million."),
+		offeredLoad: reg.Gauge("cluster_offered_load_ppm", "Offered load: submitted core-seconds over cluster core-second capacity, parts per million (>1e6 means the workload outruns the machine)."),
 	}
 	for _, st := range []string{"idle", "allocated", "allocated(excl)", "mixed", "down"} {
 		g.nodeStates[st] = reg.Gauge("cluster_nodes", "Nodes by scheduler state.", telemetry.L("state", st))
@@ -39,24 +43,13 @@ func NewGauges(reg *telemetry.Registry) *Gauges {
 }
 
 // Observe snapshots c into the gauges. Call it from the goroutine driving
-// the simulation.
+// the simulation. It reads the incremental stats aggregate rather than
+// scanning the job table, so it stays O(nodes) at million-job scale.
 func (g *Gauges) Observe(c *Cluster) {
 	g.queueDepth.Set(int64(len(c.order)))
-	running := 0
-	completed := 0
-	requeues := 0
-	for _, j := range c.jobs {
-		switch j.State {
-		case Running:
-			running++
-		case Completed:
-			completed++
-		}
-		requeues += j.Restarts
-	}
-	g.jobsRunning.Set(int64(running))
-	g.completed.Set(int64(completed))
-	g.requeues.Set(int64(requeues))
+	g.jobsRunning.Set(int64(len(c.running)))
+	g.completed.Set(int64(c.agg.completed))
+	g.requeues.Set(int64(c.agg.requeues))
 
 	counts := map[string]int64{"idle": 0, "allocated": 0, "allocated(excl)": 0, "mixed": 0, "down": 0}
 	for _, n := range c.nodes {
@@ -79,8 +72,17 @@ func (g *Gauges) Observe(c *Cluster) {
 
 	g.utilization.Set(int64(c.Utilization() * utilScale))
 	rate := 0.0
-	if mk := c.Stats().Makespan; mk > 0 {
-		rate = float64(completed) / mk.Seconds()
+	if mk := c.agg.makespan; mk > 0 {
+		rate = float64(c.agg.completed) / mk.Seconds()
 	}
 	g.jobsPerSec.Set(int64(rate * utilScale))
+
+	if sec := c.now.Seconds(); sec > 0 {
+		g.arrivalRate.Set(int64(float64(c.agg.submitted) / sec * utilScale))
+		capacity := sec * float64(len(c.nodes)*c.machine.CoresPerNode)
+		g.offeredLoad.Set(int64(c.agg.offeredCoreSec / capacity * utilScale))
+	} else {
+		g.arrivalRate.Set(0)
+		g.offeredLoad.Set(0)
+	}
 }

@@ -53,6 +53,15 @@ func TestGaugesObserve(t *testing.T) {
 	if snap["cluster_jobs_per_second_ppm"] <= 0 {
 		t.Fatalf("jobs/s = %g, want > 0", snap["cluster_jobs_per_second_ppm"])
 	}
+	// Two submissions over the 15 simulated seconds the drain took.
+	if got := snap["cluster_arrival_rate_per_second_ppm"]; got != 133333 {
+		t.Fatalf("arrival rate = %g ppm, want 133333 (2 jobs / 15 s)", got)
+	}
+	// Offered work was 32×10s + 32×5s = 480 core-seconds, exactly the
+	// 32-core node's capacity over those 15 seconds.
+	if got := snap["cluster_offered_load_ppm"]; got != 1e6 {
+		t.Fatalf("offered load = %g ppm, want 1e6 (workload exactly fills the machine)", got)
+	}
 
 	var buf bytes.Buffer
 	if err := telemetry.WritePrometheus(&buf, reg); err != nil {
